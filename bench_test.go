@@ -1,0 +1,281 @@
+package sidewinder_test
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md's experiment index). Each experiment benchmark
+// runs a reduced-duration version of the corresponding experiment per
+// iteration, prints the rendered table once, and reports the headline
+// numbers as custom benchmark metrics. The full-scale (paper-duration)
+// tables come from `go run ./cmd/sidewinder-eval`, which uses the same
+// code with 30-minute/2-hour traces.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"sidewinder"
+	"sidewinder/internal/eval"
+)
+
+// benchOptions keeps per-iteration work around a few seconds.
+func benchOptions() eval.Options {
+	return eval.Options{
+		Seed:             1,
+		RobotRunDuration: 4 * time.Minute,
+		AudioDuration:    5 * time.Minute,
+		HumanDuration:    20 * time.Minute,
+	}
+}
+
+var (
+	benchWorkloadOnce sync.Once
+	benchWorkload     *eval.Workload
+	benchWorkloadErr  error
+)
+
+func workload(b *testing.B) *eval.Workload {
+	b.Helper()
+	benchWorkloadOnce.Do(func() {
+		benchWorkload, benchWorkloadErr = eval.GenerateWorkload(benchOptions())
+	})
+	if benchWorkloadErr != nil {
+		b.Fatal(benchWorkloadErr)
+	}
+	return benchWorkload
+}
+
+var printOnce sync.Map
+
+// printTable prints a rendered table exactly once per benchmark name.
+func printTable(name, rendered string) {
+	if _, loaded := printOnce.LoadOrStore(name, true); !loaded {
+		fmt.Println(rendered)
+	}
+}
+
+// BenchmarkTable1PowerProfile regenerates the Nexus 4 power profile
+// (paper Table 1) from the power model.
+func BenchmarkTable1PowerProfile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb := eval.Table1()
+		if i == 0 {
+			printTable("table1", tb.Render())
+		}
+	}
+}
+
+// BenchmarkTable2AudioPower regenerates the audio-application power matrix
+// (paper Table 2): Oracle vs calibrated Predefined Activity vs Sidewinder.
+func BenchmarkTable2AudioPower(b *testing.B) {
+	w := workload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eval.Table2(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			printTable("table2", res.Table.Render())
+		}
+		b.ReportMetric(res.PowerMW["Sidewinder"]["sirens"], "sw-sirens-mW")
+		b.ReportMetric(res.PowerMW["Sidewinder"]["music"], "sw-music-mW")
+		b.ReportMetric(res.PowerMW["Sidewinder"]["phrase"], "sw-phrase-mW")
+		b.ReportMetric(res.PowerMW["Predefined Activity"]["music"], "pa-mW")
+	}
+}
+
+// BenchmarkFigure5RobotPower regenerates the robot-trace configuration
+// matrix (paper Fig. 5): power relative to Oracle for AA, DC, Batching,
+// PA and Sidewinder across the three activity groups.
+func BenchmarkFigure5RobotPower(b *testing.B) {
+	o := benchOptions()
+	w := workload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eval.Figure5(o, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, tb := range res.Tables {
+				printTable("fig5-"+tb.Title, tb.Render())
+			}
+		}
+		b.ReportMetric(res.Relative["steps"][1]["Sw"], "sw-steps-g1-x")
+		b.ReportMetric(res.Relative["headbutts"][1]["Sw"], "sw-headbutts-g1-x")
+		b.ReportMetric(res.Relative["headbutts"][1]["PA"], "pa-headbutts-g1-x")
+	}
+}
+
+// BenchmarkFigure6DutyCycleRecall regenerates duty-cycling recall vs sleep
+// interval on the 90%-idle runs (paper Fig. 6).
+func BenchmarkFigure6DutyCycleRecall(b *testing.B) {
+	o := benchOptions()
+	w := workload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eval.Figure6(o, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			printTable("fig6", res.Table.Render())
+		}
+		b.ReportMetric(res.Recall["steps"][10]*100, "dc10-steps-recall-%")
+		b.ReportMetric(res.Recall["transitions"][10]*100, "dc10-transitions-recall-%")
+	}
+}
+
+// BenchmarkFigure7HumanPower regenerates the human-trace step-detector
+// comparison (paper Fig. 7), with recall measured against Always Awake.
+func BenchmarkFigure7HumanPower(b *testing.B) {
+	o := benchOptions()
+	w := workload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eval.Figure7(o, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			printTable("fig7", res.Table.Render())
+		}
+		var minSavings = 1.0
+		for _, s := range res.SidewinderSavings {
+			if s < minSavings {
+				minSavings = s
+			}
+		}
+		b.ReportMetric(minSavings*100, "sw-min-savings-%")
+	}
+}
+
+// BenchmarkSavingsAnalysis regenerates the §5.1-5.2 headline numbers:
+// Sidewinder's share of the savings an ideal wake-up mechanism offers.
+func BenchmarkSavingsAnalysis(b *testing.B) {
+	o := benchOptions()
+	w := workload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eval.Savings(o, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			printTable("savings", res.Table.Render())
+		}
+		b.ReportMetric(res.AccelSavings["steps"][1]*100, "steps-g1-%")
+		b.ReportMetric(res.AudioSavings["phrase"]*100, "phrase-%")
+	}
+}
+
+// ------------------------------------------------------------ components
+
+// BenchmarkHubInterpreterAccel measures the hub interpreter's throughput
+// on the significant-motion condition (samples per second matter: the
+// real MCU must keep up with the sensor in real time).
+func BenchmarkHubInterpreterAccel(b *testing.B) {
+	p := sidewinder.NewPipeline("bench")
+	for _, ch := range []sidewinder.SensorChannel{sidewinder.AccelX, sidewinder.AccelY, sidewinder.AccelZ} {
+		p.AddBranch(sidewinder.NewBranch(ch).Add(sidewinder.MovingAverage(10)))
+	}
+	p.Add(sidewinder.VectorMagnitude())
+	p.Add(sidewinder.MinThreshold(1e18))
+	bed := pushBench(b, p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bed.Feed(sidewinder.AccelX, 1)
+		bed.Feed(sidewinder.AccelY, 1)
+		bed.Feed(sidewinder.AccelZ, 1)
+	}
+}
+
+// BenchmarkHubInterpreterAudio measures the FFT-heavy siren condition.
+func BenchmarkHubInterpreterAudio(b *testing.B) {
+	bed := pushBench(b, sidewinder.Sirens().Wake)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bed.Feed(sidewinder.Mic, float64(i%7)*0.01)
+	}
+}
+
+func pushBench(b *testing.B, p *sidewinder.Pipeline) *sidewinder.Testbed {
+	b.Helper()
+	bed, err := sidewinder.NewTestbed(sidewinder.TestbedConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := bed.Push(p, sidewinder.ListenerFunc(func(sidewinder.Event) {})); err != nil {
+		b.Fatal(err)
+	}
+	return bed
+}
+
+// BenchmarkIRCompile measures pipeline validation plus IR text generation.
+func BenchmarkIRCompile(b *testing.B) {
+	app := sidewinder.MusicJournal()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sidewinder.CompileIR(app.Wake); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIRParseBind measures the hub-side parse+bind path.
+func BenchmarkIRParseBind(b *testing.B) {
+	text, err := sidewinder.CompileIR(sidewinder.Sirens().Wake)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sidewinder.ParseIR(text); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStepDetector measures the main-CPU classifier over one minute
+// of walking data.
+func BenchmarkStepDetector(b *testing.B) {
+	tr, err := sidewinder.GenerateRobotTrace(sidewinder.RobotConfig{
+		Seed: 1, Duration: time.Minute, IdleFraction: 0.1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	app := sidewinder.Steps()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		app.Detector.Detect(tr, 0, tr.Len())
+	}
+}
+
+// BenchmarkRobotTraceGeneration measures synthesizing one minute of
+// labeled robot accelerometer data.
+func BenchmarkRobotTraceGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := sidewinder.GenerateRobotTrace(sidewinder.RobotConfig{
+			Seed: int64(i + 1), Duration: time.Minute, IdleFraction: 0.5,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAudioTraceGeneration measures synthesizing one minute of
+// labeled audio.
+func BenchmarkAudioTraceGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := sidewinder.GenerateAudioTrace(
+			sidewinder.NewAudioConfig(int64(i+1), time.Minute, "coffeeshop")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Command hubemu runs the sensor-hub runtime standalone: it loads an
+// intermediate-language program (paper §3.3), binds it against the
+// platform catalog, replays a trace file through the interpreter and
+// reports every wake-up plus cycle-budget statistics. It is the software
+// equivalent of flashing the paper's MSP430/LM4F120 firmware and feeding
+// it recorded sensor data.
+//
+// Usage:
+//
+//	hubemu -ir condition.ir -trace run.swtr [-device MSP430|LM4F120] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sidewinder/internal/core"
+	"sidewinder/internal/hub"
+	"sidewinder/internal/interp"
+	"sidewinder/internal/ir"
+	"sidewinder/internal/sensor"
+)
+
+func main() {
+	irPath := flag.String("ir", "", "intermediate-language program file (required)")
+	tracePath := flag.String("trace", "", "trace file, binary or .json (required)")
+	deviceName := flag.String("device", "", "force a device (MSP430 or LM4F120); default: auto-select")
+	verbose := flag.Bool("v", false, "print every wake event")
+	flag.Parse()
+
+	if err := run(*irPath, *tracePath, *deviceName, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "hubemu:", err)
+		os.Exit(1)
+	}
+}
+
+func run(irPath, tracePath, deviceName string, verbose bool) error {
+	if irPath == "" || tracePath == "" {
+		return fmt.Errorf("-ir and -trace are required")
+	}
+	irText, err := os.ReadFile(irPath)
+	if err != nil {
+		return err
+	}
+	plan, err := ir.ParseAndBind(string(irText), core.DefaultCatalog())
+	if err != nil {
+		return err
+	}
+
+	f, err := os.Open(tracePath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var tr *sensor.Trace
+	if strings.HasSuffix(tracePath, ".json") {
+		tr, err = sensor.ReadJSON(f)
+	} else {
+		tr, err = sensor.ReadBinary(f)
+	}
+	if err != nil {
+		return err
+	}
+
+	dev, err := pickDevice(deviceName, plan)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("condition %q: %d nodes on %s (%.2f%% cycle budget)\n",
+		plan.Name, len(plan.Nodes), dev.Name, dev.Utilization(plan)/dev.MaxUtilization*100)
+
+	machine, err := interp.New(plan)
+	if err != nil {
+		return err
+	}
+	channels := plan.Channels
+	for _, ch := range channels {
+		if _, ok := tr.Channels[ch]; !ok {
+			return fmt.Errorf("trace %q lacks channel %s required by the condition", tr.Name, ch)
+		}
+	}
+
+	wakes := 0
+	n := tr.Len()
+	for i := 0; i < n; i++ {
+		for _, ch := range channels {
+			for _, w := range machine.PushSample(ch, tr.Channels[ch][i]) {
+				wakes++
+				if verbose {
+					at := time.Duration(float64(i) / tr.RateHz * float64(time.Second))
+					fmt.Printf("wake #%d at %v (sample %d): node %d emitted %.4g\n",
+						wakes, at.Round(time.Millisecond), i, w.NodeID, w.Value)
+				}
+			}
+		}
+	}
+
+	work := machine.Work()
+	cycles := work.FloatOps*dev.CyclesPerFloatOp + work.IntOps*dev.CyclesPerIntOp
+	seconds := float64(n) / tr.RateHz
+	fmt.Printf("replayed %s: %d samples/channel over %v\n", tr.Name, n, tr.Duration().Round(time.Second))
+	fmt.Printf("wake-ups: %d (%.2f per minute)\n", wakes, float64(wakes)/(seconds/60))
+	fmt.Printf("interpreter work: %.0f float ops, %.0f int ops (%.2f%% of %s cycle budget)\n",
+		work.FloatOps, work.IntOps, cycles/seconds/(dev.ClockHz*dev.MaxUtilization)*100, dev.Name)
+	return nil
+}
+
+func pickDevice(name string, plan *core.Plan) (hub.Device, error) {
+	if name == "" {
+		return hub.SelectDevice(hub.Devices(), plan)
+	}
+	for _, d := range hub.Devices() {
+		if strings.EqualFold(d.Name, name) {
+			if err := d.CheckFeasible(plan); err != nil {
+				return hub.Device{}, err
+			}
+			return d, nil
+		}
+	}
+	return hub.Device{}, fmt.Errorf("unknown device %q", name)
+}

@@ -1,0 +1,163 @@
+// Command sidewinder-eval regenerates the paper's evaluation: every table
+// and figure of "Sidewinder: An Energy Efficient and Developer Friendly
+// Heterogeneous Architecture for Continuous Mobile Sensing" (ASPLOS 2016).
+//
+// Usage:
+//
+//	sidewinder-eval [-experiment table1|table2|fig5|fig6|fig7|savings|all]
+//	                [-seed N] [-robot-min M] [-audio-min M] [-human-min M]
+//
+// Traces are synthesized deterministically from the seed, so two runs with
+// the same flags print identical tables.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sidewinder/internal/eval"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all",
+		"which experiment to run: table1, table2, fig5, fig6, fig7, savings, battery, ablations, all")
+	seed := flag.Int64("seed", 1, "generator seed (same seed, same tables)")
+	robotMin := flag.Int("robot-min", 30, "duration of each robot run in minutes")
+	audioMin := flag.Int("audio-min", 30, "duration of each audio trace in minutes")
+	humanMin := flag.Int("human-min", 120, "duration of each human trace in minutes")
+	flag.Parse()
+
+	opts := eval.Options{
+		Seed:             *seed,
+		RobotRunDuration: time.Duration(*robotMin) * time.Minute,
+		AudioDuration:    time.Duration(*audioMin) * time.Minute,
+		HumanDuration:    time.Duration(*humanMin) * time.Minute,
+	}
+	if err := run(*experiment, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "sidewinder-eval:", err)
+		os.Exit(1)
+	}
+}
+
+func run(experiment string, opts eval.Options) error {
+	needWorkload := experiment != "table1"
+	var w *eval.Workload
+	if needWorkload {
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "generating workload (seed %d)...\n", opts.Seed)
+		var err error
+		if w, err = eval.GenerateWorkload(opts); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "workload ready in %v\n\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	want := func(name string) bool { return experiment == "all" || experiment == name }
+	ran := false
+
+	if want("table1") {
+		fmt.Println(eval.Table1().Render())
+		ran = true
+	}
+	if want("table2") {
+		res, err := eval.Table2(w)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Table.Render())
+		fmt.Printf("(calibrated significant-sound threshold: %.4g; devices: %v)\n\n",
+			res.PAThreshold, res.Devices)
+		ran = true
+	}
+	if want("fig5") {
+		res, err := eval.Figure5(opts, w)
+		if err != nil {
+			return err
+		}
+		for _, tb := range res.Tables {
+			fmt.Println(tb.Render())
+		}
+		fmt.Printf("(calibrated significant-motion threshold: %.4g)\n", res.PAThreshold)
+		fmt.Printf("(average main-CPU classifier precision: steps %.0f%%, transitions %.0f%%, headbutts %.0f%%)\n\n",
+			res.Precision["steps"]*100, res.Precision["transitions"]*100, res.Precision["headbutts"]*100)
+		ran = true
+	}
+	if want("fig6") {
+		res, err := eval.Figure6(opts, w)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Table.Render())
+		ran = true
+	}
+	if want("fig7") {
+		res, err := eval.Figure7(opts, w)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Table.Render())
+		fmt.Print("(Sidewinder's share of available savings:")
+		for _, tr := range w.Human {
+			fmt.Printf(" %s %.1f%%", tr.Name, res.SidewinderSavings[tr.Name]*100)
+		}
+		fmt.Print(")\n\n")
+		ran = true
+	}
+	if want("savings") {
+		res, err := eval.Savings(opts, w)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Table.Render())
+		fmt.Printf("(oracle range across accel scenarios: %.1f-%.1f mW; always-awake 323 mW)\n\n",
+			res.OracleMinMW, res.OracleMaxMW)
+		ran = true
+	}
+	if want("battery") {
+		res, err := eval.BatteryLife(w)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Table.Render())
+		ran = true
+	}
+	if want("ablations") {
+		ds, err := eval.DeviceSweep(w)
+		if err != nil {
+			return err
+		}
+		fmt.Println(ds.Table.Render())
+		ca, err := eval.ConditionAblation(w)
+		if err != nil {
+			return err
+		}
+		fmt.Println(ca.Table.Render())
+		bl, err := eval.BatchingLatency(opts, w)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bl.Table.Render())
+		ps, err := eval.PipelineSharing()
+		if err != nil {
+			return err
+		}
+		fmt.Println(ps.Table.Render())
+		sr, err := eval.SirenRedesign(w)
+		if err != nil {
+			return err
+		}
+		fmt.Println(sr.Table.Render())
+		at, err := eval.AdaptiveTuning(w)
+		if err != nil {
+			return err
+		}
+		fmt.Println(at.Table.Render())
+		ran = true
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", experiment)
+	}
+	return nil
+}

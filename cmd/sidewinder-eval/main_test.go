@@ -1,0 +1,41 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"sidewinder/internal/eval"
+)
+
+func TestRunTable1(t *testing.T) {
+	if err := run("table1", eval.Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	opts := eval.Options{
+		Seed:             1,
+		RobotRunDuration: 30 * time.Second,
+		AudioDuration:    30 * time.Second,
+		HumanDuration:    time.Minute,
+	}
+	if err := run("figure-nine", opts); err == nil {
+		t.Fatal("unknown experiment should fail")
+	}
+}
+
+func TestRunSmallFigure6(t *testing.T) {
+	// The cheapest workload-bearing experiment, as an end-to-end check
+	// of the command path.
+	opts := eval.Options{
+		Seed:             1,
+		RobotRunDuration: time.Minute,
+		AudioDuration:    30 * time.Second,
+		HumanDuration:    time.Minute,
+		SleepIntervals:   []float64{2, 10},
+	}
+	if err := run("fig6", opts); err != nil {
+		t.Fatal(err)
+	}
+}

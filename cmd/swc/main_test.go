@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const sigJSON = `{
+  "name": "significantMotion",
+  "branches": [
+    {"source": "ACC_X", "stages": [{"kind": "movingAvg", "params": {"size": 10}}]},
+    {"source": "ACC_Y", "stages": [{"kind": "movingAvg", "params": {"size": 10}}]},
+    {"source": "ACC_Z", "stages": [{"kind": "movingAvg", "params": {"size": 10}}]}
+  ],
+  "tail": [{"kind": "vectorMagnitude"}, {"kind": "minThreshold", "params": {"min": 15}}]
+}`
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompileSpec(t *testing.T) {
+	path := writeTemp(t, "sig.json", sigJSON)
+	if err := run(false, true, false, true, false, []string{path}); err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+}
+
+func TestCheckIR(t *testing.T) {
+	ir := `ACC_X -> movingAvg(id=1, params={10});
+1 -> minThreshold(id=2, params={15, 1});
+2 -> OUT;
+`
+	path := writeTemp(t, "prog.ir", ir)
+	if err := run(true, false, false, false, false, []string{path}); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+}
+
+func TestCheckRejectsBadIR(t *testing.T) {
+	path := writeTemp(t, "bad.ir", "ACC_X -> nonsense(id=1);\n1 -> OUT;\n")
+	if err := run(true, false, false, false, false, []string{path}); err == nil {
+		t.Fatal("bad IR should fail")
+	}
+}
+
+func TestCompileRejectsInvalidSpec(t *testing.T) {
+	path := writeTemp(t, "bad.json", `{"branches":[{"source":"ACC_X","stages":[{"kind":"movingAvg","params":{"size":0}}]}]}`)
+	if err := run(false, false, false, false, false, []string{path}); err == nil {
+		t.Fatal("invalid spec should fail")
+	}
+}
+
+func TestAppsListing(t *testing.T) {
+	// The paper's Fig. 3: all six reference conditions render.
+	if err := run(false, false, false, false, true, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCatalogListing(t *testing.T) {
+	if err := run(false, false, true, false, false, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if err := run(false, false, false, false, false, nil); err == nil {
+		t.Fatal("missing input should fail")
+	}
+	if err := run(false, false, false, false, false, []string{"/nonexistent/file.json"}); err == nil {
+		t.Fatal("unreadable input should fail")
+	}
+}

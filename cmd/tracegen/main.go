@@ -1,0 +1,84 @@
+// Command tracegen synthesizes evaluation traces (paper §4.1) and writes
+// them to disk in the JSON or binary trace format.
+//
+// Usage:
+//
+//	tracegen -kind robot  -idle 0.9 -minutes 30 -seed 1 -o run.swtr
+//	tracegen -kind human  -profile commute -minutes 120 -o commute.swtr
+//	tracegen -kind audio  -environment coffeeshop -minutes 30 -o cafe.swtr
+//
+// The output format follows the file extension: .json for JSON, anything
+// else for the compact binary format.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sidewinder/internal/sensor"
+	"sidewinder/internal/tracegen"
+)
+
+func main() {
+	kind := flag.String("kind", "robot", "trace kind: robot, human, audio")
+	seed := flag.Int64("seed", 1, "generator seed")
+	minutes := flag.Float64("minutes", 30, "trace duration in minutes")
+	idle := flag.Float64("idle", 0.5, "robot: idle fraction (0.9/0.5/0.1 for paper groups)")
+	profile := flag.String("profile", "office", "human: commute, retail, office")
+	environment := flag.String("environment", "office", "audio: office, coffeeshop, outdoors")
+	out := flag.String("o", "", "output file (required; .json selects JSON)")
+	flag.Parse()
+
+	if err := run(*kind, *seed, *minutes, *idle, *profile, *environment, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kind string, seed int64, minutes, idle float64, profile, environment, out string) error {
+	if out == "" {
+		return fmt.Errorf("-o output file is required")
+	}
+	duration := time.Duration(minutes * float64(time.Minute))
+
+	var tr *sensor.Trace
+	var err error
+	switch kind {
+	case "robot":
+		tr, err = tracegen.Robot(tracegen.RobotConfig{
+			Seed: seed, Duration: duration, IdleFraction: idle,
+		})
+	case "human":
+		tr, err = tracegen.Human(tracegen.HumanConfig{
+			Seed: seed, Duration: duration, Profile: tracegen.HumanProfile(profile),
+		})
+	case "audio":
+		tr, err = tracegen.Audio(tracegen.NewAudioConfig(
+			seed, duration, tracegen.AudioEnvironment(environment)))
+	default:
+		return fmt.Errorf("unknown kind %q (want robot, human or audio)", kind)
+	}
+	if err != nil {
+		return err
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(out, ".json") {
+		err = tr.WriteJSON(f)
+	} else {
+		err = tr.WriteBinary(f)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %s, %d samples/channel (%v), %d events, labels %v\n",
+		out, tr.Name, tr.Len(), tr.Duration().Round(time.Second), len(tr.Events), tr.Labels())
+	return nil
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sidewinder/internal/sensor"
+)
+
+func TestGenerateAllKinds(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name string
+		args func(out string) error
+	}{
+		{"robot.swtr", func(out string) error { return run("robot", 1, 1, 0.5, "", "", out) }},
+		{"human.json", func(out string) error { return run("human", 1, 1, 0, "commute", "", out) }},
+		{"audio.swtr", func(out string) error { return run("audio", 1, 0.5, 0, "", "coffeeshop", out) }},
+	}
+	for _, tc := range cases {
+		out := filepath.Join(dir, tc.name)
+		if err := tc.args(out); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		f, err := os.Open(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tr *sensor.Trace
+		if filepath.Ext(out) == ".json" {
+			tr, err = sensor.ReadJSON(f)
+		} else {
+			tr, err = sensor.ReadBinary(f)
+		}
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: reading back: %v", tc.name, err)
+		}
+		if tr.Len() == 0 {
+			t.Errorf("%s: empty trace", tc.name)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "x.swtr")
+	if err := run("plasma", 1, 1, 0.5, "", "", out); err == nil {
+		t.Error("unknown kind should fail")
+	}
+	if err := run("robot", 1, 1, 0.5, "", "", ""); err == nil {
+		t.Error("missing output should fail")
+	}
+	if err := run("human", 1, 1, 0, "astronaut", "", out); err == nil {
+		t.Error("unknown profile should fail")
+	}
+	if err := run("robot", 1, 1, 0.5, "", "", "/nonexistent/dir/x.swtr"); err == nil {
+		t.Error("unwritable path should fail")
+	}
+}

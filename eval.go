@@ -1,0 +1,62 @@
+package sidewinder
+
+import "sidewinder/internal/eval"
+
+// Experiment surface: programmatic access to every table and figure of the
+// paper's evaluation (the same code behind cmd/sidewinder-eval).
+type (
+	// EvalTable is a rendered experiment result.
+	EvalTable = eval.Table
+	// Table2Result carries the audio-application power matrix.
+	Table2Result = eval.Table2Result
+	// Figure5Result carries the robot-trace configuration matrix.
+	Figure5Result = eval.Figure5Result
+	// Figure6Result carries duty-cycling recall vs sleep interval.
+	Figure6Result = eval.Figure6Result
+	// Figure7Result carries the human-trace comparison.
+	Figure7Result = eval.Figure7Result
+	// SavingsResult carries the §5.1-5.2 headline numbers.
+	SavingsResult = eval.SavingsResult
+	// BatteryLifeResult carries battery-life estimates per application.
+	BatteryLifeResult = eval.BatteryLifeResult
+)
+
+// GenerateEvalWorkload synthesizes the full evaluation trace set (18 robot
+// runs, 3 audio environments, 3 human profiles) for the options.
+func GenerateEvalWorkload(o EvalOptions) (*EvalWorkload, error) {
+	return eval.GenerateWorkload(o)
+}
+
+// Table1 regenerates the Nexus 4 power profile (paper Table 1).
+func Table1() *EvalTable { return eval.Table1() }
+
+// Table2 regenerates the audio-application power matrix (paper Table 2).
+func Table2(w *EvalWorkload) (*Table2Result, error) { return eval.Table2(w) }
+
+// Figure5 regenerates the robot-trace configuration comparison (paper
+// Fig. 5).
+func Figure5(o EvalOptions, w *EvalWorkload) (*Figure5Result, error) {
+	return eval.Figure5(o, w)
+}
+
+// Figure6 regenerates duty-cycling recall vs sleep interval (paper Fig. 6).
+func Figure6(o EvalOptions, w *EvalWorkload) (*Figure6Result, error) {
+	return eval.Figure6(o, w)
+}
+
+// Figure7 regenerates the human-trace step-detector comparison (paper
+// Fig. 7).
+func Figure7(o EvalOptions, w *EvalWorkload) (*Figure7Result, error) {
+	return eval.Figure7(o, w)
+}
+
+// Savings regenerates the §5.1-5.2 savings analysis.
+func Savings(o EvalOptions, w *EvalWorkload) (*SavingsResult, error) {
+	return eval.Savings(o, w)
+}
+
+// BatteryLife translates average power into Nexus 4 battery life per
+// application.
+func BatteryLife(w *EvalWorkload) (*BatteryLifeResult, error) {
+	return eval.BatteryLife(w)
+}

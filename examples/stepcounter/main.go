@@ -1,0 +1,72 @@
+// Stepcounter: the paper's Steps application end to end. It generates a
+// labeled robot walking trace (paper §4.1), then compares the energy and
+// accuracy of running the step detector under four sensing configurations:
+// Always Awake, Duty Cycling, the hardwired significant-motion detector,
+// and Sidewinder's custom wake-up condition, against the Oracle bound.
+//
+// Run with:
+//
+//	go run ./examples/stepcounter
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"sidewinder"
+)
+
+func main() {
+	fmt.Println("generating a 15-minute robot run (50% idle, scripted walking)...")
+	trace, err := sidewinder.GenerateRobotTrace(sidewinder.RobotConfig{
+		Seed:         42,
+		Duration:     15 * time.Minute,
+		IdleFraction: 0.5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	app := sidewinder.Steps()
+	truth := trace.EventsLabeled(app.Label)
+	fmt.Printf("trace %q: %d ground-truth steps across %v\n\n",
+		trace.Name, len(truth), trace.Duration().Round(time.Second))
+
+	configs := []struct {
+		label string
+		s     sidewinder.Strategy
+	}{
+		{"Always Awake", sidewinder.AlwaysAwake{}},
+		{"Duty Cycling (10 s)", sidewinder.DutyCycling{SleepSec: 10}},
+		{"Predefined Activity", sidewinder.PredefinedActivity{Threshold: 0.24}},
+		{"Sidewinder", sidewinder.SidewinderStrategy{}},
+		{"Oracle (ideal)", sidewinder.Oracle{}},
+	}
+
+	fmt.Printf("%-22s %10s %8s %8s %10s %9s\n",
+		"configuration", "power(mW)", "recall", "precis.", "wake-ups", "hub")
+	var oracleMW, swMW float64
+	for _, cfg := range configs {
+		res, err := sidewinder.Simulate(cfg.s, trace, app)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hubName := res.Device
+		if hubName == "" {
+			hubName = "-"
+		}
+		fmt.Printf("%-22s %10.1f %7.0f%% %7.0f%% %10d %9s\n",
+			cfg.label, res.Power.TotalAvgMW, res.Recall*100, res.Precision*100,
+			res.Power.WakeUps, hubName)
+		switch cfg.label {
+		case "Sidewinder":
+			swMW = res.Power.TotalAvgMW
+		case "Oracle (ideal)":
+			oracleMW = res.Power.TotalAvgMW
+		}
+	}
+
+	share := (323 - swMW) / (323 - oracleMW) * 100
+	fmt.Printf("\nSidewinder captured %.1f%% of the savings an ideal wake-up "+
+		"mechanism could deliver (paper §5.2 reports 92.7-95.7%%).\n", share)
+}

@@ -1,0 +1,3 @@
+module sidewinder
+
+go 1.22

@@ -1,0 +1,217 @@
+package apps
+
+import (
+	"sidewinder/internal/core"
+	"sidewinder/internal/dsp"
+	"sidewinder/internal/sensor"
+)
+
+// Accelerometer application parameters. The detector constants are the
+// paper's (§3.7.1); the wake-up condition parameters are the developer-
+// tuned values that give 100% recall on the evaluation traces with
+// moderate precision (§2.1.2).
+const (
+	// Steps (Libby's method): local maxima of the low-passed x-axis
+	// acceleration between 2.5 and 4.5 m/s².
+	stepMaxLo, stepMaxHi = 2.5, 4.5
+	stepSmoothSamples    = 5
+	stepRefractorySec    = 0.3
+
+	// Transitions: posture bands from the paper. Standing: z in [9, 11],
+	// y in [-1, 1]. Sitting: z in [7.5, 9.5], y in [3.5, 5.5].
+	postureWinSec = 0.5
+
+	// Headbutts: local minima of the y-axis between -6.75 and -3.75 m/s².
+	headMinLo, headMinHi = -6.75, -3.75
+	headRefractorySec    = 0.5
+)
+
+// Steps counts the robot's (or user's) steps while it walks.
+func Steps() *App {
+	wake := core.NewPipeline("steps-wake")
+	wake.AddBranch(core.NewBranch(core.AccelX).
+		Add(core.MovingAverage(3)).
+		Add(core.Window(25, 12, "rectangular")).
+		Add(core.Stat("stddev")).
+		Add(core.MinThreshold(0.7)))
+	return &App{
+		Name:              "steps",
+		Label:             "step",
+		Channels:          []core.SensorChannel{core.AccelX},
+		Wake:              wake,
+		Detector:          DetectorFunc(detectSteps),
+		OracleMergeGapSec: 2,
+		MatchTolSec:       0.4,
+		PreBufferSec:      2,
+	}
+}
+
+// detectSteps implements the paper's step detector: low-pass filter the
+// x-axis, then report local maxima within [2.5, 4.5] m/s², with a short
+// refractory period so one step is not counted twice.
+func detectSteps(tr *sensor.Trace, start, end int) []sensor.Event {
+	start, end, ok := clampRange(tr, start, end)
+	if !ok {
+		return nil
+	}
+	x := tr.Channels[core.AccelX][start:end]
+	smooth := movingAverage(x, stepSmoothSamples)
+	refractory := int(stepRefractorySec * tr.RateHz)
+	var out []sensor.Event
+	lastEnd := -refractory
+	for _, m := range dsp.LocalMaxima(smooth, stepMaxLo, stepMaxHi) {
+		if m.Index-lastEnd < refractory {
+			continue
+		}
+		lastEnd = m.Index
+		out = append(out, sensor.Event{
+			Label: "step",
+			Start: start + m.Index - 2,
+			End:   start + m.Index + 3,
+		})
+	}
+	return out
+}
+
+// Transitions detects sit-to-stand and stand-to-sit posture changes.
+func Transitions() *App {
+	wake := core.NewPipeline("transitions-wake")
+	wake.AddBranch(core.NewBranch(core.AccelY).
+		Add(core.Window(75, 25, "rectangular")).
+		Add(core.Stat("range")).
+		Add(core.MinThreshold(3.2)))
+	return &App{
+		Name:              "transitions",
+		Label:             "transition",
+		Channels:          []core.SensorChannel{core.AccelY, core.AccelZ},
+		Wake:              wake,
+		Detector:          DetectorFunc(detectTransitions),
+		OracleMergeGapSec: 1,
+		MatchTolSec:       1.0,
+		PreBufferSec:      2,
+	}
+}
+
+// detectTransitions classifies posture over half-second windows using the
+// paper's orientation bands and reports an event whenever the posture
+// flips between standing and sitting.
+func detectTransitions(tr *sensor.Trace, start, end int) []sensor.Event {
+	start, end, ok := clampRange(tr, start, end)
+	if !ok {
+		return nil
+	}
+	y := tr.Channels[core.AccelY]
+	z := tr.Channels[core.AccelZ]
+	win := int(postureWinSec * tr.RateHz)
+	if win < 1 {
+		win = 1
+	}
+	const (
+		unknownPos = iota
+		standingPos
+		sittingPos
+	)
+	classify := func(my, mz float64) int {
+		switch {
+		case mz >= 9 && mz <= 11 && my >= -1 && my <= 1:
+			return standingPos
+		case mz >= 7.5 && mz <= 9.5 && my >= 3.5 && my <= 5.5:
+			return sittingPos
+		default:
+			return unknownPos
+		}
+	}
+	var out []sensor.Event
+	last := unknownPos
+	lastIdx := start
+	for i := start; i+win <= end; i += win {
+		pos := classify(dsp.Mean(y[i:i+win]), dsp.Mean(z[i:i+win]))
+		if pos == unknownPos {
+			continue
+		}
+		if last != unknownPos && pos != last {
+			out = append(out, sensor.Event{Label: "transition", Start: lastIdx, End: i + win})
+		}
+		last = pos
+		lastIdx = i
+	}
+	return out
+}
+
+// Headbutts detects the robot's sudden forward head movements, standing in
+// for rare, sharp human motions such as falls (paper §3.7.1).
+func Headbutts() *App {
+	wake := core.NewPipeline("headbutts-wake")
+	wake.AddBranch(core.NewBranch(core.AccelY).
+		Add(core.MovingAverage(2)).
+		Add(core.MaxThreshold(-3.0)))
+	return &App{
+		Name:              "headbutts",
+		Label:             "headbutt",
+		Channels:          []core.SensorChannel{core.AccelY},
+		Wake:              wake,
+		Detector:          DetectorFunc(detectHeadbutts),
+		OracleMergeGapSec: 1,
+		MatchTolSec:       0.4,
+		PreBufferSec:      2,
+	}
+}
+
+// detectHeadbutts reports local minima of the y-axis within the paper's
+// [-6.75, -3.75] m/s² band.
+func detectHeadbutts(tr *sensor.Trace, start, end int) []sensor.Event {
+	start, end, ok := clampRange(tr, start, end)
+	if !ok {
+		return nil
+	}
+	y := tr.Channels[core.AccelY][start:end]
+	smooth := movingAverage(y, 3)
+	refractory := int(headRefractorySec * tr.RateHz)
+	var out []sensor.Event
+	lastEnd := -refractory
+	for _, m := range dsp.LocalMinima(smooth, headMinLo, headMinHi) {
+		if m.Index-lastEnd < refractory {
+			continue
+		}
+		lastEnd = m.Index
+		out = append(out, sensor.Event{
+			Label: "headbutt",
+			Start: start + m.Index - 2,
+			End:   start + m.Index + 3,
+		})
+	}
+	return out
+}
+
+// movingAverage returns the centered moving average of x with the given
+// window (a simple low-pass filter suitable for batch classification).
+func movingAverage(x []float64, size int) []float64 {
+	if size <= 1 || len(x) == 0 {
+		return x
+	}
+	out := make([]float64, len(x))
+	var sum float64
+	half := size / 2
+	for i := 0; i < len(x)+half; i++ {
+		if i < len(x) {
+			sum += x[i]
+		}
+		if i >= size {
+			sum -= x[i-size]
+		}
+		center := i - half
+		if center >= 0 && center < len(x) {
+			n := size
+			if i < size-1 {
+				n = i + 1
+			} else if i >= len(x) {
+				n = size - (i - len(x) + 1)
+			}
+			if n < 1 {
+				n = 1
+			}
+			out[center] = sum / float64(n)
+		}
+	}
+	return out
+}

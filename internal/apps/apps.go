@@ -1,0 +1,107 @@
+// Package apps implements the six continuous-sensing applications of the
+// evaluation (paper §3.7): three accelerometer applications driven by the
+// robot's actions (Steps, Transitions, Headbutts) and three audio
+// applications (Siren Detector, Music Journal, Phrase Detection).
+//
+// Each application bundles:
+//
+//   - a main-CPU classifier (Detector) that processes raw sensor data
+//     whenever the phone is awake and reports detected events; it is the
+//     high-precision second stage of the paper's pipeline-of-increasing-
+//     complexity design (§2), and
+//
+//   - a Sidewinder wake-up condition (a core.Pipeline) built solely from
+//     the platform catalog, tuned conservatively for 100% recall at
+//     moderate precision (§2.1.2).
+package apps
+
+import (
+	"sidewinder/internal/core"
+	"sidewinder/internal/sensor"
+)
+
+// Detector is a main-CPU classifier. Detect scans samples [start, end) of
+// the trace and returns detected events in absolute trace indices. The
+// detector sees only data the sensing configuration actually delivered to
+// the application (awake periods, batches, or hub buffers).
+type Detector interface {
+	Detect(tr *sensor.Trace, start, end int) []sensor.Event
+}
+
+// DetectorFunc adapts a function to the Detector interface.
+type DetectorFunc func(tr *sensor.Trace, start, end int) []sensor.Event
+
+// Detect implements Detector.
+func (f DetectorFunc) Detect(tr *sensor.Trace, start, end int) []sensor.Event {
+	return f(tr, start, end)
+}
+
+// App is one continuous-sensing application.
+type App struct {
+	// Name identifies the application ("steps", "sirens", ...).
+	Name string
+	// Label is the ground-truth event label the application detects.
+	Label string
+	// Channels are the sensor channels the application consumes.
+	Channels []core.SensorChannel
+	// Wake is the application's Sidewinder wake-up condition.
+	Wake *core.Pipeline
+	// Detector is the main-CPU classifier.
+	Detector Detector
+	// OracleMergeGapSec merges ground-truth events closer than this into
+	// one awake span for the Oracle configuration (steps within a
+	// walking bout form one span rather than per-step wake-ups).
+	OracleMergeGapSec float64
+	// MatchTolSec is the slack allowed when matching detections to
+	// ground truth (detector output may be offset by filter latency).
+	MatchTolSec float64
+	// PreBufferSec is how much raw data the hub buffers before a wake
+	// trigger and hands to the application (paper §3.8 "Access to sensor
+	// data"); it covers detection latency so the triggering event itself
+	// is in the delivered buffer.
+	PreBufferSec float64
+}
+
+// AccelApps returns the three accelerometer applications (paper §3.7.1).
+func AccelApps() []*App {
+	return []*App{Steps(), Transitions(), Headbutts()}
+}
+
+// AudioApps returns the three audio applications (paper §3.7.2).
+func AudioApps() []*App {
+	return []*App{Sirens(), MusicJournal(), PhraseDetection()}
+}
+
+// All returns every application.
+func All() []*App {
+	return append(AccelApps(), AudioApps()...)
+}
+
+// clampRange clips [start, end) to the trace bounds and reports whether
+// anything remains.
+func clampRange(tr *sensor.Trace, start, end int) (int, int, bool) {
+	n := tr.Len()
+	if start < 0 {
+		start = 0
+	}
+	if end > n {
+		end = n
+	}
+	return start, end, start < end
+}
+
+// mergeEvents coalesces events of one label that are separated by fewer
+// than gap samples. Input must be sorted by start.
+func mergeEvents(events []sensor.Event, gap int) []sensor.Event {
+	var out []sensor.Event
+	for _, e := range events {
+		if len(out) > 0 && e.Start-out[len(out)-1].End <= gap && e.Label == out[len(out)-1].Label {
+			if e.End > out[len(out)-1].End {
+				out[len(out)-1].End = e.End
+			}
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}

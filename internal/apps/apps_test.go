@@ -1,0 +1,211 @@
+package apps_test
+
+import (
+	"testing"
+	"time"
+
+	"sidewinder/internal/apps"
+	"sidewinder/internal/core"
+	"sidewinder/internal/hub"
+	"sidewinder/internal/sensor"
+	"sidewinder/internal/sim"
+	"sidewinder/internal/tracegen"
+)
+
+func robotTrace(t *testing.T) *sensor.Trace {
+	t.Helper()
+	tr, err := tracegen.Robot(tracegen.RobotConfig{Seed: 101, Duration: 10 * time.Minute, IdleFraction: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func audioTrace(t *testing.T) *sensor.Trace {
+	t.Helper()
+	tr, err := tracegen.Audio(tracegen.NewAudioConfig(101, 5*time.Minute, tracegen.CoffeeShopAudio))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestAppInventory(t *testing.T) {
+	all := apps.All()
+	if len(all) != 6 {
+		t.Fatalf("expected the paper's 6 applications, got %d", len(all))
+	}
+	names := map[string]bool{}
+	for _, a := range all {
+		if a.Name == "" || a.Label == "" || a.Wake == nil || a.Detector == nil {
+			t.Errorf("app %+v incomplete", a.Name)
+		}
+		if names[a.Name] {
+			t.Errorf("duplicate app name %s", a.Name)
+		}
+		names[a.Name] = true
+		if len(a.Channels) == 0 {
+			t.Errorf("%s: no channels", a.Name)
+		}
+		if a.PreBufferSec <= 0 || a.MatchTolSec <= 0 {
+			t.Errorf("%s: missing buffering/tolerance config", a.Name)
+		}
+	}
+}
+
+func TestAllWakeConditionsValidate(t *testing.T) {
+	cat := core.DefaultCatalog()
+	for _, a := range apps.All() {
+		plan, err := a.Wake.Validate(cat)
+		if err != nil {
+			t.Errorf("%s wake condition invalid: %v", a.Name, err)
+			continue
+		}
+		// Every wake condition ends in an admission-control stage
+		// (paper §3.7: "Each one ends with an admission control step").
+		last := plan.Nodes[len(plan.Nodes)-1]
+		switch last.Kind {
+		case core.KindMinThreshold, core.KindMaxThreshold, core.KindBandThreshold, core.KindAnd:
+		default:
+			t.Errorf("%s wake condition ends with %s, not admission control", a.Name, last.Kind)
+		}
+	}
+}
+
+func TestDeviceSelectionMatchesTable2(t *testing.T) {
+	cat := core.DefaultCatalog()
+	want := map[string]string{
+		"steps": "MSP430", "transitions": "MSP430", "headbutts": "MSP430",
+		"sirens": "LM4F120", // Table 2's asterisk: FFT needs the bigger part
+		"music":  "MSP430", "phrase": "MSP430",
+	}
+	for _, a := range apps.All() {
+		plan, err := a.Wake.Validate(cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev, err := hub.SelectDevice(hub.Devices(), plan)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		if dev.Name != want[a.Name] {
+			t.Errorf("%s placed on %s, want %s", a.Name, dev.Name, want[a.Name])
+		}
+	}
+}
+
+func TestAccelDetectorsOnFullTrace(t *testing.T) {
+	tr := robotTrace(t)
+	for _, a := range apps.AccelApps() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			dets := a.Detector.Detect(tr, 0, tr.Len())
+			truth := tr.EventsLabeled(a.Label)
+			if len(truth) == 0 {
+				t.Fatal("trace has no ground truth for this app")
+			}
+			recall, precision, _, _ := sim.Match(truth, dets, int(a.MatchTolSec*tr.RateHz))
+			if recall < 0.95 {
+				t.Errorf("full-trace recall = %.3f, want >= 0.95 (%d truth, %d detections)",
+					recall, len(truth), len(dets))
+			}
+			if precision < 0.75 {
+				t.Errorf("full-trace precision = %.3f, want >= 0.75", precision)
+			}
+		})
+	}
+}
+
+func TestAudioDetectorsOnFullTrace(t *testing.T) {
+	tr := audioTrace(t)
+	for _, a := range apps.AudioApps() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			dets := a.Detector.Detect(tr, 0, tr.Len())
+			truth := tr.EventsLabeled(a.Label)
+			if len(truth) == 0 {
+				t.Fatal("trace has no ground truth for this app")
+			}
+			recall, _, _, _ := sim.Match(truth, dets, int(a.MatchTolSec*tr.RateHz))
+			if recall < 0.99 {
+				t.Errorf("full-trace recall = %.3f, want ~1 (%d truth, %d detections)",
+					recall, len(truth), len(dets))
+			}
+		})
+	}
+}
+
+func TestDetectorsEmptyAndClampedRanges(t *testing.T) {
+	rtr, atr := robotTrace(t), audioTrace(t)
+	for _, a := range apps.All() {
+		tr := rtr
+		if a.Channels[0] == core.Mic {
+			tr = atr
+		}
+		if got := a.Detector.Detect(tr, 100, 100); got != nil {
+			t.Errorf("%s: empty range returned %v", a.Name, got)
+		}
+		if got := a.Detector.Detect(tr, -50, 10); got != nil && len(got) > 0 {
+			// A clamped tiny prefix may legitimately detect something,
+			// but must not panic and must stay in range.
+			for _, e := range got {
+				if e.End > tr.Len() {
+					t.Errorf("%s: detection out of range: %+v", a.Name, e)
+				}
+			}
+		}
+		// Beyond-end clamps cleanly.
+		a.Detector.Detect(tr, tr.Len()-10, tr.Len()+100)
+	}
+}
+
+func TestStepsWakeConditionFiresOnlyOnWalking(t *testing.T) {
+	tr := robotTrace(t)
+	res, err := sim.Sidewinder{}.Run(tr, apps.Steps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recall < 1 {
+		t.Errorf("steps Sidewinder recall = %.3f, want 1.0 (conservative condition, paper §2.1.2)", res.Recall)
+	}
+	// The condition must sleep during idle: awake share well below the
+	// active share plus overheads.
+	awakeFrac := res.Power.AwakeSec / (res.Power.AsleepSec + res.Power.AwakeSec + res.Power.WakingSec + res.Power.SleepingSec)
+	if awakeFrac > 0.6 {
+		t.Errorf("steps condition keeps phone awake %.0f%% of a 50%%-idle trace", awakeFrac*100)
+	}
+}
+
+func TestHeadbuttWakeIsRare(t *testing.T) {
+	tr := robotTrace(t)
+	res, err := sim.Sidewinder{}.Run(tr, apps.Headbutts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recall < 1 {
+		t.Fatalf("headbutts Sidewinder recall = %.3f", res.Recall)
+	}
+	truth := len(tr.EventsLabeled(tracegen.LabelHeadbutt))
+	if res.Power.WakeUps > 4*truth+4 {
+		t.Errorf("headbutt condition woke %d times for %d events", res.Power.WakeUps, truth)
+	}
+}
+
+func TestMergeEventsHelper(t *testing.T) {
+	// Accessible indirectly: phrase detection merges duplicates. Directly
+	// exercise via a detector returning overlapping speech hits around
+	// one phrase.
+	tr := audioTrace(t)
+	phrases := tr.EventsLabeled(tracegen.LabelPhrase)
+	if len(phrases) == 0 {
+		t.Skip("no phrases in this trace")
+	}
+	p := phrases[0]
+	app := apps.PhraseDetection()
+	d1 := app.Detector.Detect(tr, p.Start-8*1024, p.End+8*1024)
+	for i := 1; i < len(d1); i++ {
+		if d1[i].Overlaps(d1[i-1].Start, d1[i-1].End) {
+			t.Errorf("phrase detections overlap: %+v %+v", d1[i-1], d1[i])
+		}
+	}
+}

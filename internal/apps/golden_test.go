@@ -1,0 +1,52 @@
+package apps_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sidewinder/internal/apps"
+	"sidewinder/internal/core"
+	"sidewinder/internal/ir"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden IR files")
+
+// TestWakeConditionsMatchGoldenIR pins the compiled intermediate-language
+// form of every reference application's wake-up condition. The IR is the
+// wire contract between the sensor manager and hub firmware (paper §3.3):
+// an accidental change to the catalog's parameter order, the compiler's
+// numbering, or an app's pipeline shows up here before it silently breaks
+// interoperability.
+//
+// After an intentional change, regenerate with:
+//
+//	go test ./internal/apps -run Golden -update-golden
+func TestWakeConditionsMatchGoldenIR(t *testing.T) {
+	cat := core.DefaultCatalog()
+	for _, app := range apps.All() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			plan, err := app.Wake.Validate(cat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := ir.CompileToText(plan)
+			path := filepath.Join("testdata", app.Name+".ir")
+			if *updateGolden {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update-golden): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("compiled IR drifted from golden contract.\n--- got\n%s--- want\n%s", got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,60 @@
+package core
+
+import "fmt"
+
+// SensorChannel identifies one raw data channel exposed by the sensor hub.
+// Channel names are the spelling used in the intermediate language
+// (paper Fig. 2c).
+type SensorChannel string
+
+// The channels supported by the prototype hub (paper §3.4: an
+// accelerometer and a microphone).
+const (
+	AccelX SensorChannel = "ACC_X"
+	AccelY SensorChannel = "ACC_Y"
+	AccelZ SensorChannel = "ACC_Z"
+	Mic    SensorChannel = "MIC"
+)
+
+// Default sampling rates of the prototype's sensors in Hz. The
+// accelerometer runs at a typical Android SENSOR_DELAY_GAME rate; the
+// microphone at a feature-extraction rate that keeps the 850-1800 Hz siren
+// band below Nyquist while staying within microcontroller budgets.
+const (
+	AccelRateHz = 50.0
+	AudioRateHz = 4000.0
+)
+
+// Channels lists every supported channel in IR declaration order.
+func Channels() []SensorChannel {
+	return []SensorChannel{AccelX, AccelY, AccelZ, Mic}
+}
+
+// Valid reports whether c names a supported channel.
+func (c SensorChannel) Valid() bool {
+	switch c {
+	case AccelX, AccelY, AccelZ, Mic:
+		return true
+	}
+	return false
+}
+
+// Rate returns the channel's sampling rate in Hz.
+func (c SensorChannel) Rate() float64 {
+	switch c {
+	case AccelX, AccelY, AccelZ:
+		return AccelRateHz
+	case Mic:
+		return AudioRateHz
+	}
+	return 0
+}
+
+// ParseChannel converts an IR spelling into a SensorChannel.
+func ParseChannel(name string) (SensorChannel, error) {
+	c := SensorChannel(name)
+	if !c.Valid() {
+		return "", fmt.Errorf("core: unknown sensor channel %q", name)
+	}
+	return c, nil
+}

@@ -1,0 +1,23 @@
+// Package core implements Sidewinder's primary contribution: the wake-up
+// condition model (paper §2-3). A wake-up condition is a ProcessingPipeline
+// of ProcessingBranches, each chaining parameterized instances of the
+// platform's predefined algorithm catalog. Developers never write code for
+// the sensor hub; they configure this graph, the sensor manager compiles it
+// to the intermediate language (package ir), and the hub runtime (package
+// interp) executes it.
+//
+// The package defines:
+//
+//   - SensorChannel: the hub's input channels (accelerometer axes,
+//     microphone) with their sampling rates.
+//   - Catalog and Meta: the platform's algorithm catalog with parameter
+//     schemas, value-kind signatures, and per-device cost/memory models
+//     used for real-time feasibility checks (paper §3.8 "Sizing").
+//   - Pipeline, Branch, Stage: the developer-facing graph builder mirroring
+//     the Java API of paper Fig. 2a.
+//
+// Validation enforces the structural rules of paper §3.2: a pipeline starts
+// with one or more branches rooted at sensor channels, aggregation
+// algorithms reduce multiple branches, and exactly one branch remains at
+// the end, feeding OUT.
+package core

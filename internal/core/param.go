@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// ParamType describes the type of an algorithm parameter.
+type ParamType int
+
+const (
+	// IntParam is an integer parameter (window sizes, counts).
+	IntParam ParamType = iota
+	// FloatParam is a real-valued parameter (thresholds, cutoffs).
+	FloatParam
+	// EnumParam is a string drawn from a fixed set (window shapes,
+	// statistic names).
+	EnumParam
+)
+
+// String returns a human-readable type name.
+func (t ParamType) String() string {
+	switch t {
+	case IntParam:
+		return "int"
+	case FloatParam:
+		return "float"
+	case EnumParam:
+		return "enum"
+	default:
+		return fmt.Sprintf("ParamType(%d)", int(t))
+	}
+}
+
+// ParamSpec declares one parameter of a catalog algorithm: its name,
+// type, bounds, and default. Parameters with a Default are optional.
+type ParamSpec struct {
+	Name     string
+	Type     ParamType
+	Required bool
+	Default  ParamValue // used when !Required and the parameter is absent
+	Min, Max float64    // numeric bounds (inclusive); ignored for enums
+	Enum     []string   // permitted values for EnumParam
+}
+
+// ParamValue is a single parameter value: a number or an enum string.
+type ParamValue struct {
+	Num float64
+	Str string
+	// IsStr distinguishes the enum case.
+	IsStr bool
+}
+
+// Number returns a numeric ParamValue.
+func Number(v float64) ParamValue { return ParamValue{Num: v} }
+
+// Str returns an enum/string ParamValue.
+func Str(s string) ParamValue { return ParamValue{Str: s, IsStr: true} }
+
+// String renders the value as it appears in the intermediate language.
+func (v ParamValue) String() string {
+	if v.IsStr {
+		return v.Str
+	}
+	return strconv.FormatFloat(v.Num, 'g', -1, 64)
+}
+
+// Equal reports exact equality of two values.
+func (v ParamValue) Equal(o ParamValue) bool {
+	if v.IsStr != o.IsStr {
+		return false
+	}
+	if v.IsStr {
+		return v.Str == o.Str
+	}
+	return v.Num == o.Num
+}
+
+// Params holds an algorithm instance's parameter assignment by name.
+type Params map[string]ParamValue
+
+// Clone returns a deep copy of p.
+func (p Params) Clone() Params {
+	if p == nil {
+		return nil
+	}
+	out := make(Params, len(p))
+	for k, v := range p {
+		out[k] = v
+	}
+	return out
+}
+
+// Float returns the named numeric parameter, or 0 when absent.
+func (p Params) Float(name string) float64 { return p[name].Num }
+
+// Int returns the named numeric parameter truncated to int.
+func (p Params) Int(name string) int { return int(p[name].Num) }
+
+// Str returns the named string parameter, or "" when absent.
+func (p Params) Str(name string) string { return p[name].Str }
+
+// sortedNames returns parameter names in lexical order for deterministic
+// rendering.
+func (p Params) sortedNames() []string {
+	names := make([]string, 0, len(p))
+	for k := range p {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// normalize validates p against the specs, fills defaults, and returns the
+// completed assignment. Unknown parameters, missing required parameters,
+// type mismatches, out-of-bounds numbers and unknown enum values are
+// errors.
+func (p Params) normalize(algo string, specs []ParamSpec) (Params, error) {
+	byName := make(map[string]*ParamSpec, len(specs))
+	for i := range specs {
+		byName[specs[i].Name] = &specs[i]
+	}
+	for name := range p {
+		if _, ok := byName[name]; !ok {
+			return nil, fmt.Errorf("core: %s: unknown parameter %q", algo, name)
+		}
+	}
+	out := make(Params, len(specs))
+	for i := range specs {
+		spec := &specs[i]
+		v, present := p[spec.Name]
+		if !present {
+			if spec.Required {
+				return nil, fmt.Errorf("core: %s: missing required parameter %q", algo, spec.Name)
+			}
+			out[spec.Name] = spec.Default
+			continue
+		}
+		if err := spec.check(v); err != nil {
+			return nil, fmt.Errorf("core: %s: %w", algo, err)
+		}
+		out[spec.Name] = v
+	}
+	return out, nil
+}
+
+// check validates a single value against the spec.
+func (s *ParamSpec) check(v ParamValue) error {
+	switch s.Type {
+	case EnumParam:
+		if !v.IsStr {
+			return fmt.Errorf("parameter %q must be one of %v", s.Name, s.Enum)
+		}
+		for _, e := range s.Enum {
+			if e == v.Str {
+				return nil
+			}
+		}
+		return fmt.Errorf("parameter %q = %q not in %v", s.Name, v.Str, s.Enum)
+	case IntParam:
+		if v.IsStr {
+			return fmt.Errorf("parameter %q must be an integer", s.Name)
+		}
+		if v.Num != math.Trunc(v.Num) {
+			return fmt.Errorf("parameter %q = %g must be an integer", s.Name, v.Num)
+		}
+	case FloatParam:
+		if v.IsStr {
+			return fmt.Errorf("parameter %q must be a number", s.Name)
+		}
+	}
+	if math.IsNaN(v.Num) || math.IsInf(v.Num, 0) {
+		return fmt.Errorf("parameter %q must be finite", s.Name)
+	}
+	if v.Num < s.Min || v.Num > s.Max {
+		return fmt.Errorf("parameter %q = %g outside [%g, %g]", s.Name, v.Num, s.Min, s.Max)
+	}
+	return nil
+}
+
+// noBounds is a convenience for specs that accept any finite value.
+const (
+	unboundedMin = -math.MaxFloat64
+	unboundedMax = math.MaxFloat64
+)

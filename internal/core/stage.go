@@ -1,0 +1,150 @@
+package core
+
+// This file provides the stage constructors that make up the developer API,
+// mirroring the algorithm objects of paper Fig. 2a (new MovingAverage(10),
+// new VectorMagnitude(), new MinThreshold(15), ...). Each constructor
+// returns a Stage stub; validation against the catalog happens when the
+// pipeline is pushed to the sensor manager.
+
+// Window partitions a sample stream into windows of size samples emitted
+// every step samples (step 0 means size, i.e. non-overlapping) with the
+// given taper shape ("rectangular" or "hamming").
+func Window(size, step int, shape string) Stage {
+	p := Params{"size": Number(float64(size)), "step": Number(float64(step))}
+	if shape != "" {
+		p["shape"] = Str(shape)
+	}
+	return Stage{Kind: KindWindow, Params: p}
+}
+
+// FFT transforms a window into an interleaved complex spectrum.
+func FFT() Stage { return Stage{Kind: KindFFT} }
+
+// IFFT inverts an interleaved complex spectrum back into a real block.
+func IFFT() Stage { return Stage{Kind: KindIFFT} }
+
+// SpectralMag reduces a complex spectrum to per-bin magnitudes.
+func SpectralMag() Stage { return Stage{Kind: KindSpectralMag} }
+
+// MovingAverage smooths a sample stream over the last size samples.
+func MovingAverage(size int) Stage {
+	return Stage{Kind: KindMovingAvg, Params: Params{"size": Number(float64(size))}}
+}
+
+// ExpMovingAverage smooths a sample stream with factor alpha.
+func ExpMovingAverage(alpha float64) Stage {
+	return Stage{Kind: KindEMA, Params: Params{"alpha": Number(alpha)}}
+}
+
+// LowPass applies an FFT-based low-pass filter at cutoff Hz over blocks of
+// the given power-of-two size.
+func LowPass(cutoff float64, block int) Stage {
+	return Stage{Kind: KindLowPass, Params: Params{"cutoff": Number(cutoff), "block": Number(float64(block))}}
+}
+
+// HighPass applies an FFT-based high-pass filter at cutoff Hz over blocks
+// of the given power-of-two size.
+func HighPass(cutoff float64, block int) Stage {
+	return Stage{Kind: KindHighPass, Params: Params{"cutoff": Number(cutoff), "block": Number(float64(block))}}
+}
+
+// IIRLowPass applies a streaming biquad low-pass at cutoff Hz; rate is the
+// stream's sampling rate.
+func IIRLowPass(cutoff, rate float64) Stage {
+	return Stage{Kind: KindIIRLowPass, Params: Params{"cutoff": Number(cutoff), "rate": Number(rate)}}
+}
+
+// IIRHighPass applies a streaming biquad high-pass at cutoff Hz.
+func IIRHighPass(cutoff, rate float64) Stage {
+	return Stage{Kind: KindIIRHighPass, Params: Params{"cutoff": Number(cutoff), "rate": Number(rate)}}
+}
+
+// GoertzelBank scans [bandLow, bandHigh] Hz with n Goertzel detectors over
+// blocks of the given size, emitting the best normalized tone score per
+// block.
+func GoertzelBank(bandLow, bandHigh, rate float64, block, detectors int) Stage {
+	return Stage{Kind: KindGoertzelBank, Params: Params{
+		"bandLow":   Number(bandLow),
+		"bandHigh":  Number(bandHigh),
+		"rate":      Number(rate),
+		"block":     Number(float64(block)),
+		"detectors": Number(float64(detectors)),
+	}}
+}
+
+// VectorMagnitude aggregates N scalar branches into the Euclidean magnitude
+// of their joint vector.
+func VectorMagnitude() Stage { return Stage{Kind: KindVectorMagnitude} }
+
+// ZeroCrossingRate computes the zero-crossing rate of each window.
+func ZeroCrossingRate() Stage { return Stage{Kind: KindZCR} }
+
+// ZCRVariance partitions each window into subwindows and emits the variance
+// of their zero-crossing rates (the speech/music discrimination feature of
+// paper §3.7.2).
+func ZCRVariance(subwindows int) Stage {
+	return Stage{Kind: KindZCRVariance, Params: Params{"subwindows": Number(float64(subwindows))}}
+}
+
+// Stat computes a windowed statistic; op is one of StatOps.
+func Stat(op string) Stage {
+	return Stage{Kind: KindStat, Params: Params{"op": Str(op)}}
+}
+
+// DominantFreqMag emits the magnitude of the dominant non-DC spectral bin.
+func DominantFreqMag() Stage { return Stage{Kind: KindDominantFreq} }
+
+// Tonality emits the peak-to-mean spectral ratio when the dominant bin
+// falls within [bandLow, bandHigh] Hz (0 otherwise); rate is the sampling
+// rate of the windowed signal.
+func Tonality(bandLow, bandHigh, rate float64) Stage {
+	return Stage{Kind: KindTonality, Params: Params{
+		"bandLow":  Number(bandLow),
+		"bandHigh": Number(bandHigh),
+		"rate":     Number(rate),
+	}}
+}
+
+// Delta emits the difference between consecutive values.
+func Delta() Stage { return Stage{Kind: KindDelta} }
+
+// Abs emits the absolute value of its input.
+func Abs() Stage { return Stage{Kind: KindAbs} }
+
+// Ratio aggregates exactly two scalar branches into first/second.
+func Ratio() Stage { return Stage{Kind: KindRatio} }
+
+// And aggregates N scalar branches; it emits the minimum input value when
+// every branch produced a value for the same emission index.
+func And() Stage { return Stage{Kind: KindAnd} }
+
+// MinThreshold admits values >= min.
+func MinThreshold(min float64) Stage {
+	return Stage{Kind: KindMinThreshold, Params: Params{"min": Number(min)}}
+}
+
+// MinThresholdSustained admits values >= min only after the condition has
+// held for sustain consecutive emissions.
+func MinThresholdSustained(min float64, sustain int) Stage {
+	return Stage{Kind: KindMinThreshold, Params: Params{
+		"min": Number(min), "sustain": Number(float64(sustain)),
+	}}
+}
+
+// MaxThreshold admits values <= max.
+func MaxThreshold(max float64) Stage {
+	return Stage{Kind: KindMaxThreshold, Params: Params{"max": Number(max)}}
+}
+
+// BandThreshold admits values in [min, max].
+func BandThreshold(min, max float64) Stage {
+	return Stage{Kind: KindBandThreshold, Params: Params{"min": Number(min), "max": Number(max)}}
+}
+
+// BandThresholdSustained admits values in [min, max] only after the
+// condition has held for sustain consecutive emissions.
+func BandThresholdSustained(min, max float64, sustain int) Stage {
+	return Stage{Kind: KindBandThreshold, Params: Params{
+		"min": Number(min), "max": Number(max), "sustain": Number(float64(sustain)),
+	}}
+}

@@ -1,0 +1,18 @@
+// Package dsp implements the sensor-data processing algorithms that the
+// Sidewinder platform ships on the low-power sensor hub (paper §3.6):
+// windowing, Fourier transforms, noise-reduction and FFT-based filters,
+// feature extraction (vector magnitude, zero-crossing rate, statistics,
+// dominant frequency) and admission-control thresholds.
+//
+// The package has two layers:
+//
+//   - Pure functions (FFT, Mean, ZeroCrossingRate, ...) that operate on
+//     slices. These are the mathematical core and are shared by the hub
+//     interpreter and by main-CPU application classifiers.
+//
+//   - Streaming processors (MovingAverager, Windower, ...) that keep
+//     per-instance state and consume one sample at a time, mirroring the
+//     per-algorithm data structures of the paper's C runtime (§3.5-3.6).
+//     A streaming processor may not produce output for every input; the
+//     caller checks the returned ok flag (the paper's hasResult flag).
+package dsp

@@ -1,0 +1,204 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorMagnitude(t *testing.T) {
+	for _, tc := range []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{3, 4}, 5},
+		{[]float64{1, 2, 2}, 3},
+		{[]float64{0, 0, 0}, 0},
+		{[]float64{-3, -4}, 5},
+		{nil, 0},
+		{[]float64{7}, 7},
+	} {
+		if got := VectorMagnitude(tc.in...); !approxEqual(got, tc.want, eps) {
+			t.Errorf("VectorMagnitude(%v) = %g, want %g", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestZeroCrossingRate(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"alternating", []float64{1, -1, 1, -1}, 1},
+		{"constant positive", []float64{1, 1, 1, 1}, 0},
+		{"single crossing", []float64{1, 1, -1, -1}, 1.0 / 3},
+		{"empty", nil, 0},
+		{"one sample", []float64{5}, 0},
+		{"zeros treated positive", []float64{0, 0, 0}, 0},
+	} {
+		if got := ZeroCrossingRate(tc.in); !approxEqual(got, tc.want, eps) {
+			t.Errorf("%s: ZCR = %g, want %g", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestZeroCrossingRateOfSineScalesWithFrequency(t *testing.T) {
+	const rate = 1000.0
+	n := 1000
+	zcrAt := func(freq float64) float64 {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = math.Sin(2 * math.Pi * freq * float64(i) / rate)
+		}
+		return ZeroCrossingRate(x)
+	}
+	low, high := zcrAt(10), zcrAt(100)
+	if high <= low {
+		t.Errorf("ZCR should grow with frequency: 10 Hz=%g, 100 Hz=%g", low, high)
+	}
+	// A sine at f Hz crosses zero 2f times per second: rate 2f/sampleRate.
+	if want := 2 * 100 / rate; !approxEqual(high, want, 0.01) {
+		t.Errorf("ZCR(100 Hz sine) = %g, want ~%g", high, want)
+	}
+}
+
+func TestZeroCrossingRateBoundedProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		z := ZeroCrossingRate(xs)
+		return z >= 0 && z <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroCrossingCountMatchesRate(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		if n < 2 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, int(n))
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		return approxEqual(ZeroCrossingRate(xs), float64(ZeroCrossingCount(xs))/float64(len(xs)-1), eps)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocalMaxima(t *testing.T) {
+	x := []float64{0, 3, 1, 5, 5, 2, 4, 0}
+	got := LocalMaxima(x, 0, 10)
+	want := []Extremum{{1, 3}, {3, 5}, {6, 4}}
+	if len(got) != len(want) {
+		t.Fatalf("LocalMaxima = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("maximum %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLocalMaximaRangeFilter(t *testing.T) {
+	x := []float64{0, 3, 1, 5, 1, 4, 0}
+	got := LocalMaxima(x, 2.5, 4.5)
+	want := []Extremum{{1, 3}, {5, 4}}
+	if len(got) != len(want) {
+		t.Fatalf("filtered maxima = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("maximum %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLocalMaximaEndpointsExcluded(t *testing.T) {
+	if got := LocalMaxima([]float64{9, 1, 8}, 0, 10); len(got) != 0 {
+		t.Errorf("endpoints must not be maxima, got %v", got)
+	}
+	if got := LocalMaxima([]float64{1, 2}, 0, 10); got != nil {
+		t.Errorf("two-sample input has no interior, got %v", got)
+	}
+}
+
+func TestLocalMinima(t *testing.T) {
+	x := []float64{5, -4, 3, -6, -6, 2, 5}
+	got := LocalMinima(x, -7, 0)
+	want := []Extremum{{1, -4}, {3, -6}}
+	if len(got) != len(want) {
+		t.Fatalf("LocalMinima = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("minimum %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMinimaAreMaximaOfNegationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 64)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		neg := make([]float64, len(xs))
+		for i, v := range xs {
+			neg[i] = -v
+		}
+		minima := LocalMinima(xs, math.Inf(-1), math.Inf(1))
+		maxima := LocalMaxima(neg, math.Inf(-1), math.Inf(1))
+		if len(minima) != len(maxima) {
+			return false
+		}
+		for i := range minima {
+			if minima[i].Index != maxima[i].Index || !approxEqual(minima[i].Value, -maxima[i].Value, eps) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeakToMeanRatioDistinguishesToneFromNoise(t *testing.T) {
+	const rate = 8000.0
+	n := 1024
+	tone := make([]float64, n)
+	noise := make([]float64, n)
+	rng := rand.New(rand.NewSource(42))
+	for i := range tone {
+		tone[i] = math.Sin(2 * math.Pi * 1000 * float64(i) / rate)
+		noise[i] = rng.NormFloat64()
+	}
+	toneRatio, toneFreq, err := PeakToMeanRatio(tone, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noiseRatio, _, err := PeakToMeanRatio(noise, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toneRatio < 5*noiseRatio {
+		t.Errorf("tone ratio %g should dwarf noise ratio %g", toneRatio, noiseRatio)
+	}
+	if !approxEqual(toneFreq, 1000, rate/float64(n)+1) {
+		t.Errorf("tone dominant frequency = %g, want ~1000", toneFreq)
+	}
+}
+
+func TestPeakToMeanRatioShortInput(t *testing.T) {
+	ratio, freq, err := PeakToMeanRatio([]float64{1, 2}, 100)
+	if err != nil || ratio != 0 || freq != 0 {
+		t.Errorf("short input: got (%g,%g,%v), want zeros", ratio, freq, err)
+	}
+}

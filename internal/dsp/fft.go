@@ -1,0 +1,210 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// IsPowerOfTwo reports whether n is a positive power of two.
+func IsPowerOfTwo(n int) bool {
+	return n > 0 && n&(n-1) == 0
+}
+
+// NextPowerOfTwo returns the smallest power of two >= n. It panics if n is
+// not positive or the result would overflow an int.
+func NextPowerOfTwo(n int) int {
+	if n <= 0 {
+		panic("dsp: NextPowerOfTwo requires n > 0")
+	}
+	if IsPowerOfTwo(n) {
+		return n
+	}
+	p := 1 << bits.Len(uint(n))
+	if p <= 0 {
+		panic("dsp: NextPowerOfTwo overflow")
+	}
+	return p
+}
+
+// FFT computes the in-place radix-2 decimation-in-time fast Fourier
+// transform of x. len(x) must be a power of two. The transform is
+// unnormalized: IFFT(FFT(x)) == x.
+func FFT(x []complex128) error {
+	return fftInternal(x, false)
+}
+
+// IFFT computes the in-place inverse FFT of x, including the 1/N
+// normalization. len(x) must be a power of two.
+func IFFT(x []complex128) error {
+	if err := fftInternal(x, true); err != nil {
+		return err
+	}
+	n := complex(float64(len(x)), 0)
+	for i := range x {
+		x[i] /= n
+	}
+	return nil
+}
+
+func fftInternal(x []complex128, inverse bool) error {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	if !IsPowerOfTwo(n) {
+		return fmt.Errorf("dsp: FFT length %d is not a power of two", n)
+	}
+
+	// Bit-reversal permutation.
+	shift := bits.UintSize - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse(uint(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		angle := sign * 2 * math.Pi / float64(size)
+		wStep := complex(math.Cos(angle), math.Sin(angle))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				even := x[start+k]
+				odd := x[start+k+half] * w
+				x[start+k] = even + odd
+				x[start+k+half] = even - odd
+				w *= wStep
+			}
+		}
+	}
+	return nil
+}
+
+// FFTReal transforms a real-valued signal into its complex spectrum. The
+// input is zero-padded to the next power of two. The returned slice has the
+// padded length.
+func FFTReal(x []float64) ([]complex128, error) {
+	if len(x) == 0 {
+		return nil, nil
+	}
+	n := NextPowerOfTwo(len(x))
+	buf := make([]complex128, n)
+	for i, v := range x {
+		buf[i] = complex(v, 0)
+	}
+	if err := FFT(buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Magnitudes returns |X[k]| for each spectral bin.
+func Magnitudes(spec []complex128) []float64 {
+	out := make([]float64, len(spec))
+	for i, c := range spec {
+		out[i] = math.Hypot(real(c), imag(c))
+	}
+	return out
+}
+
+// BinFrequency returns the center frequency in Hz of spectral bin k for a
+// transform of length n over a signal sampled at sampleRate Hz.
+func BinFrequency(k, n int, sampleRate float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(k) * sampleRate / float64(n)
+}
+
+// FrequencyBin returns the spectral bin index whose center frequency is
+// closest to freq for a transform of length n at the given sample rate.
+// The result is clamped to [0, n/2].
+func FrequencyBin(freq float64, n int, sampleRate float64) int {
+	if sampleRate <= 0 || n == 0 {
+		return 0
+	}
+	k := int(math.Round(freq * float64(n) / sampleRate))
+	if k < 0 {
+		k = 0
+	}
+	if k > n/2 {
+		k = n / 2
+	}
+	return k
+}
+
+// DominantFrequency returns the frequency (Hz) and magnitude of the largest
+// spectral bin of the real signal x, ignoring the DC bin. Only the first
+// half of the spectrum is searched (the signal is real, so the spectrum is
+// conjugate-symmetric).
+func DominantFrequency(x []float64, sampleRate float64) (freq, magnitude float64, err error) {
+	if len(x) < 2 {
+		return 0, 0, nil
+	}
+	spec, err := FFTReal(x)
+	if err != nil {
+		return 0, 0, err
+	}
+	mags := Magnitudes(spec)
+	best := 1
+	for k := 2; k <= len(mags)/2; k++ {
+		if mags[k] > mags[best] {
+			best = k
+		}
+	}
+	return BinFrequency(best, len(spec), sampleRate), mags[best], nil
+}
+
+// LowPassFFT applies a brick-wall low-pass filter at cutoff Hz to the real
+// signal x by zeroing spectral bins above the cutoff and inverse
+// transforming. The result has len(x) samples.
+func LowPassFFT(x []float64, cutoff, sampleRate float64) ([]float64, error) {
+	return fftFilter(x, sampleRate, func(f float64) bool { return f <= cutoff })
+}
+
+// HighPassFFT applies a brick-wall high-pass filter at cutoff Hz to the
+// real signal x. The result has len(x) samples.
+func HighPassFFT(x []float64, cutoff, sampleRate float64) ([]float64, error) {
+	return fftFilter(x, sampleRate, func(f float64) bool { return f >= cutoff })
+}
+
+// BandPassFFT keeps only spectral content between low and high Hz.
+func BandPassFFT(x []float64, low, high, sampleRate float64) ([]float64, error) {
+	return fftFilter(x, sampleRate, func(f float64) bool { return f >= low && f <= high })
+}
+
+// fftFilter zeroes every bin whose center frequency fails keep, preserving
+// conjugate symmetry so the output stays real.
+func fftFilter(x []float64, sampleRate float64, keep func(freq float64) bool) ([]float64, error) {
+	if len(x) == 0 {
+		return nil, nil
+	}
+	spec, err := FFTReal(x)
+	if err != nil {
+		return nil, err
+	}
+	n := len(spec)
+	for k := 0; k <= n/2; k++ {
+		if !keep(BinFrequency(k, n, sampleRate)) {
+			spec[k] = 0
+			if k != 0 && k != n/2 {
+				spec[n-k] = 0
+			}
+		}
+	}
+	if err := IFFT(spec); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(x))
+	for i := range out {
+		out[i] = real(spec[i])
+	}
+	return out, nil
+}

@@ -1,0 +1,318 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-9
+
+func approxEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestIsPowerOfTwo(t *testing.T) {
+	for _, tc := range []struct {
+		n    int
+		want bool
+	}{
+		{0, false}, {1, true}, {2, true}, {3, false}, {4, true},
+		{5, false}, {1024, true}, {1023, false}, {-4, false},
+	} {
+		if got := IsPowerOfTwo(tc.n); got != tc.want {
+			t.Errorf("IsPowerOfTwo(%d) = %v, want %v", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestNextPowerOfTwo(t *testing.T) {
+	for _, tc := range []struct{ n, want int }{
+		{1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {100, 128}, {1024, 1024}, {1025, 2048},
+	} {
+		if got := NextPowerOfTwo(tc.n); got != tc.want {
+			t.Errorf("NextPowerOfTwo(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestNextPowerOfTwoPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n <= 0")
+		}
+	}()
+	NextPowerOfTwo(0)
+}
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	if err := FFT(make([]complex128, 3)); err == nil {
+		t.Fatal("expected error for length 3")
+	}
+}
+
+func TestFFTEmptyIsNoop(t *testing.T) {
+	if err := FFT(nil); err != nil {
+		t.Fatalf("FFT(nil) = %v", err)
+	}
+	if err := IFFT(nil); err != nil {
+		t.Fatalf("IFFT(nil) = %v", err)
+	}
+}
+
+func TestFFTKnownDFT(t *testing.T) {
+	// Impulse transforms to all-ones.
+	x := []complex128{1, 0, 0, 0}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		if cmplx.Abs(v-1) > eps {
+			t.Errorf("impulse FFT bin %d = %v, want 1", i, v)
+		}
+	}
+
+	// DC signal transforms to N at bin 0.
+	y := []complex128{2, 2, 2, 2}
+	if err := FFT(y); err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(y[0]-8) > eps {
+		t.Errorf("DC FFT bin 0 = %v, want 8", y[0])
+	}
+	for i := 1; i < 4; i++ {
+		if cmplx.Abs(y[i]) > eps {
+			t.Errorf("DC FFT bin %d = %v, want 0", i, y[i])
+		}
+	}
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 64
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	want := naiveDFT(x)
+	got := append([]complex128(nil), x...)
+	if err := FFT(got); err != nil {
+		t.Fatal(err)
+	}
+	for k := range want {
+		if cmplx.Abs(got[k]-want[k]) > 1e-8 {
+			t.Fatalf("bin %d: FFT %v, naive DFT %v", k, got[k], want[k])
+		}
+	}
+}
+
+func naiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			angle := -2 * math.Pi * float64(k) * float64(j) / float64(n)
+			out[k] += x[j] * cmplx.Exp(complex(0, angle))
+		}
+	}
+	return out
+}
+
+func TestFFTRoundTripProperty(t *testing.T) {
+	f := func(seed int64, sizeExp uint8) bool {
+		n := 1 << (sizeExp%8 + 1) // 2..256
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		orig := append([]complex128(nil), x...)
+		if err := FFT(x); err != nil {
+			return false
+		}
+		if err := IFFT(x); err != nil {
+			return false
+		}
+		for i := range x {
+			if cmplx.Abs(x[i]-orig[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParsevalProperty(t *testing.T) {
+	// Energy in time domain equals energy in frequency domain / N.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 128
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		spec, err := FFTReal(x)
+		if err != nil {
+			return false
+		}
+		var timeEnergy, freqEnergy float64
+		for _, v := range x {
+			timeEnergy += v * v
+		}
+		for _, c := range spec {
+			freqEnergy += real(c)*real(c) + imag(c)*imag(c)
+		}
+		return approxEqual(timeEnergy, freqEnergy/float64(n), 1e-6*(1+timeEnergy))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDominantFrequency(t *testing.T) {
+	const rate = 1000.0
+	n := 512
+	x := make([]float64, n)
+	for i := range x {
+		ti := float64(i) / rate
+		x[i] = 3*math.Sin(2*math.Pi*125*ti) + 0.5*math.Sin(2*math.Pi*50*ti)
+	}
+	freq, mag, err := DominantFrequency(x, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEqual(freq, 125, rate/float64(n)+0.001) {
+		t.Errorf("dominant frequency = %g Hz, want ~125", freq)
+	}
+	if mag <= 0 {
+		t.Errorf("dominant magnitude = %g, want > 0", mag)
+	}
+}
+
+func TestDominantFrequencyShortSignal(t *testing.T) {
+	freq, mag, err := DominantFrequency([]float64{1}, 100)
+	if err != nil || freq != 0 || mag != 0 {
+		t.Errorf("short signal: got (%g, %g, %v), want (0, 0, nil)", freq, mag, err)
+	}
+}
+
+func TestLowPassRemovesHighFrequency(t *testing.T) {
+	const rate = 1000.0
+	n := 512
+	x := make([]float64, n)
+	for i := range x {
+		ti := float64(i) / rate
+		x[i] = math.Sin(2*math.Pi*10*ti) + math.Sin(2*math.Pi*300*ti)
+	}
+	y, err := LowPassFFT(x, 100, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(y) != n {
+		t.Fatalf("output length %d, want %d", len(y), n)
+	}
+	freq, _, err := DominantFrequency(y, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freq > 100 {
+		t.Errorf("after low-pass at 100 Hz, dominant frequency = %g Hz", freq)
+	}
+}
+
+func TestHighPassRemovesLowFrequency(t *testing.T) {
+	const rate = 1000.0
+	n := 512
+	x := make([]float64, n)
+	for i := range x {
+		ti := float64(i) / rate
+		x[i] = 5 + math.Sin(2*math.Pi*10*ti) + math.Sin(2*math.Pi*300*ti)
+	}
+	y, err := HighPassFFT(x, 100, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freq, _, err := DominantFrequency(y, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEqual(freq, 300, rate/float64(NextPowerOfTwo(n))+0.001) {
+		t.Errorf("after high-pass at 100 Hz, dominant frequency = %g Hz, want ~300", freq)
+	}
+	if m := Mean(y); math.Abs(m) > 0.05 {
+		t.Errorf("high-pass retained DC offset: mean = %g", m)
+	}
+}
+
+func TestBandPassKeepsBand(t *testing.T) {
+	const rate = 1000.0
+	n := 1024
+	x := make([]float64, n)
+	for i := range x {
+		ti := float64(i) / rate
+		x[i] = math.Sin(2*math.Pi*20*ti) + math.Sin(2*math.Pi*150*ti) + math.Sin(2*math.Pi*400*ti)
+	}
+	y, err := BandPassFFT(x, 100, 200, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freq, _, err := DominantFrequency(y, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freq < 100 || freq > 200 {
+		t.Errorf("band-pass 100-200 Hz produced dominant frequency %g Hz", freq)
+	}
+}
+
+func TestFilterPreservesRealOutput(t *testing.T) {
+	// Filtering arbitrary real input must give real output (conjugate
+	// symmetry preserved). Verified indirectly: output magnitudes finite
+	// and filter is linear-ish idempotent for pass band.
+	rng := rand.New(rand.NewSource(7))
+	x := make([]float64, 256)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y, err := LowPassFFT(x, 500, 1000) // cutoff at Nyquist keeps everything
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if !approxEqual(x[i], y[i], 1e-8) {
+			t.Fatalf("pass-all filter changed sample %d: %g -> %g", i, x[i], y[i])
+		}
+	}
+}
+
+func TestBinFrequencyAndFrequencyBinInverse(t *testing.T) {
+	const rate = 8000.0
+	n := 256
+	for k := 0; k <= n/2; k++ {
+		f := BinFrequency(k, n, rate)
+		if got := FrequencyBin(f, n, rate); got != k {
+			t.Errorf("FrequencyBin(BinFrequency(%d)) = %d", k, got)
+		}
+	}
+	if got := FrequencyBin(-10, n, rate); got != 0 {
+		t.Errorf("negative frequency bin = %d, want 0", got)
+	}
+	if got := FrequencyBin(1e9, n, rate); got != n/2 {
+		t.Errorf("huge frequency bin = %d, want %d", got, n/2)
+	}
+}
+
+func TestMagnitudes(t *testing.T) {
+	got := Magnitudes([]complex128{3 + 4i, 0, -2})
+	want := []float64{5, 0, 2}
+	for i := range want {
+		if !approxEqual(got[i], want[i], eps) {
+			t.Errorf("Magnitudes[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}

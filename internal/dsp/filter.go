@@ -1,0 +1,152 @@
+package dsp
+
+import "fmt"
+
+// MovingAverager is a streaming simple moving average over the last N
+// samples (paper §3.6 "Noise-reduction"). It produces no output until N
+// samples have arrived, mirroring the hasResult semantics of the paper's
+// runtime (§3.5).
+type MovingAverager struct {
+	window []float64
+	next   int
+	count  int
+	sum    float64
+}
+
+// NewMovingAverager returns a moving average with the given window size.
+func NewMovingAverager(size int) (*MovingAverager, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("dsp: moving average window must be positive, got %d", size)
+	}
+	return &MovingAverager{window: make([]float64, size)}, nil
+}
+
+// Size returns the window size.
+func (m *MovingAverager) Size() int { return len(m.window) }
+
+// Push adds a sample. Once the window is full it returns the current
+// average with ok=true on every subsequent sample.
+func (m *MovingAverager) Push(v float64) (avg float64, ok bool) {
+	if m.count == len(m.window) {
+		m.sum -= m.window[m.next]
+	} else {
+		m.count++
+	}
+	m.window[m.next] = v
+	m.sum += v
+	m.next = (m.next + 1) % len(m.window)
+	if m.count < len(m.window) {
+		return 0, false
+	}
+	return m.sum / float64(m.count), true
+}
+
+// Reset clears all buffered samples.
+func (m *MovingAverager) Reset() {
+	m.next, m.count, m.sum = 0, 0, 0
+	for i := range m.window {
+		m.window[i] = 0
+	}
+}
+
+// EMA is a streaming exponential moving average with smoothing factor
+// alpha in (0, 1]: y_t = alpha*x_t + (1-alpha)*y_{t-1}. The first sample
+// initializes the average and is produced immediately.
+type EMA struct {
+	alpha  float64
+	value  float64
+	primed bool
+}
+
+// NewEMA returns an exponential moving average with the given alpha.
+func NewEMA(alpha float64) (*EMA, error) {
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("dsp: EMA alpha must be in (0, 1], got %g", alpha)
+	}
+	return &EMA{alpha: alpha}, nil
+}
+
+// Push adds a sample and returns the updated average. ok is always true.
+func (e *EMA) Push(v float64) (avg float64, ok bool) {
+	if !e.primed {
+		e.value = v
+		e.primed = true
+	} else {
+		e.value = e.alpha*v + (1-e.alpha)*e.value
+	}
+	return e.value, true
+}
+
+// Reset returns the EMA to its unprimed state.
+func (e *EMA) Reset() { e.value, e.primed = 0, false }
+
+// BlockFilterKind selects the spectral mask of a BlockFilter.
+type BlockFilterKind int
+
+const (
+	// LowPass keeps content at or below the cutoff.
+	LowPass BlockFilterKind = iota
+	// HighPass keeps content at or above the cutoff.
+	HighPass
+)
+
+// BlockFilter is a streaming FFT-based low- or high-pass filter. It buffers
+// blockSize samples, filters the block in the frequency domain, and emits
+// the filtered block (paper §3.6 "FFT-based low/high-pass filtering"). The
+// block size must be a power of two so the FFT needs no padding.
+type BlockFilter struct {
+	kind       BlockFilterKind
+	cutoff     float64
+	sampleRate float64
+	buf        []float64
+	blockSize  int
+}
+
+// NewBlockFilter returns an FFT-based block filter.
+func NewBlockFilter(kind BlockFilterKind, cutoff, sampleRate float64, blockSize int) (*BlockFilter, error) {
+	if !IsPowerOfTwo(blockSize) {
+		return nil, fmt.Errorf("dsp: block filter size must be a power of two, got %d", blockSize)
+	}
+	if sampleRate <= 0 {
+		return nil, fmt.Errorf("dsp: block filter sample rate must be positive, got %g", sampleRate)
+	}
+	if cutoff < 0 || cutoff > sampleRate/2 {
+		return nil, fmt.Errorf("dsp: cutoff %g Hz outside [0, Nyquist=%g]", cutoff, sampleRate/2)
+	}
+	return &BlockFilter{
+		kind:       kind,
+		cutoff:     cutoff,
+		sampleRate: sampleRate,
+		buf:        make([]float64, 0, blockSize),
+		blockSize:  blockSize,
+	}, nil
+}
+
+// BlockSize returns the filter's block length in samples.
+func (f *BlockFilter) BlockSize() int { return f.blockSize }
+
+// Push adds a sample. When a full block has accumulated it returns the
+// filtered block with ok=true; the internal buffer is then empty.
+func (f *BlockFilter) Push(v float64) (block []float64, ok bool) {
+	f.buf = append(f.buf, v)
+	if len(f.buf) < f.blockSize {
+		return nil, false
+	}
+	var out []float64
+	var err error
+	switch f.kind {
+	case LowPass:
+		out, err = LowPassFFT(f.buf, f.cutoff, f.sampleRate)
+	case HighPass:
+		out, err = HighPassFFT(f.buf, f.cutoff, f.sampleRate)
+	}
+	f.buf = f.buf[:0]
+	if err != nil {
+		// Unreachable for a power-of-two block, but fail closed.
+		return nil, false
+	}
+	return out, true
+}
+
+// Reset discards buffered samples.
+func (f *BlockFilter) Reset() { f.buf = f.buf[:0] }

@@ -1,0 +1,355 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMovingAveragerRejectsBadSize(t *testing.T) {
+	for _, size := range []int{0, -1} {
+		if _, err := NewMovingAverager(size); err == nil {
+			t.Errorf("NewMovingAverager(%d) should fail", size)
+		}
+	}
+}
+
+func TestMovingAveragerWarmup(t *testing.T) {
+	m, err := NewMovingAverager(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Push(1); ok {
+		t.Error("output after 1 of 3 samples")
+	}
+	if _, ok := m.Push(2); ok {
+		t.Error("output after 2 of 3 samples")
+	}
+	avg, ok := m.Push(3)
+	if !ok || !approxEqual(avg, 2, eps) {
+		t.Errorf("after warmup got (%g, %v), want (2, true)", avg, ok)
+	}
+	avg, ok = m.Push(7)
+	if !ok || !approxEqual(avg, 4, eps) {
+		t.Errorf("sliding average = (%g, %v), want (4, true)", avg, ok)
+	}
+}
+
+func TestMovingAveragerReset(t *testing.T) {
+	m, _ := NewMovingAverager(2)
+	m.Push(1)
+	m.Push(2)
+	m.Reset()
+	if _, ok := m.Push(5); ok {
+		t.Error("Reset should require a fresh warmup")
+	}
+	avg, ok := m.Push(7)
+	if !ok || !approxEqual(avg, 6, eps) {
+		t.Errorf("post-reset average = (%g, %v), want (6, true)", avg, ok)
+	}
+}
+
+func TestMovingAveragerMatchesBatchMeanProperty(t *testing.T) {
+	f := func(seed int64, sizeRaw uint8) bool {
+		size := int(sizeRaw%16) + 1
+		rng := rand.New(rand.NewSource(seed))
+		m, err := NewMovingAverager(size)
+		if err != nil {
+			return false
+		}
+		xs := make([]float64, size+20)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		for i, v := range xs {
+			avg, ok := m.Push(v)
+			if i < size-1 {
+				if ok {
+					return false
+				}
+				continue
+			}
+			if !ok {
+				return false
+			}
+			if !approxEqual(avg, Mean(xs[i-size+1:i+1]), 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEMAValidation(t *testing.T) {
+	for _, alpha := range []float64{0, -0.5, 1.5} {
+		if _, err := NewEMA(alpha); err == nil {
+			t.Errorf("NewEMA(%g) should fail", alpha)
+		}
+	}
+	if _, err := NewEMA(1); err != nil {
+		t.Errorf("NewEMA(1) should succeed: %v", err)
+	}
+}
+
+func TestEMAFirstSamplePrimes(t *testing.T) {
+	e, err := NewEMA(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := e.Push(10)
+	if !ok || v != 10 {
+		t.Errorf("first push = (%g, %v), want (10, true)", v, ok)
+	}
+	v, _ = e.Push(0)
+	if !approxEqual(v, 5, eps) {
+		t.Errorf("second push = %g, want 5", v)
+	}
+	e.Reset()
+	v, _ = e.Push(42)
+	if v != 42 {
+		t.Errorf("post-reset push = %g, want 42", v)
+	}
+}
+
+func TestEMAConvergesToConstantProperty(t *testing.T) {
+	f := func(target float64, alphaRaw uint8) bool {
+		if math.IsNaN(target) || math.IsInf(target, 0) || math.Abs(target) > 1e6 {
+			return true
+		}
+		alpha := float64(alphaRaw%9+1) / 10 // 0.1 .. 0.9
+		e, err := NewEMA(alpha)
+		if err != nil {
+			return false
+		}
+		var v float64
+		for i := 0; i < 500; i++ {
+			v, _ = e.Push(target)
+		}
+		return approxEqual(v, target, 1e-6*(1+math.Abs(target)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockFilterValidation(t *testing.T) {
+	if _, err := NewBlockFilter(LowPass, 10, 100, 6); err == nil {
+		t.Error("non-power-of-two block size should fail")
+	}
+	if _, err := NewBlockFilter(LowPass, 10, 0, 8); err == nil {
+		t.Error("zero sample rate should fail")
+	}
+	if _, err := NewBlockFilter(LowPass, 60, 100, 8); err == nil {
+		t.Error("cutoff above Nyquist should fail")
+	}
+	if _, err := NewBlockFilter(LowPass, -1, 100, 8); err == nil {
+		t.Error("negative cutoff should fail")
+	}
+}
+
+func TestBlockFilterEmitsFilteredBlocks(t *testing.T) {
+	const rate = 1000.0
+	bf, err := NewBlockFilter(LowPass, 50, rate, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bf.BlockSize() != 256 {
+		t.Fatalf("BlockSize = %d", bf.BlockSize())
+	}
+	emitted := 0
+	for i := 0; i < 512; i++ {
+		ti := float64(i) / rate
+		v := math.Sin(2*math.Pi*10*ti) + math.Sin(2*math.Pi*300*ti)
+		block, ok := bf.Push(v)
+		if ok {
+			emitted++
+			if len(block) != 256 {
+				t.Fatalf("block length %d", len(block))
+			}
+			freq, _, err := DominantFrequency(block, rate)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if freq > 50 {
+				t.Errorf("low-passed block has dominant frequency %g Hz", freq)
+			}
+		}
+	}
+	if emitted != 2 {
+		t.Errorf("emitted %d blocks, want 2", emitted)
+	}
+}
+
+func TestBlockFilterHighPass(t *testing.T) {
+	const rate = 8000.0
+	bf, err := NewBlockFilter(HighPass, 750, rate, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 511; i++ {
+		if _, ok := bf.Push(math.Sin(2 * math.Pi * 100 * float64(i) / rate)); ok {
+			t.Fatal("premature block emission")
+		}
+	}
+	block, ok := bf.Push(0)
+	if !ok {
+		t.Fatal("no block after 512 samples")
+	}
+	if r := RMS(block); r > 0.05 {
+		t.Errorf("100 Hz tone should be removed by 750 Hz high-pass, RMS = %g", r)
+	}
+}
+
+func TestBlockFilterReset(t *testing.T) {
+	bf, _ := NewBlockFilter(LowPass, 10, 100, 8)
+	for i := 0; i < 7; i++ {
+		bf.Push(1)
+	}
+	bf.Reset()
+	if _, ok := bf.Push(1); ok {
+		t.Error("Reset should discard buffered samples")
+	}
+}
+
+func TestWindowerValidation(t *testing.T) {
+	if _, err := NewWindower(0, 1, Rectangular); err == nil {
+		t.Error("zero size should fail")
+	}
+	if _, err := NewWindower(4, 0, Rectangular); err == nil {
+		t.Error("zero step should fail")
+	}
+	if _, err := NewWindower(4, 5, Rectangular); err == nil {
+		t.Error("step > size should fail")
+	}
+}
+
+func TestWindowerNonOverlapping(t *testing.T) {
+	w, err := NewWindower(3, 3, Rectangular)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var windows [][]float64
+	for i := 1; i <= 9; i++ {
+		if win, ok := w.Push(float64(i)); ok {
+			windows = append(windows, win)
+		}
+	}
+	if len(windows) != 3 {
+		t.Fatalf("got %d windows, want 3", len(windows))
+	}
+	want := [][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}}
+	for i := range want {
+		for j := range want[i] {
+			if windows[i][j] != want[i][j] {
+				t.Errorf("window %d = %v, want %v", i, windows[i], want[i])
+			}
+		}
+	}
+}
+
+func TestWindowerOverlapping(t *testing.T) {
+	w, err := NewWindower(4, 2, Rectangular)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var windows [][]float64
+	for i := 1; i <= 8; i++ {
+		if win, ok := w.Push(float64(i)); ok {
+			windows = append(windows, win)
+		}
+	}
+	want := [][]float64{{1, 2, 3, 4}, {3, 4, 5, 6}, {5, 6, 7, 8}}
+	if len(windows) != len(want) {
+		t.Fatalf("got %d windows, want %d: %v", len(windows), len(want), windows)
+	}
+	for i := range want {
+		for j := range want[i] {
+			if windows[i][j] != want[i][j] {
+				t.Errorf("window %d = %v, want %v", i, windows[i], want[i])
+			}
+		}
+	}
+}
+
+func TestWindowerHammingTaper(t *testing.T) {
+	w, err := NewWindower(8, 8, Hamming)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var win []float64
+	for i := 0; i < 8; i++ {
+		win, _ = w.Push(1)
+	}
+	coeffs := HammingCoefficients(8)
+	for i := range coeffs {
+		if !approxEqual(win[i], coeffs[i], eps) {
+			t.Errorf("tapered[%d] = %g, want %g", i, win[i], coeffs[i])
+		}
+	}
+	// Hamming endpoints are 0.08, peak near center.
+	if !approxEqual(coeffs[0], 0.08, 1e-9) {
+		t.Errorf("Hamming[0] = %g, want 0.08", coeffs[0])
+	}
+}
+
+func TestHammingSingleCoefficient(t *testing.T) {
+	c := HammingCoefficients(1)
+	if len(c) != 1 || c[0] != 1 {
+		t.Errorf("HammingCoefficients(1) = %v, want [1]", c)
+	}
+}
+
+func TestPartition(t *testing.T) {
+	wins, err := Partition([]float64{1, 2, 3, 4, 5, 6, 7}, 2, 2, Rectangular)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wins) != 3 {
+		t.Fatalf("got %d windows, want 3 (trailing sample dropped)", len(wins))
+	}
+	if _, err := Partition(nil, 0, 1, Rectangular); err == nil {
+		t.Error("invalid size should propagate error")
+	}
+}
+
+func TestParseWindowShape(t *testing.T) {
+	for _, tc := range []struct {
+		in      string
+		want    WindowShape
+		wantErr bool
+	}{
+		{"hamming", Hamming, false},
+		{"rectangular", Rectangular, false},
+		{"rect", Rectangular, false},
+		{"", Rectangular, false},
+		{"kaiser", Rectangular, true},
+	} {
+		got, err := ParseWindowShape(tc.in)
+		if (err != nil) != tc.wantErr || got != tc.want {
+			t.Errorf("ParseWindowShape(%q) = (%v, %v)", tc.in, got, err)
+		}
+	}
+	if Hamming.String() != "hamming" || Rectangular.String() != "rectangular" {
+		t.Error("String round-trip names wrong")
+	}
+	if WindowShape(99).String() == "" {
+		t.Error("unknown shape should stringify diagnostically")
+	}
+}
+
+func TestWindowerReset(t *testing.T) {
+	w, _ := NewWindower(3, 3, Rectangular)
+	w.Push(1)
+	w.Push(2)
+	w.Reset()
+	if _, ok := w.Push(3); ok {
+		t.Error("Reset should discard partial window")
+	}
+	if w.Size() != 3 {
+		t.Errorf("Size = %d", w.Size())
+	}
+}

@@ -1,0 +1,200 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the cheap, streaming alternatives to the FFT-based
+// algorithms: biquad IIR filters and the Goertzel single-band detector.
+// They answer the paper's §3.8 question about which algorithms the
+// platform should ship: an IIR filter does per-sample what the FFT filter
+// does per block, at a handful of multiply-accumulates — cheap enough for
+// an FPU-less microcontroller, where the FFT chain is not.
+
+// Biquad is a direct-form-II-transposed second-order IIR section.
+type Biquad struct {
+	b0, b1, b2 float64
+	a1, a2     float64
+	z1, z2     float64
+}
+
+// NewLowPassBiquad returns a Butterworth-style low-pass biquad with the
+// given cutoff (Hz) at the given sampling rate.
+func NewLowPassBiquad(cutoff, sampleRate float64) (*Biquad, error) {
+	if err := checkBiquadParams(cutoff, sampleRate); err != nil {
+		return nil, err
+	}
+	w := 2 * math.Pi * cutoff / sampleRate
+	cosw, sinw := math.Cos(w), math.Sin(w)
+	const q = math.Sqrt2 / 2 // Butterworth Q
+	alpha := sinw / (2 * q)
+	a0 := 1 + alpha
+	return &Biquad{
+		b0: (1 - cosw) / 2 / a0,
+		b1: (1 - cosw) / a0,
+		b2: (1 - cosw) / 2 / a0,
+		a1: -2 * cosw / a0,
+		a2: (1 - alpha) / a0,
+	}, nil
+}
+
+// NewHighPassBiquad returns a Butterworth-style high-pass biquad.
+func NewHighPassBiquad(cutoff, sampleRate float64) (*Biquad, error) {
+	if err := checkBiquadParams(cutoff, sampleRate); err != nil {
+		return nil, err
+	}
+	w := 2 * math.Pi * cutoff / sampleRate
+	cosw, sinw := math.Cos(w), math.Sin(w)
+	const q = math.Sqrt2 / 2
+	alpha := sinw / (2 * q)
+	a0 := 1 + alpha
+	return &Biquad{
+		b0: (1 + cosw) / 2 / a0,
+		b1: -(1 + cosw) / a0,
+		b2: (1 + cosw) / 2 / a0,
+		a1: -2 * cosw / a0,
+		a2: (1 - alpha) / a0,
+	}, nil
+}
+
+func checkBiquadParams(cutoff, sampleRate float64) error {
+	if sampleRate <= 0 {
+		return fmt.Errorf("dsp: biquad sample rate must be positive, got %g", sampleRate)
+	}
+	if cutoff <= 0 || cutoff >= sampleRate/2 {
+		return fmt.Errorf("dsp: biquad cutoff %g Hz outside (0, Nyquist=%g)", cutoff, sampleRate/2)
+	}
+	return nil
+}
+
+// Push filters one sample. ok is always true: IIR filters are
+// sample-synchronous.
+func (f *Biquad) Push(x float64) (y float64, ok bool) {
+	y = f.b0*x + f.z1
+	f.z1 = f.b1*x - f.a1*y + f.z2
+	f.z2 = f.b2*x - f.a2*y
+	return y, true
+}
+
+// Reset clears the filter state.
+func (f *Biquad) Reset() { f.z1, f.z2 = 0, 0 }
+
+// Goertzel detects energy at a single target frequency over fixed-size
+// blocks using the Goertzel algorithm: per sample it costs one multiply
+// and two adds, and per block one small wrap-up — hundreds of times
+// cheaper than an FFT when only one band matters. It emits the ratio of
+// target-band amplitude to the block's RMS, a normalized "how tonal at
+// this frequency" score.
+type Goertzel struct {
+	coeff     float64
+	blockSize int
+
+	s1, s2 float64
+	energy float64
+	n      int
+}
+
+// NewGoertzel returns a detector for the target frequency (Hz) at the
+// given sampling rate, evaluated every blockSize samples.
+func NewGoertzel(freq, sampleRate float64, blockSize int) (*Goertzel, error) {
+	if sampleRate <= 0 {
+		return nil, fmt.Errorf("dsp: goertzel sample rate must be positive, got %g", sampleRate)
+	}
+	if freq <= 0 || freq >= sampleRate/2 {
+		return nil, fmt.Errorf("dsp: goertzel frequency %g Hz outside (0, Nyquist=%g)", freq, sampleRate/2)
+	}
+	if blockSize < 8 {
+		return nil, fmt.Errorf("dsp: goertzel block size must be >= 8, got %d", blockSize)
+	}
+	w := 2 * math.Pi * freq / sampleRate
+	return &Goertzel{coeff: 2 * math.Cos(w), blockSize: blockSize}, nil
+}
+
+// BlockSize returns the detector's block length.
+func (g *Goertzel) BlockSize() int { return g.blockSize }
+
+// Push processes one sample. At each block boundary it emits the
+// normalized target-band score and resets for the next block.
+func (g *Goertzel) Push(x float64) (score float64, ok bool) {
+	s0 := x + g.coeff*g.s1 - g.s2
+	g.s2 = g.s1
+	g.s1 = s0
+	g.energy += x * x
+	g.n++
+	if g.n < g.blockSize {
+		return 0, false
+	}
+	// Magnitude of the target bin.
+	power := g.s1*g.s1 + g.s2*g.s2 - g.coeff*g.s1*g.s2
+	if power < 0 {
+		power = 0
+	}
+	amp := math.Sqrt(power) * 2 / float64(g.blockSize)
+	rms := math.Sqrt(g.energy / float64(g.blockSize))
+	g.s1, g.s2, g.energy, g.n = 0, 0, 0, 0
+	if rms == 0 {
+		return 0, true
+	}
+	return amp / rms, true
+}
+
+// Reset clears all block state.
+func (g *Goertzel) Reset() { g.s1, g.s2, g.energy, g.n = 0, 0, 0, 0 }
+
+// GoertzelBank scans a frequency band with several Goertzel detectors and
+// emits the best normalized score per block: a poor man's "is there a tone
+// anywhere in [lo, hi]" feature cheap enough for the MSP430, unlike the
+// FFT chain (paper §4: the MSP430 "was unable to run the FFT-based
+// low-pass filter in real-time").
+type GoertzelBank struct {
+	dets []*Goertzel
+}
+
+// NewGoertzelBank places n detectors evenly across [lo, hi] Hz.
+func NewGoertzelBank(lo, hi, sampleRate float64, blockSize, n int) (*GoertzelBank, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dsp: goertzel bank needs at least one detector, got %d", n)
+	}
+	if lo > hi {
+		return nil, fmt.Errorf("dsp: goertzel bank lo %g > hi %g", lo, hi)
+	}
+	bank := &GoertzelBank{}
+	for i := 0; i < n; i++ {
+		f := lo
+		if n > 1 {
+			f = lo + (hi-lo)*float64(i)/float64(n-1)
+		}
+		det, err := NewGoertzel(f, sampleRate, blockSize)
+		if err != nil {
+			return nil, err
+		}
+		bank.dets = append(bank.dets, det)
+	}
+	return bank, nil
+}
+
+// Size returns the number of detectors in the bank.
+func (b *GoertzelBank) Size() int { return len(b.dets) }
+
+// Push processes one sample through every detector; at block boundaries
+// it emits the best score across the bank.
+func (b *GoertzelBank) Push(x float64) (best float64, ok bool) {
+	for _, d := range b.dets {
+		score, done := d.Push(x)
+		if done {
+			ok = true
+			if score > best {
+				best = score
+			}
+		}
+	}
+	return best, ok
+}
+
+// Reset clears every detector.
+func (b *GoertzelBank) Reset() {
+	for _, d := range b.dets {
+		d.Reset()
+	}
+}

@@ -1,0 +1,89 @@
+package dsp
+
+import "fmt"
+
+// Threshold is a streaming admission-control gate (paper §3.6 "Admission
+// Control"). It passes a value through only when the configured condition
+// holds; otherwise it produces nothing. A threshold at the end of a
+// Sidewinder pipeline therefore decides when the main processor wakes up.
+type Threshold struct {
+	min    float64
+	max    float64
+	hasMin bool
+	hasMax bool
+}
+
+// NewMinThreshold passes values >= min.
+func NewMinThreshold(min float64) *Threshold {
+	return &Threshold{min: min, hasMin: true}
+}
+
+// NewMaxThreshold passes values <= max.
+func NewMaxThreshold(max float64) *Threshold {
+	return &Threshold{max: max, hasMax: true}
+}
+
+// NewBandThreshold passes values in [min, max]. It returns an error when
+// min > max.
+func NewBandThreshold(min, max float64) (*Threshold, error) {
+	if min > max {
+		return nil, fmt.Errorf("dsp: band threshold min %g > max %g", min, max)
+	}
+	return &Threshold{min: min, max: max, hasMin: true, hasMax: true}, nil
+}
+
+// Push evaluates the gate. When the condition holds the input value is
+// returned with ok=true.
+func (t *Threshold) Push(v float64) (out float64, ok bool) {
+	if t.hasMin && v < t.min {
+		return 0, false
+	}
+	if t.hasMax && v > t.max {
+		return 0, false
+	}
+	return v, true
+}
+
+// Admits reports whether v satisfies the gate without producing output.
+func (t *Threshold) Admits(v float64) bool {
+	_, ok := t.Push(v)
+	return ok
+}
+
+// Debouncer suppresses repeated triggers: after it passes a value it stays
+// closed for holdOff further samples. It is used to model admission-control
+// stages that should fire once per event rather than once per sample.
+type Debouncer struct {
+	holdOff   int
+	remaining int
+}
+
+// NewDebouncer returns a Debouncer with the given hold-off sample count.
+func NewDebouncer(holdOff int) (*Debouncer, error) {
+	if holdOff < 0 {
+		return nil, fmt.Errorf("dsp: debouncer hold-off must be non-negative, got %d", holdOff)
+	}
+	return &Debouncer{holdOff: holdOff}, nil
+}
+
+// Push passes v through unless the debouncer is in its hold-off period.
+func (d *Debouncer) Push(v float64) (out float64, ok bool) {
+	if d.remaining > 0 {
+		d.remaining--
+		return 0, false
+	}
+	d.remaining = d.holdOff
+	return v, true
+}
+
+// Tick advances the hold-off clock for samples that did not trigger the
+// upstream condition. Call it once per suppressed upstream sample so the
+// hold-off is measured in stream time, not trigger count.
+func (d *Debouncer) Tick() {
+	if d.remaining > 0 {
+		d.remaining--
+	}
+}
+
+// Reset reopens the debouncer immediately.
+func (d *Debouncer) Reset() { d.remaining = 0 }

@@ -1,0 +1,127 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// WindowShape selects the tapering function applied by a Windower.
+type WindowShape int
+
+const (
+	// Rectangular applies no tapering.
+	Rectangular WindowShape = iota
+	// Hamming applies the Hamming taper 0.54 - 0.46*cos(2*pi*n/(N-1)).
+	Hamming
+)
+
+// String returns the lower-case name of the shape.
+func (s WindowShape) String() string {
+	switch s {
+	case Rectangular:
+		return "rectangular"
+	case Hamming:
+		return "hamming"
+	default:
+		return fmt.Sprintf("WindowShape(%d)", int(s))
+	}
+}
+
+// ParseWindowShape converts a name produced by String back into a shape.
+func ParseWindowShape(name string) (WindowShape, error) {
+	switch name {
+	case "rectangular", "rect", "":
+		return Rectangular, nil
+	case "hamming":
+		return Hamming, nil
+	default:
+		return Rectangular, fmt.Errorf("dsp: unknown window shape %q", name)
+	}
+}
+
+// HammingCoefficients returns the n Hamming taper coefficients.
+func HammingCoefficients(n int) []float64 {
+	out := make([]float64, n)
+	if n == 1 {
+		out[0] = 1
+		return out
+	}
+	for i := range out {
+		out[i] = 0.54 - 0.46*math.Cos(2*math.Pi*float64(i)/float64(n-1))
+	}
+	return out
+}
+
+// ApplyWindow multiplies x in place by the taper for the given shape and
+// returns x. Rectangular is a no-op.
+func ApplyWindow(x []float64, shape WindowShape) []float64 {
+	if shape == Hamming {
+		for i, c := range HammingCoefficients(len(x)) {
+			x[i] *= c
+		}
+	}
+	return x
+}
+
+// Windower partitions a sample stream into fixed-size windows with optional
+// overlap and tapering (paper §3.6 "Windowing"). The zero value is not
+// usable; construct with NewWindower.
+type Windower struct {
+	size   int
+	step   int
+	shape  WindowShape
+	buf    []float64
+	filled int
+}
+
+// NewWindower returns a Windower emitting windows of size samples every
+// step samples (step == size means non-overlapping). It returns an error
+// for non-positive size, non-positive step, or step > size.
+func NewWindower(size, step int, shape WindowShape) (*Windower, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("dsp: window size must be positive, got %d", size)
+	}
+	if step <= 0 || step > size {
+		return nil, fmt.Errorf("dsp: window step must be in [1, size], got %d", step)
+	}
+	return &Windower{size: size, step: step, shape: shape, buf: make([]float64, 0, size)}, nil
+}
+
+// Size returns the window length in samples.
+func (w *Windower) Size() int { return w.size }
+
+// Push adds one sample. When a full window is available it returns a fresh
+// slice with the taper applied and ok=true; otherwise ok=false.
+func (w *Windower) Push(v float64) (window []float64, ok bool) {
+	w.buf = append(w.buf, v)
+	if len(w.buf) < w.size {
+		return nil, false
+	}
+	out := make([]float64, w.size)
+	copy(out, w.buf)
+	ApplyWindow(out, w.shape)
+	// Slide by step.
+	copy(w.buf, w.buf[w.step:])
+	w.buf = w.buf[:w.size-w.step]
+	return out, true
+}
+
+// Reset discards any buffered samples.
+func (w *Windower) Reset() { w.buf = w.buf[:0] }
+
+// Partition splits x into consecutive windows of the given size and step,
+// applying the taper to each. Trailing samples that do not fill a window
+// are dropped.
+func Partition(x []float64, size, step int, shape WindowShape) ([][]float64, error) {
+	w, err := NewWindower(size, step, shape)
+	if err != nil {
+		return nil, err
+	}
+	var out [][]float64
+	for _, v := range x {
+		if win, ok := w.Push(v); ok {
+			out = append(out, win)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,200 @@
+// Package eval implements the experiment harness that regenerates every
+// table and figure of the paper's evaluation (§4-5): trace generation,
+// predefined-activity threshold calibration (§5.3), the configuration
+// matrix of §4.2, and text rendering of the resulting tables.
+package eval
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"sidewinder/internal/apps"
+	"sidewinder/internal/sensor"
+	"sidewinder/internal/sim"
+	"sidewinder/internal/tracegen"
+)
+
+// Options parameterizes a full evaluation run. Zero values take the
+// defaults matching the paper's setup.
+type Options struct {
+	// Seed drives every generator; a given seed reproduces the entire
+	// evaluation bit for bit.
+	Seed int64
+	// RobotRunDuration is the length of each of the 18 robot runs
+	// (the paper's live runs took ~1 h; simulation defaults to 30 min,
+	// which the paper's idle-fraction groups make equivalent in shape).
+	RobotRunDuration time.Duration
+	// AudioDuration is the length of each audio trace (paper: 30 min).
+	AudioDuration time.Duration
+	// HumanDuration is the length of each human trace (paper: ~2 h per
+	// subject).
+	HumanDuration time.Duration
+	// SleepIntervals are the duty-cycling/batching sleep intervals in
+	// seconds (paper: 2, 5, 10, 20, 30).
+	SleepIntervals []float64
+}
+
+// withDefaults fills unset options.
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.RobotRunDuration == 0 {
+		o.RobotRunDuration = 30 * time.Minute
+	}
+	if o.AudioDuration == 0 {
+		o.AudioDuration = 30 * time.Minute
+	}
+	if o.HumanDuration == 0 {
+		o.HumanDuration = 2 * time.Hour
+	}
+	if len(o.SleepIntervals) == 0 {
+		o.SleepIntervals = []float64{2, 5, 10, 20, 30}
+	}
+	return o
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title  string
+	Note   string
+	Header []string
+	Rows   [][]string
+}
+
+// Render returns the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	total := len(widths) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "%s\n", t.Note)
+	}
+	return b.String()
+}
+
+// Workload bundles the generated traces of one evaluation run.
+type Workload struct {
+	RobotRuns []*sensor.Trace // 18 runs, meta "group" in {1,2,3}
+	Audio     []*sensor.Trace // office, coffee shop, outdoors
+	Human     []*sensor.Trace // commute, retail, office profiles
+}
+
+// GenerateWorkload produces all traces for the options.
+func GenerateWorkload(o Options) (*Workload, error) {
+	o = o.withDefaults()
+	w := &Workload{}
+	var err error
+	if w.RobotRuns, err = tracegen.PaperRobotRuns(o.Seed, o.RobotRunDuration); err != nil {
+		return nil, err
+	}
+	for i, env := range tracegen.AudioEnvironments() {
+		tr, err := tracegen.Audio(tracegen.NewAudioConfig(o.Seed+int64(i)*101, o.AudioDuration, env))
+		if err != nil {
+			return nil, err
+		}
+		w.Audio = append(w.Audio, tr)
+	}
+	for i, prof := range tracegen.HumanProfiles() {
+		tr, err := tracegen.Human(tracegen.HumanConfig{
+			Seed:     o.Seed + int64(i)*211,
+			Duration: o.HumanDuration,
+			Profile:  prof,
+		})
+		if err != nil {
+			return nil, err
+		}
+		w.Human = append(w.Human, tr)
+	}
+	return w, nil
+}
+
+// RobotGroup returns the runs belonging to one paper group (1, 2 or 3).
+func (w *Workload) RobotGroup(group int) []*sensor.Trace {
+	var out []*sensor.Trace
+	for _, tr := range w.RobotRuns {
+		if tr.Meta["group"] == fmt.Sprintf("%d", group) {
+			out = append(out, tr)
+		}
+	}
+	return out
+}
+
+// meanPower averages total power over a set of results.
+func meanPower(results []*sim.Result) float64 {
+	if len(results) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range results {
+		sum += r.Power.TotalAvgMW
+	}
+	return sum / float64(len(results))
+}
+
+// meanRecall averages recall over a set of results.
+func meanRecall(results []*sim.Result) float64 {
+	if len(results) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range results {
+		sum += r.Recall
+	}
+	return sum / float64(len(results))
+}
+
+// meanPrecision averages precision over a set of results.
+func meanPrecision(results []*sim.Result) float64 {
+	if len(results) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range results {
+		sum += r.Precision
+	}
+	return sum / float64(len(results))
+}
+
+// runAll executes a strategy over a set of traces for one app.
+func runAll(s sim.Strategy, traces []*sensor.Trace, app *apps.App) ([]*sim.Result, error) {
+	out := make([]*sim.Result, 0, len(traces))
+	for _, tr := range traces {
+		r, err := s.Run(tr, app)
+		if err != nil {
+			return nil, fmt.Errorf("eval: %s/%s on %s: %w", s.Name(), app.Name, tr.Name, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,169 @@
+package hub
+
+import (
+	"errors"
+	"testing"
+
+	"sidewinder/internal/core"
+)
+
+func plan(t *testing.T, p *core.Pipeline) *core.Plan {
+	t.Helper()
+	pl, err := p.Validate(core.DefaultCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+func accelPlan(t *testing.T) *core.Plan {
+	p := core.NewPipeline("sig-motion")
+	for _, ch := range []core.SensorChannel{core.AccelX, core.AccelY, core.AccelZ} {
+		p.AddBranch(core.NewBranch(ch).Add(core.MovingAverage(10)))
+	}
+	p.Add(core.VectorMagnitude())
+	p.Add(core.MinThreshold(15))
+	return plan(t, p)
+}
+
+func sirenPlan(t *testing.T) *core.Plan {
+	p := core.NewPipeline("siren")
+	p.AddBranch(core.NewBranch(core.Mic).
+		Add(core.HighPass(750, 512)).
+		Add(core.FFT()).
+		Add(core.SpectralMag()).
+		Add(core.Tonality(850, 1800, core.AudioRateHz)).
+		Add(core.MinThresholdSustained(4, 3)))
+	return plan(t, p)
+}
+
+func musicPlan(t *testing.T) *core.Plan {
+	p := core.NewPipeline("music")
+	p.AddBranch(
+		core.NewBranch(core.Mic).Add(core.Window(512, 0, "")).Add(core.Stat("variance")).Add(core.MinThreshold(0.01)),
+		core.NewBranch(core.Mic).Add(core.Window(512, 0, "")).Add(core.ZCRVariance(8)).Add(core.BandThreshold(1e-4, 0.01)),
+	)
+	p.Add(core.And())
+	return plan(t, p)
+}
+
+func TestAccelConditionFitsMSP430(t *testing.T) {
+	d := MSP430()
+	pl := accelPlan(t)
+	if err := d.CheckFeasible(pl); err != nil {
+		t.Fatalf("accel condition should fit MSP430: %v (util %.4f)", err, d.Utilization(pl))
+	}
+	if u := d.Utilization(pl); u <= 0 || u > 0.01 {
+		t.Errorf("accel utilization on MSP430 = %f, want tiny but positive", u)
+	}
+}
+
+func TestSirenConditionRejectedByMSP430(t *testing.T) {
+	// Reproduces the paper's §4 observation: the MSP430 "was unable to
+	// run the FFT-based low-pass filter in real-time".
+	err := MSP430().CheckFeasible(sirenPlan(t))
+	if !errors.Is(err, ErrNotRealTime) {
+		t.Fatalf("expected ErrNotRealTime, got %v", err)
+	}
+}
+
+func TestSirenConditionFitsLM4F120(t *testing.T) {
+	d := LM4F120()
+	pl := sirenPlan(t)
+	if err := d.CheckFeasible(pl); err != nil {
+		t.Fatalf("siren condition should fit LM4F120: %v (util %.4f)", err, d.Utilization(pl))
+	}
+}
+
+func TestMusicConditionFitsMSP430(t *testing.T) {
+	// Table 2 attributes the MSP430's power to music and phrase
+	// detection: their windowed time-domain features avoid the FFT.
+	d := MSP430()
+	pl := musicPlan(t)
+	if err := d.CheckFeasible(pl); err != nil {
+		t.Fatalf("music condition should fit MSP430: %v (util %.4f, mem %d)",
+			err, d.Utilization(pl), pl.TotalMemory())
+	}
+}
+
+func TestSelectDevicePicksLowestPowerFeasible(t *testing.T) {
+	d, err := SelectDevice(Devices(), accelPlan(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "MSP430" {
+		t.Errorf("accel condition placed on %s, want MSP430", d.Name)
+	}
+	d, err = SelectDevice(Devices(), sirenPlan(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "LM4F120" {
+		t.Errorf("siren condition placed on %s, want LM4F120", d.Name)
+	}
+}
+
+func TestSelectDeviceConcurrentConditions(t *testing.T) {
+	// Multiple accel conditions still fit the MSP430 together.
+	a, b := accelPlan(t), accelPlan(t)
+	d, err := SelectDevice(Devices(), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "MSP430" {
+		t.Errorf("two accel conditions placed on %s, want MSP430", d.Name)
+	}
+	// Adding the siren forces the upgrade.
+	d, err = SelectDevice(Devices(), a, sirenPlan(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "LM4F120" {
+		t.Errorf("accel+siren placed on %s, want LM4F120", d.Name)
+	}
+}
+
+func TestSelectDeviceErrors(t *testing.T) {
+	if _, err := SelectDevice(Devices()); err == nil {
+		t.Error("no plans should fail")
+	}
+	if _, err := SelectDevice(nil, accelPlan(t)); err == nil {
+		t.Error("no candidates should fail")
+	}
+	// A plan too big for everything.
+	big := plan(t, core.NewPipeline("big").AddBranch(
+		core.NewBranch(core.Mic).Add(core.Window(1<<18, 0, "")).Add(core.Stat("median")).Add(core.MinThreshold(0))))
+	_, err := SelectDevice(Devices(), big)
+	if err == nil {
+		t.Fatal("giant plan should not place anywhere")
+	}
+}
+
+func TestOutOfMemoryDetected(t *testing.T) {
+	big := plan(t, core.NewPipeline("big").AddBranch(
+		core.NewBranch(core.AccelX).Add(core.Window(1<<14, 0, "")).Add(core.Stat("mean")).Add(core.MinThreshold(0))))
+	err := MSP430().CheckFeasible(big)
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("expected ErrOutOfMemory, got %v", err)
+	}
+}
+
+func TestDevicePowerOrdering(t *testing.T) {
+	devs := Devices()
+	for i := 1; i < len(devs); i++ {
+		if devs[i-1].ActivePowerMW >= devs[i].ActivePowerMW {
+			t.Errorf("device ladder not in increasing power order: %s >= %s",
+				devs[i-1].Name, devs[i].Name)
+		}
+	}
+	if MSP430().ActivePowerMW != 3.6 || LM4F120().ActivePowerMW != 49.4 {
+		t.Error("paper power constants wrong")
+	}
+}
+
+func TestUtilizationZeroClock(t *testing.T) {
+	d := Device{}
+	if d.Utilization(accelPlan(t)) != 0 {
+		t.Error("zero-clock device should report zero utilization")
+	}
+}

@@ -1,0 +1,155 @@
+// Package interp implements the sensor-hub runtime (paper §3.5): an
+// interpreter that executes a bound wake-up condition over streaming sensor
+// data. It mirrors the paper's C implementation: every algorithm instance
+// owns a per-instance data structure, the interpreter feeds incoming sensor
+// samples to the appropriate instances, and an instance that produces a
+// result sets a hasResult flag that forwards the value to the next
+// instance. A value reaching OUT signals that the main processor should be
+// woken up.
+//
+// The interpreter also meters the work it performs (in the abstract
+// float/int operation units of the catalog cost model) so device models can
+// translate executed work into energy and real-time feasibility.
+package interp
+
+import (
+	"fmt"
+
+	"sidewinder/internal/core"
+)
+
+// Value is one emission flowing over a pipeline edge: a scalar or a vector
+// block, tagged with the emitting node's sequence number. Sequence numbers
+// let aggregation algorithms synchronize branches without timestamps.
+type Value struct {
+	Seq    int64
+	Scalar float64
+	Vector []float64 // nil for scalar edges
+}
+
+// IsVector reports whether the value carries a block.
+func (v Value) IsVector() bool { return v.Vector != nil }
+
+// WakeEvent is delivered when the wake-up condition is satisfied: the final
+// admission-control stage emitted a value to OUT (paper §3.3).
+type WakeEvent struct {
+	// NodeID is the plan node that fed OUT.
+	NodeID int
+	// Value is the admitted scalar.
+	Value float64
+	// Seq is the emission sequence number of the final node.
+	Seq int64
+}
+
+// instance is one running algorithm. Push consumes an input on the given
+// port and reports the produced value, if any (the hasResult flag of the
+// paper's runtime). The instance sets the output's Seq: sample-synchronous
+// and conditional algorithms preserve the input sequence (so aggregators
+// downstream can join branches emission-for-emission), while re-blocking
+// algorithms (windowing, block filters) start a fresh sequence domain.
+type instance interface {
+	Push(port int, v Value) (Value, bool)
+	Reset()
+}
+
+// target routes an emission to one input port of a downstream node.
+type target struct {
+	node int // index into Machine.nodes
+	port int
+}
+
+// Machine executes one bound wake-up condition.
+type Machine struct {
+	plan    *core.Plan
+	nodes   []instance
+	byChan  map[core.SensorChannel][]target
+	byNode  [][]target // fan-out per node index
+	outNode int        // index of the node feeding OUT
+	work    core.CostEstimate
+	wakes   []WakeEvent
+	chanSeq map[core.SensorChannel]int64
+}
+
+// New builds a machine for the plan. The plan must come from
+// core.Pipeline.Validate or ir.Bind; New trusts its structural invariants
+// but still fails cleanly on an algorithm kind it cannot instantiate.
+func New(plan *core.Plan) (*Machine, error) {
+	m := &Machine{
+		plan:    plan,
+		nodes:   make([]instance, len(plan.Nodes)),
+		byChan:  make(map[core.SensorChannel][]target),
+		byNode:  make([][]target, len(plan.Nodes)),
+		outNode: plan.OutputNode() - 1,
+		chanSeq: make(map[core.SensorChannel]int64),
+	}
+	for i := range plan.Nodes {
+		n := &plan.Nodes[i]
+		inst, err := newInstance(n)
+		if err != nil {
+			return nil, fmt.Errorf("interp: node %d (%s): %w", n.ID, n.Kind, err)
+		}
+		m.nodes[i] = inst
+		for port, ref := range n.Inputs {
+			tg := target{node: i, port: port}
+			if ref.FromChannel() {
+				m.byChan[ref.Channel] = append(m.byChan[ref.Channel], tg)
+			} else {
+				m.byNode[ref.Node-1] = append(m.byNode[ref.Node-1], tg)
+			}
+		}
+	}
+	return m, nil
+}
+
+// Plan returns the machine's bound plan.
+func (m *Machine) Plan() *core.Plan { return m.plan }
+
+// Channels returns the sensor channels the machine consumes.
+func (m *Machine) Channels() []core.SensorChannel { return m.plan.Channels }
+
+// PushSample feeds one raw sensor sample into the condition and returns
+// any wake events it produced.
+func (m *Machine) PushSample(ch core.SensorChannel, sample float64) []WakeEvent {
+	m.wakes = m.wakes[:0]
+	seq := m.chanSeq[ch]
+	m.chanSeq[ch] = seq + 1
+	v := Value{Seq: seq, Scalar: sample}
+	for _, tg := range m.byChan[ch] {
+		m.deliver(tg, v)
+	}
+	return m.wakes
+}
+
+// deliver pushes a value into one node port and propagates any emission.
+func (m *Machine) deliver(tg target, v Value) {
+	node := &m.plan.Nodes[tg.node]
+	m.work = m.work.Add(node.Cost)
+	out, ok := m.nodes[tg.node].Push(tg.port, v)
+	if !ok {
+		return
+	}
+	if tg.node == m.outNode {
+		m.wakes = append(m.wakes, WakeEvent{NodeID: node.ID, Value: out.Scalar, Seq: out.Seq})
+	}
+	for _, next := range m.byNode[tg.node] {
+		m.deliver(next, out)
+	}
+}
+
+// Work returns the cumulative work executed since construction or the last
+// ResetWork, in catalog cost units.
+func (m *Machine) Work() core.CostEstimate { return m.work }
+
+// ResetWork zeroes the work meter.
+func (m *Machine) ResetWork() { m.work = core.CostEstimate{} }
+
+// Reset restores every algorithm instance to its initial state and clears
+// sequence counters; the work meter is left untouched.
+func (m *Machine) Reset() {
+	for _, inst := range m.nodes {
+		inst.Reset()
+	}
+	for ch := range m.chanSeq {
+		delete(m.chanSeq, ch)
+	}
+}

@@ -1,0 +1,203 @@
+package interp
+
+import (
+	"fmt"
+	"sort"
+
+	"sidewinder/internal/core"
+)
+
+// This file implements the paper's §7 future-work extension: "When
+// receiving multiple wake-up conditions, the sensor manager can attempt to
+// improve performance by combining the pipelines that use common
+// algorithms." A Merged machine executes several bound plans as one
+// data-flow graph in which structurally identical nodes — same algorithm,
+// same parameters, same (recursively identical) inputs — run once and fan
+// out to every consumer. Two applications windowing the microphone the
+// same way share one windower; their divergent feature branches split
+// after it.
+
+// TaggedWake is a wake event attributed to one of the merged plans.
+type TaggedWake struct {
+	// Plan is the index into the plan list passed to NewMerged.
+	Plan int
+	WakeEvent
+}
+
+// mergedNode is one deduplicated algorithm instance.
+type mergedNode struct {
+	inst instance
+	cost core.CostEstimate
+	// outPlans lists the plans for which this node feeds OUT.
+	outPlans []int
+	// planID is the node's ID within its first contributing plan, kept
+	// for diagnostics in wake events.
+	planID int
+	// fanout routes emissions to downstream merged nodes.
+	fanout []target
+}
+
+// Merged executes a set of plans with common-prefix sharing.
+type Merged struct {
+	plans   []*core.Plan
+	nodes   []mergedNode
+	byChan  map[core.SensorChannel][]target
+	chanSeq map[core.SensorChannel]int64
+	work    core.CostEstimate
+	wakes   []TaggedWake
+	// sharedOps is the per-second work eliminated by sharing, for
+	// reporting.
+	sharedNodes int
+}
+
+// signature returns the canonical identity of a plan node: algorithm,
+// normalized parameters, and input identities. Nodes with equal signatures
+// compute identical values on identical sensor input.
+func signature(plan *core.Plan, id int, memo map[int]string) string {
+	if s, ok := memo[id]; ok {
+		return s
+	}
+	n := plan.Node(id)
+	sig := core.Stage{Kind: n.Kind, Params: n.Params}.String() + "("
+	for _, in := range n.Inputs {
+		if in.FromChannel() {
+			sig += string(in.Channel) + ";"
+		} else {
+			sig += signature(plan, in.Node, memo) + ";"
+		}
+	}
+	sig += ")"
+	memo[id] = sig
+	return sig
+}
+
+// NewMerged builds a merged machine over the plans. Plans must each come
+// from core validation or IR binding.
+func NewMerged(plans ...*core.Plan) (*Merged, error) {
+	if len(plans) == 0 {
+		return nil, fmt.Errorf("interp: merged machine needs at least one plan")
+	}
+	m := &Merged{
+		plans:   plans,
+		byChan:  make(map[core.SensorChannel][]target),
+		chanSeq: make(map[core.SensorChannel]int64),
+	}
+	bySig := make(map[string]int) // signature -> merged node index
+
+	for pi, plan := range plans {
+		memo := make(map[int]string, len(plan.Nodes))
+		// localIdx maps the plan's node IDs to merged indices.
+		localIdx := make(map[int]int, len(plan.Nodes))
+		for i := range plan.Nodes {
+			n := &plan.Nodes[i]
+			sig := signature(plan, n.ID, memo)
+			idx, shared := bySig[sig]
+			if !shared {
+				inst, err := newInstance(n)
+				if err != nil {
+					return nil, fmt.Errorf("interp: plan %d node %d (%s): %w", pi, n.ID, n.Kind, err)
+				}
+				idx = len(m.nodes)
+				m.nodes = append(m.nodes, mergedNode{inst: inst, cost: n.Cost, planID: n.ID})
+				bySig[sig] = idx
+				// Wire inputs: they are already merged (topological
+				// order within the plan guarantees presence).
+				for port, ref := range n.Inputs {
+					tg := target{node: idx, port: port}
+					if ref.FromChannel() {
+						m.byChan[ref.Channel] = append(m.byChan[ref.Channel], tg)
+					} else {
+						up := localIdx[ref.Node]
+						m.nodes[up].fanout = append(m.nodes[up].fanout, tg)
+					}
+				}
+			} else {
+				m.sharedNodes++
+			}
+			localIdx[n.ID] = idx
+		}
+		outIdx := localIdx[plan.OutputNode()]
+		m.nodes[outIdx].outPlans = append(m.nodes[outIdx].outPlans, pi)
+	}
+	return m, nil
+}
+
+// SharedNodes reports how many plan nodes were deduplicated away.
+func (m *Merged) SharedNodes() int { return m.sharedNodes }
+
+// NodeCount reports the number of live merged nodes.
+func (m *Merged) NodeCount() int { return len(m.nodes) }
+
+// Plans returns the merged plan set.
+func (m *Merged) Plans() []*core.Plan { return m.plans }
+
+// PushSample feeds one raw sensor sample and returns the tagged wake
+// events it produced, ordered by plan index.
+func (m *Merged) PushSample(ch core.SensorChannel, sample float64) []TaggedWake {
+	m.wakes = m.wakes[:0]
+	seq := m.chanSeq[ch]
+	m.chanSeq[ch] = seq + 1
+	v := Value{Seq: seq, Scalar: sample}
+	for _, tg := range m.byChan[ch] {
+		m.deliver(tg, v)
+	}
+	sort.Slice(m.wakes, func(i, j int) bool { return m.wakes[i].Plan < m.wakes[j].Plan })
+	return m.wakes
+}
+
+func (m *Merged) deliver(tg target, v Value) {
+	node := &m.nodes[tg.node]
+	m.work = m.work.Add(node.cost)
+	out, ok := node.inst.Push(tg.port, v)
+	if !ok {
+		return
+	}
+	for _, pi := range node.outPlans {
+		m.wakes = append(m.wakes, TaggedWake{
+			Plan:      pi,
+			WakeEvent: WakeEvent{NodeID: node.planID, Value: out.Scalar, Seq: out.Seq},
+		})
+	}
+	for _, next := range node.fanout {
+		m.deliver(next, out)
+	}
+}
+
+// Work returns the cumulative executed work across all merged plans.
+func (m *Merged) Work() core.CostEstimate { return m.work }
+
+// ResetWork zeroes the work meter.
+func (m *Merged) ResetWork() { m.work = core.CostEstimate{} }
+
+// Reset restores every instance and sequence counter.
+func (m *Merged) Reset() {
+	for i := range m.nodes {
+		m.nodes[i].inst.Reset()
+	}
+	for ch := range m.chanSeq {
+		delete(m.chanSeq, ch)
+	}
+}
+
+// MergedDemand statically computes the deduplicated resource demand of a
+// plan set: operations per second and instance memory after prefix
+// sharing. The hub uses it to place condition sets more tightly than the
+// per-plan sums allow.
+func MergedDemand(plans ...*core.Plan) (floatOpsPerSec, intOpsPerSec float64, memoryBytes int) {
+	seen := make(map[string]bool)
+	for _, plan := range plans {
+		memo := make(map[int]string, len(plan.Nodes))
+		for i := range plan.Nodes {
+			n := &plan.Nodes[i]
+			sig := signature(plan, n.ID, memo)
+			if seen[sig] {
+				continue
+			}
+			seen[sig] = true
+			floatOpsPerSec += n.Cost.FloatOps * n.Rate
+			intOpsPerSec += n.Cost.IntOps * n.Rate
+			memoryBytes += n.Memory
+		}
+	}
+	return floatOpsPerSec, intOpsPerSec, memoryBytes
+}

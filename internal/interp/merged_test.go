@@ -1,0 +1,210 @@
+package interp
+
+import (
+	"testing"
+
+	"sidewinder/internal/core"
+)
+
+// twoWindowPlans builds two pipelines sharing an identical window stage
+// over MIC but diverging in features.
+func twoWindowPlans(t *testing.T) (*core.Plan, *core.Plan) {
+	t.Helper()
+	cat := core.DefaultCatalog()
+	a := core.NewPipeline("a")
+	a.AddBranch(core.NewBranch(core.Mic).
+		Add(core.Window(4, 0, "")).
+		Add(core.Stat("mean")).
+		Add(core.MinThreshold(1)))
+	b := core.NewPipeline("b")
+	b.AddBranch(core.NewBranch(core.Mic).
+		Add(core.Window(4, 0, "")).
+		Add(core.Stat("range")).
+		Add(core.MinThreshold(2)))
+	pa, err := a.Validate(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := b.Validate(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pa, pb
+}
+
+func TestMergedSharesCommonPrefix(t *testing.T) {
+	pa, pb := twoWindowPlans(t)
+	m, err := NewMerged(pa, pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 + 3 plan nodes, window shared once -> 5 live nodes.
+	if m.NodeCount() != 5 {
+		t.Errorf("NodeCount = %d, want 5", m.NodeCount())
+	}
+	if m.SharedNodes() != 1 {
+		t.Errorf("SharedNodes = %d, want 1", m.SharedNodes())
+	}
+	if len(m.Plans()) != 2 {
+		t.Errorf("Plans = %d", len(m.Plans()))
+	}
+}
+
+func TestMergedMatchesSeparateMachines(t *testing.T) {
+	pa, pb := twoWindowPlans(t)
+	merged, err := NewMerged(pa, pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma, err := New(pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := New(pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed identical data; merged wakes must equal the union of the
+	// separate machines' wakes, tagged correctly.
+	inputs := []float64{0, 0, 0, 0, 2, 2, 2, 2, -1, 3, 1, 0, 5, 5, 5, 5}
+	for _, v := range inputs {
+		var wantA, wantB int
+		wantA = len(ma.PushSample(core.Mic, v))
+		wantB = len(mb.PushSample(core.Mic, v))
+		var gotA, gotB int
+		for _, w := range merged.PushSample(core.Mic, v) {
+			switch w.Plan {
+			case 0:
+				gotA++
+			case 1:
+				gotB++
+			default:
+				t.Fatalf("unexpected plan tag %d", w.Plan)
+			}
+		}
+		if gotA != wantA || gotB != wantB {
+			t.Fatalf("sample %g: merged wakes (%d,%d), separate (%d,%d)", v, gotA, gotB, wantA, wantB)
+		}
+	}
+}
+
+func TestMergedWorkLessThanSeparate(t *testing.T) {
+	pa, pb := twoWindowPlans(t)
+	merged, _ := NewMerged(pa, pb)
+	ma, _ := New(pa)
+	mb, _ := New(pb)
+	for i := 0; i < 400; i++ {
+		v := float64(i % 9)
+		merged.PushSample(core.Mic, v)
+		ma.PushSample(core.Mic, v)
+		mb.PushSample(core.Mic, v)
+	}
+	separate := ma.Work().Add(mb.Work())
+	shared := merged.Work()
+	if shared.IntOps >= separate.IntOps {
+		t.Errorf("merged int work %.0f should be below separate %.0f", shared.IntOps, separate.IntOps)
+	}
+}
+
+func TestMergedIdenticalPlansFullSharing(t *testing.T) {
+	pa, _ := twoWindowPlans(t)
+	pa2, _ := twoWindowPlans(t)
+	m, err := NewMerged(pa, pa2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fully identical plans: every node shared, one OUT node tagged for
+	// both plans.
+	if m.NodeCount() != 3 {
+		t.Errorf("NodeCount = %d, want 3", m.NodeCount())
+	}
+	if m.SharedNodes() != 3 {
+		t.Errorf("SharedNodes = %d, want 3", m.SharedNodes())
+	}
+	fired := 0
+	for _, v := range []float64{3, 3, 3, 3} {
+		for _, w := range m.PushSample(core.Mic, v) {
+			fired++
+			_ = w
+		}
+	}
+	if fired != 2 {
+		t.Errorf("identical plans should both fire: %d wakes, want 2", fired)
+	}
+}
+
+func TestMergedDemandDeduplicates(t *testing.T) {
+	pa, pb := twoWindowPlans(t)
+	fBoth, iBoth, memBoth := MergedDemand(pa, pb)
+	fA, iA, memA := MergedDemand(pa)
+	fB, iB, memB := MergedDemand(pb)
+	if fBoth >= fA+fB && iBoth >= iA+iB {
+		t.Errorf("merged demand (%.1f, %.1f) not below sum (%.1f, %.1f)", fBoth, iBoth, fA+fB, iA+iB)
+	}
+	if memBoth >= memA+memB {
+		t.Errorf("merged memory %d not below sum %d", memBoth, memA+memB)
+	}
+	// And never below the larger single plan.
+	if memBoth < memA || memBoth < memB {
+		t.Errorf("merged memory %d below a single plan (%d, %d)", memBoth, memA, memB)
+	}
+}
+
+func TestMergedResetAndWorkMeter(t *testing.T) {
+	pa, pb := twoWindowPlans(t)
+	m, _ := NewMerged(pa, pb)
+	for i := 0; i < 8; i++ {
+		m.PushSample(core.Mic, 3)
+	}
+	if w := m.Work(); w.IntOps == 0 && w.FloatOps == 0 {
+		t.Error("work meter did not accumulate")
+	}
+	m.ResetWork()
+	if w := m.Work(); w.IntOps != 0 || w.FloatOps != 0 {
+		t.Error("ResetWork failed")
+	}
+	m.Reset()
+	// After reset the shared window must refill: 3 samples produce no
+	// wake even though values are high.
+	n := 0
+	for i := 0; i < 3; i++ {
+		n += len(m.PushSample(core.Mic, 9))
+	}
+	if n != 0 {
+		t.Errorf("state survived Reset: %d wakes", n)
+	}
+}
+
+func TestMergedValidation(t *testing.T) {
+	if _, err := NewMerged(); err == nil {
+		t.Error("empty plan set should fail")
+	}
+}
+
+func TestMergedDistinctParamsNotShared(t *testing.T) {
+	cat := core.DefaultCatalog()
+	a := core.NewPipeline("a")
+	a.AddBranch(core.NewBranch(core.Mic).Add(core.Window(4, 0, "")).Add(core.Stat("mean")).Add(core.MinThreshold(1)))
+	b := core.NewPipeline("b")
+	b.AddBranch(core.NewBranch(core.Mic).Add(core.Window(8, 0, "")).Add(core.Stat("mean")).Add(core.MinThreshold(1)))
+	pa, err := a.Validate(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := b.Validate(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMerged(pa, pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different window sizes: nothing shared; stat/threshold differ
+	// because their inputs differ.
+	if m.SharedNodes() != 0 {
+		t.Errorf("SharedNodes = %d, want 0", m.SharedNodes())
+	}
+	if m.NodeCount() != 6 {
+		t.Errorf("NodeCount = %d, want 6", m.NodeCount())
+	}
+}

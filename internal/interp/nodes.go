@@ -1,0 +1,513 @@
+package interp
+
+import (
+	"fmt"
+	"math"
+
+	"sidewinder/internal/core"
+	"sidewinder/internal/dsp"
+)
+
+// newInstance constructs the runtime state for one plan node, mirroring the
+// paper's per-algorithm data structures (§3.6): the runtime "allocates
+// memory for each algorithm in the configuration".
+func newInstance(n *core.PlanNode) (instance, error) {
+	p := n.Params
+	switch n.Kind {
+	case core.KindWindow:
+		size := p.Int("size")
+		step := p.Int("step")
+		if step == 0 {
+			step = size
+		}
+		shape, err := dsp.ParseWindowShape(p.Str("shape"))
+		if err != nil {
+			return nil, err
+		}
+		w, err := dsp.NewWindower(size, step, shape)
+		if err != nil {
+			return nil, err
+		}
+		return &windowInst{w: w}, nil
+
+	case core.KindFFT:
+		return &fftInst{}, nil
+	case core.KindIFFT:
+		return &ifftInst{}, nil
+	case core.KindSpectralMag:
+		return &spectralMagInst{}, nil
+
+	case core.KindMovingAvg:
+		ma, err := dsp.NewMovingAverager(p.Int("size"))
+		if err != nil {
+			return nil, err
+		}
+		return &scalarFilterInst{f: ma}, nil
+	case core.KindEMA:
+		ema, err := dsp.NewEMA(p.Float("alpha"))
+		if err != nil {
+			return nil, err
+		}
+		return &scalarFilterInst{f: ema}, nil
+
+	case core.KindIIRLowPass, core.KindIIRHighPass:
+		var bq *dsp.Biquad
+		var err error
+		if n.Kind == core.KindIIRLowPass {
+			bq, err = dsp.NewLowPassBiquad(p.Float("cutoff"), p.Float("rate"))
+		} else {
+			bq, err = dsp.NewHighPassBiquad(p.Float("cutoff"), p.Float("rate"))
+		}
+		if err != nil {
+			return nil, err
+		}
+		return &scalarFilterInst{f: bq}, nil
+
+	case core.KindGoertzelBank:
+		bank, err := dsp.NewGoertzelBank(
+			p.Float("bandLow"), p.Float("bandHigh"), p.Float("rate"),
+			p.Int("block"), p.Int("detectors"))
+		if err != nil {
+			return nil, err
+		}
+		return &goertzelInst{bank: bank}, nil
+
+	case core.KindLowPass, core.KindHighPass:
+		kind := dsp.LowPass
+		if n.Kind == core.KindHighPass {
+			kind = dsp.HighPass
+		}
+		rate := n.Rate // per-sample invocation rate equals the input sample rate
+		bf, err := dsp.NewBlockFilter(kind, p.Float("cutoff"), rate, p.Int("block"))
+		if err != nil {
+			return nil, err
+		}
+		return &blockFilterInst{f: bf}, nil
+
+	case core.KindVectorMagnitude:
+		return newJoinInst(len(n.Inputs), func(vals []float64) (float64, bool) {
+			return dsp.VectorMagnitude(vals...), true
+		}), nil
+	case core.KindRatio:
+		return newJoinInst(len(n.Inputs), func(vals []float64) (float64, bool) {
+			if vals[1] == 0 {
+				return 0, false
+			}
+			return vals[0] / vals[1], true
+		}), nil
+	case core.KindAnd:
+		return newJoinInst(len(n.Inputs), func(vals []float64) (float64, bool) {
+			return dsp.Min(vals), true
+		}), nil
+
+	case core.KindZCR:
+		return vectorFeatureInst(func(win []float64) (float64, bool) {
+			return dsp.ZeroCrossingRate(win), true
+		}), nil
+	case core.KindZCRVariance:
+		k := p.Int("subwindows")
+		return vectorFeatureInst(func(win []float64) (float64, bool) {
+			return zcrVariance(win, k)
+		}), nil
+	case core.KindStat:
+		fn, err := statFunc(p.Str("op"))
+		if err != nil {
+			return nil, err
+		}
+		return vectorFeatureInst(func(win []float64) (float64, bool) {
+			return fn(win), true
+		}), nil
+	case core.KindDominantFreq:
+		return vectorFeatureInst(func(mags []float64) (float64, bool) {
+			return dominantMag(mags), true
+		}), nil
+	case core.KindTonality:
+		lo, hi, rate := p.Float("bandLow"), p.Float("bandHigh"), p.Float("rate")
+		return vectorFeatureInst(func(mags []float64) (float64, bool) {
+			return tonality(mags, lo, hi, rate), true
+		}), nil
+
+	case core.KindDelta:
+		return &deltaInst{}, nil
+	case core.KindAbs:
+		return &absInst{}, nil
+
+	case core.KindMinThreshold:
+		return &thresholdInst{gate: dsp.NewMinThreshold(p.Float("min")), sustain: p.Int("sustain")}, nil
+	case core.KindMaxThreshold:
+		return &thresholdInst{gate: dsp.NewMaxThreshold(p.Float("max")), sustain: p.Int("sustain")}, nil
+	case core.KindBandThreshold:
+		gate, err := dsp.NewBandThreshold(p.Float("min"), p.Float("max"))
+		if err != nil {
+			return nil, err
+		}
+		return &thresholdInst{gate: gate, sustain: p.Int("sustain")}, nil
+	}
+	return nil, fmt.Errorf("no runtime implementation for algorithm %q", n.Kind)
+}
+
+// --- windowing -----------------------------------------------------------
+
+type windowInst struct {
+	w   *dsp.Windower
+	seq int64
+}
+
+func (i *windowInst) Push(_ int, v Value) (Value, bool) {
+	win, ok := i.w.Push(v.Scalar)
+	if !ok {
+		return Value{}, false
+	}
+	out := Value{Seq: i.seq, Vector: win}
+	i.seq++
+	return out, true
+}
+
+func (i *windowInst) Reset() { i.w.Reset(); i.seq = 0 }
+
+// --- transforms ----------------------------------------------------------
+
+type fftInst struct{}
+
+func (fftInst) Push(_ int, v Value) (Value, bool) {
+	spec, err := dsp.FFTReal(v.Vector)
+	if err != nil || spec == nil {
+		return Value{}, false
+	}
+	out := make([]float64, 2*len(spec))
+	for k, c := range spec {
+		out[2*k] = real(c)
+		out[2*k+1] = imag(c)
+	}
+	return Value{Seq: v.Seq, Vector: out}, true
+}
+
+func (fftInst) Reset() {}
+
+type ifftInst struct{}
+
+func (ifftInst) Push(_ int, v Value) (Value, bool) {
+	n := len(v.Vector) / 2
+	if n == 0 || !dsp.IsPowerOfTwo(n) {
+		return Value{}, false
+	}
+	buf := make([]complex128, n)
+	for k := range buf {
+		buf[k] = complex(v.Vector[2*k], v.Vector[2*k+1])
+	}
+	if err := dsp.IFFT(buf); err != nil {
+		return Value{}, false
+	}
+	out := make([]float64, n)
+	for k, c := range buf {
+		out[k] = real(c)
+	}
+	return Value{Seq: v.Seq, Vector: out}, true
+}
+
+func (ifftInst) Reset() {}
+
+type spectralMagInst struct{}
+
+func (spectralMagInst) Push(_ int, v Value) (Value, bool) {
+	n := len(v.Vector) / 2
+	out := make([]float64, n)
+	for k := 0; k < n; k++ {
+		out[k] = math.Hypot(v.Vector[2*k], v.Vector[2*k+1])
+	}
+	return Value{Seq: v.Seq, Vector: out}, true
+}
+
+func (spectralMagInst) Reset() {}
+
+// --- scalar filters ------------------------------------------------------
+
+// scalarFilter is the common shape of dsp.MovingAverager and dsp.EMA.
+type scalarFilter interface {
+	Push(float64) (float64, bool)
+	Reset()
+}
+
+type scalarFilterInst struct{ f scalarFilter }
+
+func (i *scalarFilterInst) Push(_ int, v Value) (Value, bool) {
+	out, ok := i.f.Push(v.Scalar)
+	if !ok {
+		return Value{}, false
+	}
+	return Value{Seq: v.Seq, Scalar: out}, true
+}
+
+func (i *scalarFilterInst) Reset() { i.f.Reset() }
+
+type blockFilterInst struct {
+	f   *dsp.BlockFilter
+	seq int64
+}
+
+func (i *blockFilterInst) Push(_ int, v Value) (Value, bool) {
+	block, ok := i.f.Push(v.Scalar)
+	if !ok {
+		return Value{}, false
+	}
+	out := Value{Seq: i.seq, Vector: block}
+	i.seq++
+	return out, true
+}
+
+func (i *blockFilterInst) Reset() { i.f.Reset(); i.seq = 0 }
+
+// goertzelInst adapts the Goertzel bank: block-emitting, so it opens a
+// fresh sequence domain like windowing does.
+type goertzelInst struct {
+	bank *dsp.GoertzelBank
+	seq  int64
+}
+
+func (i *goertzelInst) Push(_ int, v Value) (Value, bool) {
+	score, ok := i.bank.Push(v.Scalar)
+	if !ok {
+		return Value{}, false
+	}
+	out := Value{Seq: i.seq, Scalar: score}
+	i.seq++
+	return out, true
+}
+
+func (i *goertzelInst) Reset() { i.bank.Reset(); i.seq = 0 }
+
+// --- vector features -----------------------------------------------------
+
+// featureFn reduces one window/spectrum to a scalar feature.
+type featureFn func([]float64) (float64, bool)
+
+type featureInst struct{ fn featureFn }
+
+func vectorFeatureInst(fn featureFn) instance { return &featureInst{fn: fn} }
+
+func (i *featureInst) Push(_ int, v Value) (Value, bool) {
+	out, ok := i.fn(v.Vector)
+	if !ok {
+		return Value{}, false
+	}
+	return Value{Seq: v.Seq, Scalar: out}, true
+}
+
+func (i *featureInst) Reset() {}
+
+// statFunc maps a stat op name to its implementation.
+func statFunc(op string) (func([]float64) float64, error) {
+	switch op {
+	case "mean":
+		return dsp.Mean, nil
+	case "variance":
+		return dsp.Variance, nil
+	case "stddev":
+		return dsp.StdDev, nil
+	case "min":
+		return dsp.Min, nil
+	case "max":
+		return dsp.Max, nil
+	case "range":
+		return dsp.Range, nil
+	case "rms":
+		return dsp.RMS, nil
+	case "median":
+		return dsp.Median, nil
+	case "meanAbs":
+		return dsp.MeanAbs, nil
+	case "energy":
+		return dsp.Energy, nil
+	}
+	return nil, fmt.Errorf("unknown stat op %q", op)
+}
+
+// zcrVariance splits win into k equal sub-windows and returns the variance
+// of their zero-crossing rates (paper §3.7.2, Music Journal).
+func zcrVariance(win []float64, k int) (float64, bool) {
+	if k < 2 || len(win) < k {
+		return 0, false
+	}
+	sub := len(win) / k
+	rates := make([]float64, k)
+	for i := 0; i < k; i++ {
+		rates[i] = dsp.ZeroCrossingRate(win[i*sub : (i+1)*sub])
+	}
+	return dsp.Variance(rates), true
+}
+
+// dominantMag returns the largest non-DC magnitude in the first half of a
+// magnitude spectrum.
+func dominantMag(mags []float64) float64 {
+	best := 0.0
+	for k := 1; k <= len(mags)/2; k++ {
+		if mags[k] > best {
+			best = mags[k]
+		}
+	}
+	return best
+}
+
+// tonality returns the peak-to-mean ratio of the non-DC spectrum when the
+// dominant bin's frequency falls inside [lo, hi] Hz, and 0 otherwise.
+func tonality(mags []float64, lo, hi, rate float64) float64 {
+	n := len(mags)
+	if n < 4 {
+		return 0
+	}
+	best, bestK := 0.0, 0
+	var sum float64
+	for k := 1; k <= n/2; k++ {
+		sum += mags[k]
+		if mags[k] > best {
+			best, bestK = mags[k], k
+		}
+	}
+	mean := sum / float64(n/2)
+	if mean == 0 || bestK == 0 {
+		return 0
+	}
+	freq := dsp.BinFrequency(bestK, n, rate)
+	if freq < lo || freq > hi {
+		return 0
+	}
+	return best / mean
+}
+
+// --- glue ----------------------------------------------------------------
+
+type deltaInst struct {
+	prev   float64
+	primed bool
+}
+
+func (i *deltaInst) Push(_ int, v Value) (Value, bool) {
+	if !i.primed {
+		i.prev, i.primed = v.Scalar, true
+		return Value{}, false
+	}
+	d := v.Scalar - i.prev
+	i.prev = v.Scalar
+	return Value{Seq: v.Seq, Scalar: d}, true
+}
+
+func (i *deltaInst) Reset() { i.prev, i.primed = 0, false }
+
+type absInst struct{}
+
+func (absInst) Push(_ int, v Value) (Value, bool) {
+	return Value{Seq: v.Seq, Scalar: math.Abs(v.Scalar)}, true
+}
+
+func (absInst) Reset() {}
+
+// --- aggregation (branch join) -------------------------------------------
+
+// joinInst synchronizes N input ports on emission sequence numbers: when
+// every port has delivered a value with the same Seq, the combine function
+// runs over the port values in port order. Stale pending entries (sequence
+// numbers that can no longer complete because every port has advanced past
+// them) are pruned to bound memory, as a microcontroller implementation
+// must.
+type joinInst struct {
+	ports   int
+	combine func([]float64) (float64, bool)
+	pending map[int64]*joinSlot
+	latest  []int64 // highest Seq seen per port
+	primed  []bool
+}
+
+type joinSlot struct {
+	vals  []float64
+	have  []bool
+	count int
+}
+
+func newJoinInst(ports int, combine func([]float64) (float64, bool)) *joinInst {
+	return &joinInst{
+		ports:   ports,
+		combine: combine,
+		pending: make(map[int64]*joinSlot),
+		latest:  make([]int64, ports),
+		primed:  make([]bool, ports),
+	}
+}
+
+func (i *joinInst) Push(port int, v Value) (Value, bool) {
+	i.latest[port] = v.Seq
+	i.primed[port] = true
+	slot := i.pending[v.Seq]
+	if slot == nil {
+		slot = &joinSlot{vals: make([]float64, i.ports), have: make([]bool, i.ports)}
+		i.pending[v.Seq] = slot
+	}
+	if !slot.have[port] {
+		slot.have[port] = true
+		slot.count++
+	}
+	slot.vals[port] = v.Scalar
+
+	i.prune()
+
+	if slot.count < i.ports {
+		return Value{}, false
+	}
+	delete(i.pending, v.Seq)
+	out, ok := i.combine(slot.vals)
+	if !ok {
+		return Value{}, false
+	}
+	return Value{Seq: v.Seq, Scalar: out}, true
+}
+
+// prune drops pending sequences older than the slowest port's progress:
+// emissions are monotone per port, so such sequences can never complete.
+func (i *joinInst) prune() {
+	min := int64(math.MaxInt64)
+	for p := 0; p < i.ports; p++ {
+		if !i.primed[p] {
+			return // a port has produced nothing yet; nothing is provably stale
+		}
+		if i.latest[p] < min {
+			min = i.latest[p]
+		}
+	}
+	for seq := range i.pending {
+		if seq < min {
+			delete(i.pending, seq)
+		}
+	}
+}
+
+func (i *joinInst) Reset() {
+	i.pending = make(map[int64]*joinSlot)
+	for p := range i.latest {
+		i.latest[p] = 0
+		i.primed[p] = false
+	}
+}
+
+// --- admission control ---------------------------------------------------
+
+// thresholdInst gates values and implements the sustain extension: the
+// condition must hold for `sustain` consecutive emissions before values
+// pass (used for the paper's "pitched sounds lasting longer than 650 ms").
+type thresholdInst struct {
+	gate    *dsp.Threshold
+	sustain int
+	run     int
+}
+
+func (i *thresholdInst) Push(_ int, v Value) (Value, bool) {
+	if !i.gate.Admits(v.Scalar) {
+		i.run = 0
+		return Value{}, false
+	}
+	i.run++
+	if i.run < i.sustain {
+		return Value{}, false
+	}
+	return v, true
+}
+
+func (i *thresholdInst) Reset() { i.run = 0 }

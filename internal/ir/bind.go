@@ -1,0 +1,103 @@
+package ir
+
+import (
+	"fmt"
+
+	"sidewinder/internal/core"
+)
+
+// Bind validates a parsed program against a platform catalog and resolves
+// it into an executable plan. It is the hub-side counterpart of
+// core.Pipeline.Validate: the same arity, kind, parameter, and rate rules
+// apply, so a program either binds identically on every conforming hub or
+// fails with a diagnostic.
+//
+// Bind requires canonical node numbering (IDs 1..n in definition order),
+// which is what the sensor manager's compiler emits; this keeps the
+// microcontroller-side implementation a single pass with array-indexed
+// instance lookup.
+func Bind(prog *Program, cat *core.Catalog) (*core.Plan, error) {
+	plan := &core.Plan{Name: prog.Name}
+	outputs := make(map[int]core.ResolvedInput)
+	consumed := make(map[int]bool)
+	seenChannels := make(map[core.SensorChannel]bool)
+	sawOut := false
+
+	for i, in := range prog.Instrs {
+		if in.Out {
+			if i != len(prog.Instrs)-1 {
+				return nil, fmt.Errorf("ir: OUT must be the final statement")
+			}
+			sawOut = true
+			src := in.Sources[0]
+			if _, ok := outputs[src.Node]; !ok {
+				return nil, fmt.Errorf("ir: OUT references undefined node %d", src.Node)
+			}
+			if outputs[src.Node].Kind != core.Scalar {
+				return nil, fmt.Errorf("ir: OUT is fed a %s; the wake-up signal must be scalar", outputs[src.Node].Kind)
+			}
+			consumed[src.Node] = true
+			continue
+		}
+		if in.ID != i+1 {
+			return nil, fmt.Errorf("ir: node id %d out of sequence (expected %d); the compiler numbers nodes 1..n in definition order", in.ID, i+1)
+		}
+		meta, err := cat.Get(in.Op)
+		if err != nil {
+			return nil, fmt.Errorf("ir: node %d: %w", in.ID, err)
+		}
+		if len(in.Params) > len(meta.Params) {
+			return nil, fmt.Errorf("ir: node %d: %s takes at most %d parameters, got %d", in.ID, in.Op, len(meta.Params), len(in.Params))
+		}
+		raw := make(core.Params, len(in.Params))
+		for j, v := range in.Params {
+			raw[meta.Params[j].Name] = v
+		}
+		inputs := make([]core.ResolvedInput, len(in.Sources))
+		for j, src := range in.Sources {
+			if src.FromChannel() {
+				inputs[j] = core.ChannelInput(src.Channel)
+				if !seenChannels[src.Channel] {
+					seenChannels[src.Channel] = true
+					plan.Channels = append(plan.Channels, src.Channel)
+				}
+				continue
+			}
+			out, ok := outputs[src.Node]
+			if !ok {
+				return nil, fmt.Errorf("ir: node %d references undefined node %d", in.ID, src.Node)
+			}
+			consumed[src.Node] = true
+			inputs[j] = out
+		}
+		node, err := core.ResolveNode(cat, in.ID, in.Op, raw, inputs)
+		if err != nil {
+			return nil, fmt.Errorf("ir: node %d: %w", in.ID, err)
+		}
+		plan.Nodes = append(plan.Nodes, node)
+		outputs[node.ID] = node.Output()
+	}
+
+	if !sawOut {
+		return nil, fmt.Errorf("ir: program has no OUT statement")
+	}
+	if len(plan.Nodes) == 0 {
+		return nil, fmt.Errorf("ir: program defines no algorithm instances")
+	}
+	for id := range outputs {
+		if !consumed[id] {
+			return nil, fmt.Errorf("ir: node %d output is never consumed; every branch must flow to OUT (paper §3.2)", id)
+		}
+	}
+	return plan, nil
+}
+
+// ParseAndBind is the hub runtime's single entry point: parse IR text and
+// bind it against the hub's catalog.
+func ParseAndBind(text string, cat *core.Catalog) (*core.Plan, error) {
+	prog, err := Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return Bind(prog, cat)
+}

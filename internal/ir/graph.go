@@ -1,0 +1,69 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sidewinder/internal/core"
+)
+
+// Graph renders a validated plan as the paper's conceptual representation
+// (Fig. 2b): an indented tree from OUT back to the sensor channels, showing
+// how branches merge. Shared upstream nodes referenced more than once are
+// expanded the first time and referenced by ID afterwards.
+//
+//	OUT
+//	└─ [5] minThreshold(min=15, sustain=1)
+//	   └─ [4] vectorMagnitude
+//	      ├─ [1] movingAvg(size=10) ← ACC_X
+//	      ├─ [2] movingAvg(size=10) ← ACC_Y
+//	      └─ [3] movingAvg(size=10) ← ACC_Z
+func Graph(plan *core.Plan) string {
+	var b strings.Builder
+	if plan.Name != "" {
+		fmt.Fprintf(&b, "pipeline: %s\n", plan.Name)
+	}
+	b.WriteString("OUT\n")
+	seen := make(map[int]bool)
+	renderNode(&b, plan, plan.OutputNode(), "", true, seen)
+	return b.String()
+}
+
+func renderNode(b *strings.Builder, plan *core.Plan, id int, prefix string, last bool, seen map[int]bool) {
+	n := plan.Node(id)
+	connector := "├─ "
+	childPrefix := prefix + "│  "
+	if last {
+		connector = "└─ "
+		childPrefix = prefix + "   "
+	}
+
+	label := core.Stage{Kind: n.Kind, Params: n.Params}.String()
+	// Inline the sensor sources of this node on the same line.
+	var chans []string
+	var nodeInputs []int
+	for _, in := range n.Inputs {
+		if in.FromChannel() {
+			chans = append(chans, string(in.Channel))
+		} else {
+			nodeInputs = append(nodeInputs, in.Node)
+		}
+	}
+	line := fmt.Sprintf("%s%s[%d] %s", prefix, connector, n.ID, label)
+	if len(chans) > 0 {
+		line += " ← " + strings.Join(chans, ", ")
+	}
+	if seen[id] {
+		fmt.Fprintf(b, "%s%s[%d] (shared, shown above)\n", prefix, connector, n.ID)
+		return
+	}
+	seen[id] = true
+	b.WriteString(line)
+	b.WriteByte('\n')
+
+	sort.Ints(nodeInputs)
+	for i, up := range nodeInputs {
+		renderNode(b, plan, up, childPrefix, i == len(nodeInputs)-1, seen)
+	}
+}

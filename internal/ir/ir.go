@@ -1,0 +1,134 @@
+// Package ir implements Sidewinder's intermediate language (paper §3.3,
+// Fig. 2c). The IR is the contract that decouples the mobile platform from
+// the sensor-hub implementation: the sensor manager compiles a validated
+// pipeline into IR text, pushes it over the hub link, and the hub runtime
+// parses and executes it without any knowledge of the originating
+// programming language.
+//
+// The textual form is the paper's:
+//
+//	# pipeline: significantMotion
+//	ACC_X -> movingAvg(id=1, params={10});
+//	ACC_Y -> movingAvg(id=2, params={10});
+//	ACC_Z -> movingAvg(id=3, params={10});
+//	1,2,3 -> vectorMagnitude(id=4);
+//	4 -> minThreshold(id=5, params={15, 1});
+//	5 -> OUT;
+//
+// Parameters are positional in the catalog's schema order; the compiler
+// always emits the complete normalized parameter list so a program is
+// self-contained.
+package ir
+
+import (
+	"fmt"
+	"strings"
+
+	"sidewinder/internal/core"
+)
+
+// Source is one input reference of an instruction: either a sensor channel
+// or a previously defined node ID.
+type Source struct {
+	Channel core.SensorChannel // set for raw channel inputs
+	Node    int                // node ID otherwise
+}
+
+// FromChannel reports whether the source is a raw sensor channel.
+func (s Source) FromChannel() bool { return s.Channel != "" }
+
+// String renders the source in IR spelling.
+func (s Source) String() string {
+	if s.FromChannel() {
+		return string(s.Channel)
+	}
+	return fmt.Sprintf("%d", s.Node)
+}
+
+// Instruction is one IR statement: sources feeding an algorithm instance,
+// or the final OUT statement (Out == true).
+type Instruction struct {
+	Sources []Source
+	Op      core.AlgorithmKind // empty for OUT
+	ID      int                // 0 for OUT
+	Params  []core.ParamValue  // positional, catalog schema order
+	Out     bool
+}
+
+// String renders the instruction as one IR line (without trailing newline).
+func (in Instruction) String() string {
+	srcs := make([]string, len(in.Sources))
+	for i, s := range in.Sources {
+		srcs[i] = s.String()
+	}
+	left := strings.Join(srcs, ",")
+	if in.Out {
+		return fmt.Sprintf("%s -> OUT;", left)
+	}
+	if len(in.Params) == 0 {
+		return fmt.Sprintf("%s -> %s(id=%d);", left, in.Op, in.ID)
+	}
+	ps := make([]string, len(in.Params))
+	for i, p := range in.Params {
+		ps[i] = p.String()
+	}
+	return fmt.Sprintf("%s -> %s(id=%d, params={%s});", left, in.Op, in.ID, strings.Join(ps, ", "))
+}
+
+// Program is a parsed or compiled IR program.
+type Program struct {
+	// Name is the optional pipeline label carried in the header comment.
+	Name string
+	// Instrs holds the statements in definition order; the last one is
+	// the OUT statement.
+	Instrs []Instruction
+}
+
+// Compile lowers a validated plan into an IR program. Node IDs are carried
+// over unchanged, so diagnostics on either side of the link agree.
+func Compile(plan *core.Plan) *Program {
+	prog := &Program{Name: plan.Name}
+	for i := range plan.Nodes {
+		n := &plan.Nodes[i]
+		srcs := make([]Source, len(n.Inputs))
+		for j, ref := range n.Inputs {
+			srcs[j] = Source{Channel: ref.Channel, Node: ref.Node}
+		}
+		// Emit the full normalized parameter list positionally in the
+		// catalog schema order.
+		params := make([]core.ParamValue, len(n.Meta.Params))
+		for j, spec := range n.Meta.Params {
+			params[j] = n.Params[spec.Name]
+		}
+		prog.Instrs = append(prog.Instrs, Instruction{
+			Sources: srcs,
+			Op:      n.Kind,
+			ID:      n.ID,
+			Params:  params,
+		})
+	}
+	prog.Instrs = append(prog.Instrs, Instruction{
+		Sources: []Source{{Node: plan.OutputNode()}},
+		Out:     true,
+	})
+	return prog
+}
+
+// Encode renders the program as IR text.
+func Encode(p *Program) string {
+	var b strings.Builder
+	if p.Name != "" {
+		fmt.Fprintf(&b, "# pipeline: %s\n", p.Name)
+	}
+	for _, in := range p.Instrs {
+		b.WriteString(in.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CompileToText is the common Compile+Encode path used by the sensor
+// manager.
+func CompileToText(plan *core.Plan) string {
+	return Encode(Compile(plan))
+}

@@ -1,0 +1,319 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"sidewinder/internal/core"
+)
+
+func significantMotion(t *testing.T) *core.Plan {
+	t.Helper()
+	p := core.NewPipeline("significantMotion")
+	for _, ch := range []core.SensorChannel{core.AccelX, core.AccelY, core.AccelZ} {
+		p.AddBranch(core.NewBranch(ch).Add(core.MovingAverage(10)))
+	}
+	p.Add(core.VectorMagnitude())
+	p.Add(core.MinThreshold(15))
+	plan, err := p.Validate(core.DefaultCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func TestCompileMatchesPaperShape(t *testing.T) {
+	text := CompileToText(significantMotion(t))
+	want := []string{
+		"# pipeline: significantMotion",
+		"ACC_X -> movingAvg(id=1, params={10});",
+		"ACC_Y -> movingAvg(id=2, params={10});",
+		"ACC_Z -> movingAvg(id=3, params={10});",
+		"1,2,3 -> vectorMagnitude(id=4);",
+		"4 -> minThreshold(id=5, params={15, 1});",
+		"5 -> OUT;",
+	}
+	got := strings.Split(strings.TrimSpace(text), "\n")
+	if len(got) != len(want) {
+		t.Fatalf("program:\n%s\nwant %d lines, got %d", text, len(want), len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("line %d = %q, want %q", i+1, got[i], want[i])
+		}
+	}
+}
+
+func TestRoundTripCompileParseBind(t *testing.T) {
+	cat := core.DefaultCatalog()
+	plan := significantMotion(t)
+	text := CompileToText(plan)
+	bound, err := ParseAndBind(text, cat)
+	if err != nil {
+		t.Fatalf("ParseAndBind: %v\nprogram:\n%s", err, text)
+	}
+	if bound.Name != plan.Name {
+		t.Errorf("name %q, want %q", bound.Name, plan.Name)
+	}
+	if len(bound.Nodes) != len(plan.Nodes) {
+		t.Fatalf("node count %d, want %d", len(bound.Nodes), len(plan.Nodes))
+	}
+	for i := range plan.Nodes {
+		a, b := plan.Nodes[i], bound.Nodes[i]
+		if a.ID != b.ID || a.Kind != b.Kind || a.InLen != b.InLen || a.OutLen != b.OutLen ||
+			a.Rate != b.Rate || a.OutRate != b.OutRate || a.OutKind != b.OutKind {
+			t.Errorf("node %d differs after round trip:\n  compiled: %+v\n  bound:    %+v", a.ID, a, b)
+		}
+		for name, v := range a.Params {
+			if !b.Params[name].Equal(v) {
+				t.Errorf("node %d param %s: %v != %v", a.ID, name, b.Params[name], v)
+			}
+		}
+		if len(a.Inputs) != len(b.Inputs) {
+			t.Errorf("node %d input count differs", a.ID)
+			continue
+		}
+		for j := range a.Inputs {
+			if a.Inputs[j] != b.Inputs[j] {
+				t.Errorf("node %d input %d: %v != %v", a.ID, j, a.Inputs[j], b.Inputs[j])
+			}
+		}
+	}
+	// Re-encoding the bound plan must be byte-identical (canonical form).
+	if text2 := CompileToText(bound); text2 != text {
+		t.Errorf("re-encoded program differs:\n%s\nvs\n%s", text2, text)
+	}
+}
+
+func TestRoundTripComplexPipelines(t *testing.T) {
+	cat := core.DefaultCatalog()
+	pipelines := []*core.Pipeline{
+		core.NewPipeline("siren").AddBranch(core.NewBranch(core.Mic).
+			Add(core.HighPass(750, 512)).
+			Add(core.FFT()).
+			Add(core.SpectralMag()).
+			Add(core.Tonality(850, 1800, core.AudioRateHz)).
+			Add(core.MinThresholdSustained(4, 3))),
+		core.NewPipeline("music").AddBranch(
+			core.NewBranch(core.Mic).Add(core.Window(512, 0, "hamming")).Add(core.Stat("variance")).Add(core.MinThreshold(0.01)),
+			core.NewBranch(core.Mic).Add(core.Window(512, 0, "")).Add(core.ZCRVariance(8)).Add(core.BandThreshold(1e-4, 0.01)),
+		).Add(core.And()),
+		core.NewPipeline("steps").AddBranch(core.NewBranch(core.AccelX).
+			Add(core.MovingAverage(3)).
+			Add(core.Window(25, 5, "")).
+			Add(core.Stat("stddev")).
+			Add(core.MinThreshold(0.6))),
+	}
+	for _, p := range pipelines {
+		plan, err := p.Validate(cat)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		text := CompileToText(plan)
+		bound, err := ParseAndBind(text, cat)
+		if err != nil {
+			t.Fatalf("%s: bind: %v\n%s", p.Name(), err, text)
+		}
+		if CompileToText(bound) != text {
+			t.Errorf("%s: canonical form not stable", p.Name())
+		}
+	}
+}
+
+func TestParseAcceptsWhitespaceAndComments(t *testing.T) {
+	text := `
+# pipeline: demo
+// a comment
+
+ACC_X -> movingAvg( id=1 , params={ 4, 1 });
+  1 -> minThreshold(id=2, params={2.5, 1});
+2 -> OUT;
+`
+	// Note: "4, 1" — movingAvg has one parameter, so give just the size.
+	text = strings.Replace(text, "params={ 4, 1 }", "params={ 4 }", 1)
+	prog, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Name != "demo" {
+		t.Errorf("name = %q", prog.Name)
+	}
+	if len(prog.Instrs) != 3 {
+		t.Fatalf("instruction count = %d", len(prog.Instrs))
+	}
+	if _, err := Bind(prog, core.DefaultCatalog()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, text, want string
+	}{
+		{"empty", "", "empty program"},
+		{"comment only", "# nothing\n", "empty program"},
+		{"missing semicolon", "ACC_X -> movingAvg(id=1, params={4})", "missing terminating"},
+		{"missing arrow", "ACC_X movingAvg(id=1);", "missing '->'"},
+		{"bad source", "WAT -> movingAvg(id=1, params={4});\n1 -> OUT;", "neither a node ID nor a sensor channel"},
+		{"forward reference", "2 -> movingAvg(id=1, params={4});", "referenced before definition"},
+		{"negative node ref", "-1 -> movingAvg(id=1, params={4});", "must be positive"},
+		{"duplicate id", "ACC_X -> abs(id=1);\nACC_Y -> abs(id=1);\n1 -> OUT;", "duplicate node id"},
+		{"missing id", "ACC_X -> movingAvg(params={4});", "missing id="},
+		{"bad id", "ACC_X -> movingAvg(id=zero);", "invalid id"},
+		{"malformed call", "ACC_X -> movingAvg id=1;", "malformed call"},
+		{"malformed params", "ACC_X -> movingAvg(id=1, size=4);", "malformed params"},
+		{"no out", "ACC_X -> movingAvg(id=1, params={4});", "no OUT"},
+		{"statement after out", "ACC_X -> abs(id=1);\n1 -> OUT;\nACC_Y -> abs(id=2);", "after OUT"},
+		{"out from channel", "ACC_X -> OUT;", "cannot be fed directly"},
+		{"out multi source", "ACC_X -> abs(id=1);\nACC_Y -> abs(id=2);\n1,2 -> OUT;", "exactly one source"},
+		{"empty source", " -> movingAvg(id=1);", "empty source"},
+		{"empty param", "ACC_X -> movingAvg(id=1, params={4,,5});", "empty parameter"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.text)
+			if err == nil {
+				t.Fatalf("expected error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	cat := core.DefaultCatalog()
+	cases := []struct {
+		name, text, want string
+	}{
+		{
+			"unknown algorithm",
+			"ACC_X -> teleport(id=1);\n1 -> OUT;",
+			"not in platform catalog",
+		},
+		{
+			"too many params",
+			"ACC_X -> abs(id=1, params={1, 2});\n1 -> OUT;",
+			"at most 0 parameters",
+		},
+		{
+			"id out of sequence",
+			"ACC_X -> abs(id=2);\n2 -> OUT;",
+			"out of sequence",
+		},
+		{
+			"dangling node",
+			"ACC_X -> abs(id=1);\nACC_Y -> abs(id=2);\n2 -> OUT;",
+			"never consumed",
+		},
+		{
+			"vector to OUT",
+			"ACC_X -> window(id=1, params={8, 0, rectangular});\n1 -> OUT;",
+			"must be scalar",
+		},
+		{
+			"kind mismatch",
+			"ACC_X -> zeroCrossingRate(id=1);\n1 -> OUT;",
+			"requires vector",
+		},
+		{
+			"param validation",
+			"ACC_X -> movingAvg(id=1, params={0});\n1 -> OUT;",
+			"outside",
+		},
+		{
+			"enum via string param",
+			"ACC_X -> window(id=1, params={8, 0, bogus});\nACC_Y -> abs(id=2);\n2 -> OUT;",
+			"not in",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			prog, err := Parse(tc.text)
+			if err != nil {
+				t.Fatalf("parse failed first: %v", err)
+			}
+			_, err = Bind(prog, cat)
+			if err == nil {
+				t.Fatalf("expected bind error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestSourceString(t *testing.T) {
+	if (Source{Channel: core.Mic}).String() != "MIC" {
+		t.Error("channel source string wrong")
+	}
+	if (Source{Node: 3}).String() != "3" {
+		t.Error("node source string wrong")
+	}
+}
+
+func TestInstructionStringOut(t *testing.T) {
+	in := Instruction{Sources: []Source{{Node: 5}}, Out: true}
+	if got := in.String(); got != "5 -> OUT;" {
+		t.Errorf("OUT string = %q", got)
+	}
+}
+
+func TestEncodeWithoutName(t *testing.T) {
+	prog := &Program{Instrs: []Instruction{
+		{Sources: []Source{{Channel: core.AccelX}}, Op: core.KindAbs, ID: 1},
+		{Sources: []Source{{Node: 1}}, Out: true},
+	}}
+	text := Encode(prog)
+	if strings.Contains(text, "pipeline:") {
+		t.Errorf("unnamed program should have no header:\n%s", text)
+	}
+	if _, err := ParseAndBind(text, core.DefaultCatalog()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGraphRendersConceptualTree(t *testing.T) {
+	plan := significantMotion(t)
+	g := Graph(plan)
+	for _, want := range []string{
+		"pipeline: significantMotion",
+		"OUT",
+		"[5] minThreshold(min=15, sustain=1)",
+		"[4] vectorMagnitude",
+		"movingAvg(size=10) ← ACC_X",
+		"movingAvg(size=10) ← ACC_Y",
+		"movingAvg(size=10) ← ACC_Z",
+	} {
+		if !strings.Contains(g, want) {
+			t.Errorf("graph missing %q:\n%s", want, g)
+		}
+	}
+	// Tree connectors present.
+	if !strings.Contains(g, "└─") || !strings.Contains(g, "├─") {
+		t.Errorf("graph lacks tree structure:\n%s", g)
+	}
+}
+
+func TestGraphDualBranch(t *testing.T) {
+	p := core.NewPipeline("music")
+	p.AddBranch(
+		core.NewBranch(core.Mic).Add(core.Window(512, 0, "")).Add(core.Stat("variance")).Add(core.MinThreshold(0.01)),
+		core.NewBranch(core.Mic).Add(core.Window(512, 0, "")).Add(core.ZCRVariance(8)).Add(core.BandThreshold(0, 0.01)),
+	)
+	p.Add(core.And())
+	plan, err := p.Validate(core.DefaultCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Graph(plan)
+	if !strings.Contains(g, "and") || !strings.Contains(g, "← MIC") {
+		t.Errorf("dual-branch graph wrong:\n%s", g)
+	}
+	// Both windows appear (they are distinct plan nodes even if equal).
+	if strings.Count(g, "window(") != 2 {
+		t.Errorf("expected two window nodes:\n%s", g)
+	}
+}

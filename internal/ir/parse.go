@@ -1,0 +1,163 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"sidewinder/internal/core"
+)
+
+// Parse reads IR text into a Program. It checks syntax only; use Bind to
+// validate the program against a platform catalog. Statements must be in
+// definition order (a source may only reference an earlier node), which
+// also guarantees acyclicity; this matches the compiler's output and keeps
+// the hub-side parser single-pass, as a microcontroller implementation
+// would be.
+func Parse(text string) (*Program, error) {
+	prog := &Program{}
+	seen := make(map[int]bool)
+	sawOut := false
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") || strings.HasPrefix(line, "//") {
+			if name, ok := strings.CutPrefix(strings.TrimPrefix(line, "#"), " pipeline:"); ok {
+				prog.Name = strings.TrimSpace(name)
+			}
+			continue
+		}
+		if sawOut {
+			return nil, fmt.Errorf("ir: line %d: statement after OUT", lineNo+1)
+		}
+		in, err := parseLine(line, seen)
+		if err != nil {
+			return nil, fmt.Errorf("ir: line %d: %w", lineNo+1, err)
+		}
+		if in.Out {
+			sawOut = true
+		} else {
+			if seen[in.ID] {
+				return nil, fmt.Errorf("ir: line %d: duplicate node id %d", lineNo+1, in.ID)
+			}
+			seen[in.ID] = true
+		}
+		prog.Instrs = append(prog.Instrs, in)
+	}
+	if len(prog.Instrs) == 0 {
+		return nil, fmt.Errorf("ir: empty program")
+	}
+	if !sawOut {
+		return nil, fmt.Errorf("ir: program has no OUT statement")
+	}
+	return prog, nil
+}
+
+func parseLine(line string, seen map[int]bool) (Instruction, error) {
+	body, ok := strings.CutSuffix(line, ";")
+	if !ok {
+		return Instruction{}, fmt.Errorf("missing terminating ';'")
+	}
+	left, right, ok := strings.Cut(body, "->")
+	if !ok {
+		return Instruction{}, fmt.Errorf("missing '->'")
+	}
+	srcs, err := parseSources(strings.TrimSpace(left), seen)
+	if err != nil {
+		return Instruction{}, err
+	}
+	right = strings.TrimSpace(right)
+	if right == "OUT" {
+		if len(srcs) != 1 {
+			return Instruction{}, fmt.Errorf("OUT takes exactly one source, got %d", len(srcs))
+		}
+		if srcs[0].FromChannel() {
+			return Instruction{}, fmt.Errorf("OUT cannot be fed directly from a sensor channel")
+		}
+		return Instruction{Sources: srcs, Out: true}, nil
+	}
+	return parseCall(right, srcs)
+}
+
+func parseSources(s string, seen map[int]bool) ([]Source, error) {
+	if s == "" {
+		return nil, fmt.Errorf("empty source list")
+	}
+	parts := strings.Split(s, ",")
+	out := make([]Source, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("empty source in list %q", s)
+		}
+		if id, err := strconv.Atoi(p); err == nil {
+			if id <= 0 {
+				return nil, fmt.Errorf("node reference %d must be positive", id)
+			}
+			if !seen[id] {
+				return nil, fmt.Errorf("node %d referenced before definition", id)
+			}
+			out = append(out, Source{Node: id})
+			continue
+		}
+		ch, err := core.ParseChannel(p)
+		if err != nil {
+			return nil, fmt.Errorf("source %q is neither a node ID nor a sensor channel", p)
+		}
+		out = append(out, Source{Channel: ch})
+	}
+	return out, nil
+}
+
+// parseCall parses `op(id=N)` or `op(id=N, params={v1, v2, ...})`.
+func parseCall(s string, srcs []Source) (Instruction, error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return Instruction{}, fmt.Errorf("malformed call %q", s)
+	}
+	op := strings.TrimSpace(s[:open])
+	if op == "" {
+		return Instruction{}, fmt.Errorf("missing algorithm name in %q", s)
+	}
+	args := strings.TrimSpace(s[open+1 : len(s)-1])
+
+	idPart := args
+	paramsPart := ""
+	if comma := strings.Index(args, ","); comma >= 0 {
+		idPart = strings.TrimSpace(args[:comma])
+		paramsPart = strings.TrimSpace(args[comma+1:])
+	}
+	idStr, ok := strings.CutPrefix(idPart, "id=")
+	if !ok {
+		return Instruction{}, fmt.Errorf("call %q missing id=", s)
+	}
+	id, err := strconv.Atoi(strings.TrimSpace(idStr))
+	if err != nil || id <= 0 {
+		return Instruction{}, fmt.Errorf("invalid id %q", idStr)
+	}
+
+	var params []core.ParamValue
+	if paramsPart != "" {
+		inner, ok := strings.CutPrefix(paramsPart, "params={")
+		if !ok || !strings.HasSuffix(inner, "}") {
+			return Instruction{}, fmt.Errorf("malformed params in %q", s)
+		}
+		inner = strings.TrimSuffix(inner, "}")
+		if strings.TrimSpace(inner) != "" {
+			for _, field := range strings.Split(inner, ",") {
+				field = strings.TrimSpace(field)
+				if field == "" {
+					return Instruction{}, fmt.Errorf("empty parameter in %q", s)
+				}
+				if num, err := strconv.ParseFloat(field, 64); err == nil {
+					params = append(params, core.Number(num))
+				} else {
+					params = append(params, core.Str(field))
+				}
+			}
+		}
+	}
+	return Instruction{Sources: srcs, Op: core.AlgorithmKind(op), ID: id, Params: params}, nil
+}

@@ -1,0 +1,236 @@
+// Package link simulates the serial connection between the phone and the
+// low-power sensor hub (paper §3.4: a UART over the Nexus 4's audio-jack
+// debugging interface). It provides:
+//
+//   - a byte-stuffed frame codec with CRC-16 integrity checking, the kind
+//     of framing a real microcontroller UART protocol uses, and
+//
+//   - an in-memory full-duplex Pipe with a configurable baud rate that
+//     accounts transfer time and byte counts, so experiments can reason
+//     about link occupancy (the paper notes the serial link suffices for
+//     low-bit-rate sensors but a camera would need I²C or better).
+package link
+
+import (
+	"errors"
+	"fmt"
+)
+
+// MsgType identifies a frame's purpose in the manager-hub protocol.
+type MsgType byte
+
+// Protocol message types.
+const (
+	// MsgConfigPush carries an intermediate-language program from the
+	// sensor manager to the hub (paper §3.3).
+	MsgConfigPush MsgType = 0x01
+	// MsgConfigAck confirms a successful bind; the payload names the
+	// selected device.
+	MsgConfigAck MsgType = 0x02
+	// MsgConfigError reports a failed parse/bind/placement.
+	MsgConfigError MsgType = 0x03
+	// MsgRemove unloads a condition by ID.
+	MsgRemove MsgType = 0x04
+	// MsgWake signals a satisfied wake-up condition.
+	MsgWake MsgType = 0x05
+	// MsgData carries a buffer of raw sensor data to the application.
+	MsgData MsgType = 0x06
+	// MsgPing/MsgPong are the link liveness check.
+	MsgPing MsgType = 0x07
+	MsgPong MsgType = 0x08
+	// MsgFeedback carries an application's wake-up verdict back to the
+	// hub so the runtime can tune the condition's final threshold
+	// (paper §7).
+	MsgFeedback MsgType = 0x09
+)
+
+// Frame is one protocol unit.
+type Frame struct {
+	Type    MsgType
+	Payload []byte
+}
+
+// Framing constants: HDLC-style byte stuffing.
+const (
+	flagByte   = 0x7E
+	escapeByte = 0x7D
+	escapeXor  = 0x20
+)
+
+// ErrCRC reports a corrupted frame.
+var ErrCRC = errors.New("link: CRC mismatch")
+
+// crc16 computes CRC-16/CCITT-FALSE over data.
+func crc16(data []byte) uint16 {
+	crc := uint16(0xFFFF)
+	for _, b := range data {
+		crc ^= uint16(b) << 8
+		for i := 0; i < 8; i++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ 0x1021
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return crc
+}
+
+// Encode serializes a frame with byte stuffing and CRC. The wire format is
+// FLAG | stuffed(type, len16, payload, crc16) | FLAG.
+func Encode(f Frame) []byte {
+	if len(f.Payload) > 0xFFFF {
+		panic(fmt.Sprintf("link: payload too large: %d", len(f.Payload)))
+	}
+	raw := make([]byte, 0, len(f.Payload)+5)
+	raw = append(raw, byte(f.Type), byte(len(f.Payload)>>8), byte(len(f.Payload)))
+	raw = append(raw, f.Payload...)
+	crc := crc16(raw)
+	raw = append(raw, byte(crc>>8), byte(crc))
+
+	out := make([]byte, 0, len(raw)+8)
+	out = append(out, flagByte)
+	for _, b := range raw {
+		if b == flagByte || b == escapeByte {
+			out = append(out, escapeByte, b^escapeXor)
+			continue
+		}
+		out = append(out, b)
+	}
+	out = append(out, flagByte)
+	return out
+}
+
+// Decoder is a streaming frame decoder: feed it wire bytes, collect frames.
+type Decoder struct {
+	buf     []byte
+	inFrame bool
+	escaped bool
+}
+
+// Feed consumes wire bytes and returns completed frames, skipping noise
+// between frames. Corrupted frames produce an error alongside any frames
+// decoded earlier in the same call.
+func (d *Decoder) Feed(data []byte) ([]Frame, error) {
+	var frames []Frame
+	for _, b := range data {
+		if b == flagByte {
+			if d.inFrame && len(d.buf) > 0 {
+				f, err := d.complete()
+				if err != nil {
+					d.reset()
+					return frames, err
+				}
+				frames = append(frames, f)
+				d.reset()
+				// Stay in-frame: back-to-back frames share flags.
+				d.inFrame = true
+				continue
+			}
+			d.inFrame = true
+			d.buf = d.buf[:0]
+			d.escaped = false
+			continue
+		}
+		if !d.inFrame {
+			continue // inter-frame noise
+		}
+		if d.escaped {
+			d.buf = append(d.buf, b^escapeXor)
+			d.escaped = false
+			continue
+		}
+		if b == escapeByte {
+			d.escaped = true
+			continue
+		}
+		d.buf = append(d.buf, b)
+	}
+	return frames, nil
+}
+
+func (d *Decoder) reset() {
+	d.buf = d.buf[:0]
+	d.inFrame = false
+	d.escaped = false
+}
+
+// complete validates the buffered frame body.
+func (d *Decoder) complete() (Frame, error) {
+	raw := d.buf
+	if len(raw) < 5 {
+		return Frame{}, fmt.Errorf("link: frame too short (%d bytes)", len(raw))
+	}
+	body, crcBytes := raw[:len(raw)-2], raw[len(raw)-2:]
+	want := uint16(crcBytes[0])<<8 | uint16(crcBytes[1])
+	if crc16(body) != want {
+		return Frame{}, ErrCRC
+	}
+	declared := int(body[1])<<8 | int(body[2])
+	payload := body[3:]
+	if declared != len(payload) {
+		return Frame{}, fmt.Errorf("link: length mismatch: declared %d, got %d", declared, len(payload))
+	}
+	out := Frame{Type: MsgType(body[0])}
+	if len(payload) > 0 {
+		out.Payload = append([]byte(nil), payload...)
+	}
+	return out, nil
+}
+
+// Endpoint is one end of a simulated serial pipe.
+type Endpoint struct {
+	peer      *Endpoint
+	inbox     []Frame
+	dec       Decoder
+	baud      int
+	sentBytes int
+	busySec   float64
+}
+
+// Pipe creates a connected full-duplex link at the given baud rate
+// (115200 is the Nexus 4 debug UART's typical rate).
+func Pipe(baud int) (a, b *Endpoint, err error) {
+	if baud <= 0 {
+		return nil, nil, fmt.Errorf("link: baud must be positive, got %d", baud)
+	}
+	a = &Endpoint{baud: baud}
+	b = &Endpoint{baud: baud}
+	a.peer = b
+	b.peer = a
+	return a, b, nil
+}
+
+// Send encodes and transmits a frame to the peer, accounting transfer
+// time at 10 wire bits per byte (8N1 UART).
+func (e *Endpoint) Send(f Frame) error {
+	wire := Encode(f)
+	e.sentBytes += len(wire)
+	e.busySec += float64(len(wire)*10) / float64(e.baud)
+	frames, err := e.peer.dec.Feed(wire)
+	if err != nil {
+		return err
+	}
+	e.peer.inbox = append(e.peer.inbox, frames...)
+	return nil
+}
+
+// Receive pops the oldest pending frame.
+func (e *Endpoint) Receive() (Frame, bool) {
+	if len(e.inbox) == 0 {
+		return Frame{}, false
+	}
+	f := e.inbox[0]
+	e.inbox = e.inbox[1:]
+	return f, true
+}
+
+// Pending returns the number of undelivered frames.
+func (e *Endpoint) Pending() int { return len(e.inbox) }
+
+// SentBytes returns the total wire bytes this endpoint transmitted.
+func (e *Endpoint) SentBytes() int { return e.sentBytes }
+
+// BusySeconds returns the cumulative wire time this endpoint's
+// transmissions occupied.
+func (e *Endpoint) BusySeconds() float64 { return e.busySec }

@@ -1,0 +1,170 @@
+package link
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{Type: MsgPing},
+		{Type: MsgConfigPush, Payload: []byte("ACC_X -> movingAvg(id=1, params={10});")},
+		{Type: MsgData, Payload: []byte{0x7E, 0x7D, 0x00, 0xFF, 0x7E}}, // stuffing stress
+		{Type: MsgWake, Payload: []byte{1, 2, 3}},
+	}
+	var dec Decoder
+	for _, f := range frames {
+		got, err := dec.Feed(Encode(f))
+		if err != nil {
+			t.Fatalf("decode %v: %v", f.Type, err)
+		}
+		if len(got) != 1 {
+			t.Fatalf("decoded %d frames, want 1", len(got))
+		}
+		if got[0].Type != f.Type || !bytes.Equal(got[0].Payload, f.Payload) {
+			t.Errorf("round trip mismatch: %+v vs %+v", got[0], f)
+		}
+	}
+}
+
+func TestDecoderHandlesFragmentedInput(t *testing.T) {
+	f := Frame{Type: MsgData, Payload: []byte("hello hub")}
+	wire := Encode(f)
+	var dec Decoder
+	var got []Frame
+	for _, b := range wire { // one byte at a time
+		fs, err := dec.Feed([]byte{b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, fs...)
+	}
+	if len(got) != 1 || !bytes.Equal(got[0].Payload, f.Payload) {
+		t.Fatalf("fragmented decode = %+v", got)
+	}
+}
+
+func TestDecoderSkipsInterFrameNoise(t *testing.T) {
+	f := Frame{Type: MsgPong}
+	wire := append([]byte{0x00, 0x55, 0xAA}, Encode(f)...)
+	wire = append(wire, 0x11, 0x22)
+	var dec Decoder
+	got, err := dec.Feed(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Type != MsgPong {
+		t.Fatalf("noise handling failed: %+v", got)
+	}
+}
+
+func TestDecoderDetectsCorruption(t *testing.T) {
+	wire := Encode(Frame{Type: MsgData, Payload: []byte("payload")})
+	// Flip a payload byte (not a flag and not adjacent to escaping).
+	for i := 4; i < len(wire)-3; i++ {
+		if wire[i] != flagByte && wire[i] != escapeByte && wire[i]^0x01 != flagByte && wire[i]^0x01 != escapeByte {
+			wire[i] ^= 0x01
+			break
+		}
+	}
+	var dec Decoder
+	if _, err := dec.Feed(wire); err == nil {
+		t.Fatal("corrupted frame decoded without error")
+	}
+	// The decoder recovers: a following clean frame decodes.
+	got, err := dec.Feed(Encode(Frame{Type: MsgPing}))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("decoder did not recover: %v %v", got, err)
+	}
+}
+
+func TestBackToBackFrames(t *testing.T) {
+	wire := append(Encode(Frame{Type: MsgPing}), Encode(Frame{Type: MsgPong})...)
+	var dec Decoder
+	got, err := dec.Feed(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Type != MsgPing || got[1].Type != MsgPong {
+		t.Fatalf("back-to-back decode = %+v", got)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, n uint8, typ uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		payload := make([]byte, int(n))
+		rng.Read(payload)
+		frame := Frame{Type: MsgType(typ), Payload: payload}
+		var dec Decoder
+		got, err := dec.Feed(Encode(frame))
+		if err != nil || len(got) != 1 {
+			return false
+		}
+		if len(payload) == 0 {
+			return len(got[0].Payload) == 0
+		}
+		return got[0].Type == frame.Type && bytes.Equal(got[0].Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipeDelivery(t *testing.T) {
+	a, b, err := Pipe(115200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(Frame{Type: MsgConfigPush, Payload: []byte("prog")}); err != nil {
+		t.Fatal(err)
+	}
+	if b.Pending() != 1 {
+		t.Fatalf("pending = %d", b.Pending())
+	}
+	f, ok := b.Receive()
+	if !ok || f.Type != MsgConfigPush || string(f.Payload) != "prog" {
+		t.Fatalf("received %+v, %v", f, ok)
+	}
+	if _, ok := b.Receive(); ok {
+		t.Error("empty inbox should report no frame")
+	}
+	if a.SentBytes() == 0 || a.BusySeconds() <= 0 {
+		t.Error("link accounting not recorded")
+	}
+	// 10 bits per byte at 115200 baud.
+	wantBusy := float64(a.SentBytes()*10) / 115200
+	if a.BusySeconds() != wantBusy {
+		t.Errorf("busy = %g, want %g", a.BusySeconds(), wantBusy)
+	}
+}
+
+func TestPipeBidirectional(t *testing.T) {
+	a, b, err := Pipe(9600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Send(Frame{Type: MsgPing})
+	b.Send(Frame{Type: MsgPong})
+	if f, ok := b.Receive(); !ok || f.Type != MsgPing {
+		t.Error("a->b failed")
+	}
+	if f, ok := a.Receive(); !ok || f.Type != MsgPong {
+		t.Error("b->a failed")
+	}
+}
+
+func TestPipeValidation(t *testing.T) {
+	if _, _, err := Pipe(0); err == nil {
+		t.Error("zero baud should fail")
+	}
+}
+
+func TestCRC16KnownValue(t *testing.T) {
+	// CRC-16/CCITT-FALSE("123456789") = 0x29B1.
+	if got := crc16([]byte("123456789")); got != 0x29B1 {
+		t.Errorf("crc16 = %#04x, want 0x29B1", got)
+	}
+}

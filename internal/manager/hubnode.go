@@ -1,0 +1,279 @@
+package manager
+
+import (
+	"fmt"
+	"sort"
+
+	"sidewinder/internal/core"
+	"sidewinder/internal/hub"
+	"sidewinder/internal/interp"
+	"sidewinder/internal/ir"
+	"sidewinder/internal/link"
+)
+
+// condState is one loaded wake-up condition on the hub. plan is the
+// developer's bound plan; the tuner's factor adjusts its final threshold
+// (paper §7).
+type condState struct {
+	id    uint16
+	plan  *core.Plan
+	tuner *tuner
+}
+
+// HubNode is the hub-side runtime (paper §3.5): it receives IR programs
+// over the link, binds them against its own copy of the platform catalog,
+// selects a device capable of running the loaded set, interprets
+// conditions over incoming sensor samples, and reports wake events with a
+// buffer of recent raw data.
+type HubNode struct {
+	cat     *core.Catalog
+	devices []hub.Device
+	ep      *link.Endpoint
+
+	conds  map[uint16]*condState
+	device hub.Device
+	placed bool
+
+	// merged executes all loaded conditions with common-prefix sharing
+	// (paper §7); mergedIDs maps its plan indices back to condition IDs.
+	merged    *interp.Merged
+	mergedIDs []uint16
+
+	// Raw-sample ring buffers per channel feed the post-wake-up data
+	// delivery (paper §3.8: "Our current implementation passes a buffer
+	// of raw sensor data to the application").
+	rings   map[core.SensorChannel]*ring
+	counts  map[core.SensorChannel]int64
+	bufSize int
+}
+
+// ring is a fixed-capacity sample buffer.
+type ring struct {
+	data []float64
+	next int
+	fill int
+}
+
+func newRing(capacity int) *ring { return &ring{data: make([]float64, capacity)} }
+
+func (r *ring) push(v float64) {
+	r.data[r.next] = v
+	r.next = (r.next + 1) % len(r.data)
+	if r.fill < len(r.data) {
+		r.fill++
+	}
+}
+
+// snapshot returns the buffered samples oldest-first.
+func (r *ring) snapshot() []float64 {
+	out := make([]float64, r.fill)
+	start := (r.next - r.fill + len(r.data)) % len(r.data)
+	for i := 0; i < r.fill; i++ {
+		out[i] = r.data[(start+i)%len(r.data)]
+	}
+	return out
+}
+
+// NewHubNode builds a hub runtime on one end of the link. bufSamples is
+// the per-channel raw-data ring capacity delivered on wake-up.
+func NewHubNode(ep *link.Endpoint, cat *core.Catalog, devices []hub.Device, bufSamples int) (*HubNode, error) {
+	if ep == nil {
+		return nil, fmt.Errorf("manager: hub node needs a link endpoint")
+	}
+	if cat == nil {
+		cat = core.DefaultCatalog()
+	}
+	if len(devices) == 0 {
+		devices = hub.Devices()
+	}
+	if bufSamples <= 0 {
+		bufSamples = 256
+	}
+	return &HubNode{
+		cat:     cat,
+		devices: devices,
+		ep:      ep,
+		conds:   make(map[uint16]*condState),
+		rings:   make(map[core.SensorChannel]*ring),
+		counts:  make(map[core.SensorChannel]int64),
+		bufSize: bufSamples,
+	}, nil
+}
+
+// Device returns the currently selected microcontroller (zero Device and
+// false before any condition is placed).
+func (h *HubNode) Device() (hub.Device, bool) { return h.device, h.placed }
+
+// Loaded returns the number of active conditions.
+func (h *HubNode) Loaded() int { return len(h.conds) }
+
+// Service drains inbound frames: config pushes, removals, pings.
+func (h *HubNode) Service() error {
+	for {
+		f, ok := h.ep.Receive()
+		if !ok {
+			return nil
+		}
+		switch f.Type {
+		case link.MsgConfigPush:
+			if err := h.handlePush(f.Payload); err != nil {
+				return err
+			}
+		case link.MsgRemove:
+			id, err := decodeRemove(f.Payload)
+			if err != nil {
+				return err
+			}
+			delete(h.conds, id)
+			if err := h.rebuild(); err != nil {
+				return err
+			}
+		case link.MsgFeedback:
+			id, falsePositive, err := decodeFeedback(f.Payload)
+			if err != nil {
+				return err
+			}
+			if c, ok := h.conds[id]; ok {
+				if c.tuner.feedback(falsePositive) {
+					if err := h.rebuild(); err != nil {
+						return err
+					}
+				}
+			}
+		case link.MsgPing:
+			if err := h.ep.Send(link.Frame{Type: link.MsgPong}); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("manager: hub received unexpected frame type %#x", f.Type)
+		}
+	}
+}
+
+// handlePush parses, binds and places one pushed condition, replying with
+// an ack (device name) or an error. Placement accounts for prefix sharing:
+// the whole loaded set is merged (paper §7) and the merged demand placed.
+func (h *HubNode) handlePush(payload []byte) error {
+	id, irText, err := decodeConfigPush(payload)
+	if err != nil {
+		return err
+	}
+	fail := func(cause error) error {
+		return h.ep.Send(link.Frame{Type: link.MsgConfigError, Payload: encodeIDText(id, cause.Error())})
+	}
+	if _, dup := h.conds[id]; dup {
+		return fail(fmt.Errorf("condition %d already loaded", id))
+	}
+	plan, err := ir.ParseAndBind(irText, h.cat)
+	if err != nil {
+		return fail(err)
+	}
+	h.conds[id] = &condState{id: id, plan: plan, tuner: newTuner()}
+	if err := h.rebuild(); err != nil {
+		delete(h.conds, id)
+		// Restore the previous merged set; the old set was feasible.
+		if rerr := h.rebuild(); rerr != nil {
+			return fmt.Errorf("manager: hub cannot restore previous condition set: %w", rerr)
+		}
+		return fail(err)
+	}
+	for _, ch := range plan.Channels {
+		if h.rings[ch] == nil {
+			h.rings[ch] = newRing(h.bufSize)
+		}
+	}
+	return h.ep.Send(link.Frame{Type: link.MsgConfigAck, Payload: encodeIDText(id, h.device.Name)})
+}
+
+// rebuild reconstructs the merged machine and re-places the set on the
+// cheapest feasible device. With no conditions loaded it clears the state.
+func (h *HubNode) rebuild() error {
+	if len(h.conds) == 0 {
+		h.merged = nil
+		h.mergedIDs = nil
+		h.placed = false
+		return nil
+	}
+	ids := make([]uint16, 0, len(h.conds))
+	for id := range h.conds {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	plans := make([]*core.Plan, len(ids))
+	for i, id := range ids {
+		c := h.conds[id]
+		plans[i] = adjustedPlan(c.plan, c.tuner.factor)
+	}
+	fOps, iOps, mem := interp.MergedDemand(plans...)
+	dev, err := hub.SelectDeviceForDemand(h.devices, fOps, iOps, mem)
+	if err != nil {
+		return err
+	}
+	merged, err := interp.NewMerged(plans...)
+	if err != nil {
+		return err
+	}
+	h.merged = merged
+	h.mergedIDs = ids
+	h.device = dev
+	h.placed = true
+	return nil
+}
+
+// Feed delivers one raw sensor sample to the merged condition set.
+// Satisfied conditions emit a data buffer followed by a wake frame.
+func (h *HubNode) Feed(ch core.SensorChannel, v float64) error {
+	if r := h.rings[ch]; r != nil {
+		r.push(v)
+	}
+	h.counts[ch]++
+	if h.merged == nil {
+		return nil
+	}
+	for _, wake := range h.merged.PushSample(ch, v) {
+		id := h.mergedIDs[wake.Plan]
+		c := h.conds[id]
+		// Raw data first so the manager has it when the wake callback
+		// fires.
+		for _, pc := range c.plan.Channels {
+			if r := h.rings[pc]; r != nil {
+				payload := encodeData(c.id, pc, r.snapshot())
+				if err := h.ep.Send(link.Frame{Type: link.MsgData, Payload: payload}); err != nil {
+					return err
+				}
+			}
+		}
+		payload := encodeWake(c.id, wake.Value, h.counts[ch]-1)
+		if err := h.ep.Send(link.Frame{Type: link.MsgWake, Payload: payload}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Work returns the interpreter work of the merged condition set.
+func (h *HubNode) Work() core.CostEstimate {
+	if h.merged == nil {
+		return core.CostEstimate{}
+	}
+	return h.merged.Work()
+}
+
+// TuningFactor returns a condition's adaptive strictness factor (1 means
+// the developer's original thresholds) and whether the condition exists.
+func (h *HubNode) TuningFactor(id uint16) (float64, bool) {
+	c, ok := h.conds[id]
+	if !ok {
+		return 0, false
+	}
+	return c.tuner.factor, true
+}
+
+// SharedNodes reports how many algorithm instances prefix merging
+// eliminated across the loaded set (paper §7).
+func (h *HubNode) SharedNodes() int {
+	if h.merged == nil {
+		return 0
+	}
+	return h.merged.SharedNodes()
+}

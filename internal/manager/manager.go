@@ -1,0 +1,187 @@
+package manager
+
+import (
+	"fmt"
+
+	"sidewinder/internal/core"
+	"sidewinder/internal/ir"
+	"sidewinder/internal/link"
+)
+
+// Event is delivered to a SensorEventListener when its wake-up condition
+// is satisfied (paper §3.2 OnSensorEvent). It carries the admitted value,
+// the hub-side sample index, and the hub's buffered raw data.
+type Event struct {
+	CondID      uint16
+	Value       float64
+	SampleIndex int64
+	Data        map[core.SensorChannel][]float64
+}
+
+// Listener is the paper's SensorEventListener.
+type Listener interface {
+	OnSensorEvent(Event)
+}
+
+// ListenerFunc adapts a function to Listener.
+type ListenerFunc func(Event)
+
+// OnSensorEvent implements Listener.
+func (f ListenerFunc) OnSensorEvent(e Event) { f(e) }
+
+// pushState tracks an in-flight or settled condition push.
+type pushState struct {
+	listener Listener
+	acked    bool
+	device   string
+	err      error
+}
+
+// Manager is the phone-side SidewinderSensorManager (paper §3.1-3.3): it
+// validates pipelines against the platform catalog, compiles them to the
+// intermediate language, pushes them over the link, and dispatches wake
+// events (with the hub's raw-data buffer) to registered listeners.
+type Manager struct {
+	cat    *core.Catalog
+	ep     *link.Endpoint
+	nextID uint16
+	pushes map[uint16]*pushState
+	// pendingData accumulates raw buffers that precede their wake frame.
+	pendingData map[uint16]map[core.SensorChannel][]float64
+}
+
+// New builds a manager on one end of the link. A nil catalog uses the
+// platform default.
+func New(ep *link.Endpoint, cat *core.Catalog) (*Manager, error) {
+	if ep == nil {
+		return nil, fmt.Errorf("manager: manager needs a link endpoint")
+	}
+	if cat == nil {
+		cat = core.DefaultCatalog()
+	}
+	return &Manager{
+		cat:         cat,
+		ep:          ep,
+		nextID:      1,
+		pushes:      make(map[uint16]*pushState),
+		pendingData: make(map[uint16]map[core.SensorChannel][]float64),
+	}, nil
+}
+
+// Push validates and compiles the pipeline, registers the listener, and
+// sends the IR program to the hub. The returned ID identifies the
+// condition; call Service (or use Testbed) to collect the hub's response,
+// then Status to check placement.
+func (m *Manager) Push(p *core.Pipeline, l Listener) (uint16, error) {
+	if l == nil {
+		return 0, fmt.Errorf("manager: a wake-up condition needs a SensorEventListener")
+	}
+	plan, err := p.Validate(m.cat)
+	if err != nil {
+		return 0, err
+	}
+	id := m.nextID
+	m.nextID++
+	irText := ir.CompileToText(plan)
+	if err := m.ep.Send(link.Frame{Type: link.MsgConfigPush, Payload: encodeConfigPush(id, irText)}); err != nil {
+		return 0, err
+	}
+	m.pushes[id] = &pushState{listener: l}
+	return id, nil
+}
+
+// Feedback reports a wake-up verdict to the hub (paper §7): falsePositive
+// true means the main-CPU classifier found no event of interest in the
+// delivered data. The hub's tuner tightens or relaxes the condition's
+// final threshold accordingly.
+func (m *Manager) Feedback(id uint16, falsePositive bool) error {
+	if _, ok := m.pushes[id]; !ok {
+		return fmt.Errorf("manager: unknown condition %d", id)
+	}
+	return m.ep.Send(link.Frame{Type: link.MsgFeedback, Payload: encodeFeedback(id, falsePositive)})
+}
+
+// Remove unloads a condition from the hub and forgets its listener.
+func (m *Manager) Remove(id uint16) error {
+	if _, ok := m.pushes[id]; !ok {
+		return fmt.Errorf("manager: unknown condition %d", id)
+	}
+	if err := m.ep.Send(link.Frame{Type: link.MsgRemove, Payload: encodeRemove(id)}); err != nil {
+		return err
+	}
+	delete(m.pushes, id)
+	delete(m.pendingData, id)
+	return nil
+}
+
+// Service drains inbound frames, settling pushes and dispatching wake
+// callbacks.
+func (m *Manager) Service() error {
+	for {
+		f, ok := m.ep.Receive()
+		if !ok {
+			return nil
+		}
+		switch f.Type {
+		case link.MsgConfigAck:
+			id, device, err := decodeIDText(f.Payload)
+			if err != nil {
+				return err
+			}
+			if st := m.pushes[id]; st != nil {
+				st.acked = true
+				st.device = device
+			}
+		case link.MsgConfigError:
+			id, msg, err := decodeIDText(f.Payload)
+			if err != nil {
+				return err
+			}
+			if st := m.pushes[id]; st != nil {
+				st.acked = true
+				st.err = fmt.Errorf("manager: hub rejected condition %d: %s", id, msg)
+			}
+		case link.MsgData:
+			id, ch, samples, err := decodeData(f.Payload)
+			if err != nil {
+				return err
+			}
+			if m.pendingData[id] == nil {
+				m.pendingData[id] = make(map[core.SensorChannel][]float64)
+			}
+			m.pendingData[id][ch] = samples
+		case link.MsgWake:
+			id, value, sampleIdx, err := decodeWake(f.Payload)
+			if err != nil {
+				return err
+			}
+			st := m.pushes[id]
+			if st == nil || st.listener == nil {
+				continue // condition was removed; drop the late wake
+			}
+			ev := Event{CondID: id, Value: value, SampleIndex: sampleIdx, Data: m.pendingData[id]}
+			delete(m.pendingData, id)
+			st.listener.OnSensorEvent(ev)
+		case link.MsgPong:
+			// liveness reply; nothing to do
+		default:
+			return fmt.Errorf("manager: unexpected frame type %#x", f.Type)
+		}
+	}
+}
+
+// Status reports the outcome of a push: the selected device once acked,
+// or the hub's rejection error.
+func (m *Manager) Status(id uint16) (device string, ready bool, err error) {
+	st, ok := m.pushes[id]
+	if !ok {
+		return "", false, fmt.Errorf("manager: unknown condition %d", id)
+	}
+	if !st.acked {
+		return "", false, nil
+	}
+	return st.device, true, st.err
+}
+
+// Catalog returns the platform catalog the manager validates against.
+func (m *Manager) Catalog() *core.Catalog { return m.cat }

@@ -1,0 +1,116 @@
+package manager
+
+import (
+	"fmt"
+
+	"sidewinder/internal/core"
+	"sidewinder/internal/hub"
+	"sidewinder/internal/link"
+)
+
+// Testbed wires a Manager and a HubNode over a simulated UART and pumps
+// both sides, giving examples and tests a synchronous view of the
+// asynchronous architecture. It corresponds to the paper's prototype: a
+// phone and a microcontroller joined by a serial cable (§3.4).
+type Testbed struct {
+	Manager *Manager
+	Hub     *HubNode
+}
+
+// TestbedConfig tunes the testbed; zero values take defaults.
+type TestbedConfig struct {
+	Catalog    *core.Catalog // platform catalog shared by both sides
+	Devices    []hub.Device  // hub device ladder
+	Baud       int           // serial rate (default 115200)
+	BufSamples int           // hub raw-data ring per channel (default 256)
+}
+
+// NewTestbed builds the full phone+hub assembly.
+func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
+	baud := cfg.Baud
+	if baud == 0 {
+		baud = 115200
+	}
+	phoneEnd, hubEnd, err := link.Pipe(baud)
+	if err != nil {
+		return nil, err
+	}
+	m, err := New(phoneEnd, cfg.Catalog)
+	if err != nil {
+		return nil, err
+	}
+	h, err := NewHubNode(hubEnd, cfg.Catalog, cfg.Devices, cfg.BufSamples)
+	if err != nil {
+		return nil, err
+	}
+	return &Testbed{Manager: m, Hub: h}, nil
+}
+
+// Push pushes a wake-up condition end to end and returns its ID and the
+// device the hub placed it on.
+func (t *Testbed) Push(p *core.Pipeline, l Listener) (id uint16, device string, err error) {
+	id, err = t.Manager.Push(p, l)
+	if err != nil {
+		return 0, "", err
+	}
+	if err := t.pump(); err != nil {
+		return 0, "", err
+	}
+	device, ready, err := t.Manager.Status(id)
+	if err != nil {
+		return 0, "", err
+	}
+	if !ready {
+		return 0, "", fmt.Errorf("manager: hub did not answer the push")
+	}
+	return id, device, nil
+}
+
+// Remove unloads a condition end to end.
+func (t *Testbed) Remove(id uint16) error {
+	if err := t.Manager.Remove(id); err != nil {
+		return err
+	}
+	return t.pump()
+}
+
+// Feedback reports a wake-up verdict end to end and applies any resulting
+// threshold adjustment on the hub.
+func (t *Testbed) Feedback(id uint16, falsePositive bool) error {
+	if err := t.Manager.Feedback(id, falsePositive); err != nil {
+		return err
+	}
+	return t.pump()
+}
+
+// Feed delivers one sensor sample to the hub and pumps any resulting wake
+// callbacks to their listeners.
+func (t *Testbed) Feed(ch core.SensorChannel, v float64) error {
+	if err := t.Hub.Feed(ch, v); err != nil {
+		return err
+	}
+	return t.Manager.Service()
+}
+
+// FeedSlice delivers a whole sample stream for one channel.
+func (t *Testbed) FeedSlice(ch core.SensorChannel, samples []float64) error {
+	for _, v := range samples {
+		if err := t.Feed(ch, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pump services both sides until the link is quiet.
+func (t *Testbed) pump() error {
+	for i := 0; i < 8; i++ {
+		if err := t.Hub.Service(); err != nil {
+			return err
+		}
+		if err := t.Manager.Service(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

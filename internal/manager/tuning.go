@@ -1,0 +1,97 @@
+package manager
+
+import (
+	"math"
+
+	"sidewinder/internal/core"
+)
+
+// This file implements the paper's §7 "smartness" extension: "given
+// feedback from the more complex algorithms running on the application
+// level, self-learning mechanisms may be able to tune the parameters used
+// on the wake-up conditions. It is easy to imagine an application
+// notifying the sensor hub about wake-ups when events of interest were not
+// actually detected (i.e. false positives)."
+//
+// The mechanism is deliberately conservative, because the paper also notes
+// the hub cannot observe false negatives: the final admission-control
+// stage's threshold is tightened multiplicatively on false-positive
+// reports and drifts back toward the developer's original value on true
+// positives, bounded so recall is never traded away wholesale.
+
+// Tuning behavior constants.
+const (
+	// tuneUp is the multiplicative strictness increase per false
+	// positive; tuneDown the relaxation per true positive.
+	tuneUp   = 1.05
+	tuneDown = 0.97
+	// tuneMax bounds how far the tuner may tighten a threshold relative
+	// to the developer's value (the hub cannot see the false negatives
+	// that over-tightening would cause).
+	tuneMax = 1.5
+)
+
+// tuner tracks one condition's adaptive strictness factor in
+// [1, tuneMax]; 1 means the developer's original threshold.
+type tuner struct {
+	factor float64
+}
+
+func newTuner() *tuner { return &tuner{factor: 1} }
+
+// feedback applies one application report and returns whether the factor
+// changed.
+func (t *tuner) feedback(falsePositive bool) bool {
+	old := t.factor
+	if falsePositive {
+		t.factor = math.Min(t.factor*tuneUp, tuneMax)
+	} else {
+		t.factor = math.Max(t.factor*tuneDown, 1)
+	}
+	return t.factor != old
+}
+
+// adjustedPlan returns the plan with its final admission-control stage
+// tightened by the factor. The returned plan shares all node state except
+// the final node's parameters; factor 1 returns the plan unchanged.
+func adjustedPlan(plan *core.Plan, factor float64) *core.Plan {
+	if factor == 1 {
+		return plan
+	}
+	out := &core.Plan{
+		Name:     plan.Name,
+		Nodes:    append([]core.PlanNode(nil), plan.Nodes...),
+		Channels: plan.Channels,
+	}
+	last := &out.Nodes[len(out.Nodes)-1]
+	params := last.Params.Clone()
+	switch last.Kind {
+	case core.KindMinThreshold:
+		params["min"] = core.Number(tighten(params.Float("min"), factor, +1))
+	case core.KindMaxThreshold:
+		params["max"] = core.Number(tighten(params.Float("max"), factor, -1))
+	case core.KindBandThreshold:
+		lo, hi := params.Float("min"), params.Float("max")
+		width := hi - lo
+		shrink := width * (factor - 1) / 2 * 0.5 // shrink at half the rate: bands are fragile
+		if lo+shrink <= hi-shrink {
+			params["min"] = core.Number(lo + shrink)
+			params["max"] = core.Number(hi - shrink)
+		}
+	default:
+		// Aggregator or parameter-free final stage: nothing to tune.
+		return plan
+	}
+	last.Params = params
+	return out
+}
+
+// tighten moves a threshold in the stricter direction (dir +1 raises a
+// minimum, -1 lowers a maximum) proportionally to its magnitude. A zero
+// threshold has no scale reference and is left alone.
+func tighten(v, factor float64, dir float64) float64 {
+	if v == 0 {
+		return 0
+	}
+	return v + dir*math.Abs(v)*(factor-1)
+}

@@ -1,0 +1,190 @@
+package manager
+
+import (
+	"math"
+	"testing"
+
+	"sidewinder/internal/core"
+)
+
+func TestTunerAIMD(t *testing.T) {
+	tn := newTuner()
+	if tn.factor != 1 {
+		t.Fatalf("fresh factor = %g", tn.factor)
+	}
+	// False positives tighten multiplicatively up to the cap.
+	for i := 0; i < 100; i++ {
+		tn.feedback(true)
+	}
+	if tn.factor != tuneMax {
+		t.Errorf("factor after FP storm = %g, want capped at %g", tn.factor, tuneMax)
+	}
+	// True positives drift back toward 1 and never below.
+	for i := 0; i < 500; i++ {
+		tn.feedback(false)
+	}
+	if tn.factor != 1 {
+		t.Errorf("factor after TP run = %g, want 1", tn.factor)
+	}
+	if tn.feedback(false) {
+		t.Error("feedback at the floor should report no change")
+	}
+}
+
+func TestAdjustedPlanMinThreshold(t *testing.T) {
+	p := core.NewPipeline("x")
+	p.AddBranch(core.NewBranch(core.AccelX).Add(core.MovingAverage(2)).Add(core.MinThreshold(10)))
+	plan, err := p.Validate(core.DefaultCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj := adjustedPlan(plan, 1.2)
+	got := adj.Nodes[len(adj.Nodes)-1].Params.Float("min")
+	if math.Abs(got-12) > 1e-12 {
+		t.Errorf("tightened min = %g, want 12", got)
+	}
+	// The original plan is untouched.
+	if plan.Nodes[len(plan.Nodes)-1].Params.Float("min") != 10 {
+		t.Error("adjustedPlan mutated the original")
+	}
+	// Factor 1 returns the same plan.
+	if adjustedPlan(plan, 1) != plan {
+		t.Error("factor 1 should be the identity")
+	}
+}
+
+func TestAdjustedPlanMaxThresholdAndNegatives(t *testing.T) {
+	p := core.NewPipeline("x")
+	p.AddBranch(core.NewBranch(core.AccelY).Add(core.MovingAverage(2)).Add(core.MaxThreshold(-3)))
+	plan, err := p.Validate(core.DefaultCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj := adjustedPlan(plan, 1.1)
+	got := adj.Nodes[len(adj.Nodes)-1].Params.Float("max")
+	// Stricter max threshold: lower. -3 - 0.3 = -3.3.
+	if math.Abs(got-(-3.3)) > 1e-12 {
+		t.Errorf("tightened max = %g, want -3.3", got)
+	}
+	// Negative min threshold also tightens upward.
+	p2 := core.NewPipeline("y")
+	p2.AddBranch(core.NewBranch(core.AccelY).Add(core.MovingAverage(2)).Add(core.MinThreshold(-5)))
+	plan2, err := p2.Validate(core.DefaultCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj2 := adjustedPlan(plan2, 1.1)
+	if got := adj2.Nodes[len(adj2.Nodes)-1].Params.Float("min"); math.Abs(got-(-4.5)) > 1e-12 {
+		t.Errorf("tightened negative min = %g, want -4.5", got)
+	}
+}
+
+func TestAdjustedPlanBandThreshold(t *testing.T) {
+	p := core.NewPipeline("x")
+	p.AddBranch(core.NewBranch(core.AccelX).Add(core.MovingAverage(2)).Add(core.BandThreshold(2, 6)))
+	plan, err := p.Validate(core.DefaultCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj := adjustedPlan(plan, 1.2)
+	last := adj.Nodes[len(adj.Nodes)-1].Params
+	lo, hi := last.Float("min"), last.Float("max")
+	if lo <= 2 || hi >= 6 || lo >= hi {
+		t.Errorf("band after tightening = [%g, %g], want shrunk within (2, 6)", lo, hi)
+	}
+}
+
+func TestAdjustedPlanAggregatorFinalIsNoop(t *testing.T) {
+	p := core.NewPipeline("x")
+	p.AddBranch(
+		core.NewBranch(core.Mic).Add(core.Window(4, 0, "")).Add(core.Stat("mean")).Add(core.MinThreshold(1)),
+		core.NewBranch(core.Mic).Add(core.Window(4, 0, "")).Add(core.Stat("range")).Add(core.MinThreshold(1)),
+	)
+	p.Add(core.And())
+	plan, err := p.Validate(core.DefaultCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adjustedPlan(plan, 1.3) != plan {
+		t.Error("and-terminated plans cannot be tuned; expected identity")
+	}
+}
+
+func TestFeedbackTightensConditionEndToEnd(t *testing.T) {
+	tb := newBed(t)
+	fires := 0
+	// Threshold 10 on the x moving average.
+	p := core.NewPipeline("tunable")
+	p.AddBranch(core.NewBranch(core.AccelX).Add(core.MovingAverage(2)).Add(core.MinThreshold(10)))
+	id, _, err := tb.Push(p, ListenerFunc(func(Event) { fires++ }))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	feed := func(v float64, n int) int {
+		before := fires
+		for i := 0; i < n; i++ {
+			if err := tb.Feed(core.AccelX, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return fires - before
+	}
+
+	// 11 m/s² fires against the developer threshold of 10.
+	if got := feed(11, 4); got == 0 {
+		t.Fatal("condition should fire at 11 before tuning")
+	}
+	// The app reports several false positives; the hub tightens.
+	for i := 0; i < 6; i++ {
+		if err := tb.Feedback(id, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	factor, ok := tb.Hub.TuningFactor(id)
+	if !ok || factor <= 1 {
+		t.Fatalf("tuning factor = %g, %v", factor, ok)
+	}
+	// 11 no longer fires (threshold is now ~13.4); 15 still does.
+	if got := feed(11, 6); got != 0 {
+		t.Fatalf("11 m/s² fired %d times after tightening", got)
+	}
+	if got := feed(15, 4); got == 0 {
+		t.Fatal("15 m/s² should still fire after tightening")
+	}
+	// True positives relax back toward the developer's threshold.
+	for i := 0; i < 60; i++ {
+		if err := tb.Feedback(id, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	factor, _ = tb.Hub.TuningFactor(id)
+	if factor != 1 {
+		t.Fatalf("factor after sustained TPs = %g, want 1", factor)
+	}
+	if got := feed(11, 6); got == 0 {
+		t.Fatal("11 m/s² should fire again after relaxation")
+	}
+}
+
+func TestFeedbackUnknownCondition(t *testing.T) {
+	tb := newBed(t)
+	if err := tb.Manager.Feedback(99, true); err == nil {
+		t.Fatal("feedback for unknown condition should fail")
+	}
+}
+
+func TestFeedbackPayloadCodec(t *testing.T) {
+	p := encodeFeedback(5, true)
+	id, fp, err := decodeFeedback(p)
+	if err != nil || id != 5 || !fp {
+		t.Errorf("round trip: %d %v %v", id, fp, err)
+	}
+	p = encodeFeedback(6, false)
+	if _, fp, _ := decodeFeedback(p); fp {
+		t.Error("verdict bit wrong")
+	}
+	if _, _, err := decodeFeedback(p[:2]); err == nil {
+		t.Error("short payload should fail")
+	}
+}

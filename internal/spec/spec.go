@@ -1,0 +1,139 @@
+// Package spec defines a JSON interchange format for wake-up conditions,
+// used by tooling (cmd/swc) to author pipelines outside of Go code. The
+// format mirrors the builder API one-to-one:
+//
+//	{
+//	  "name": "significantMotion",
+//	  "branches": [
+//	    {"source": "ACC_X", "stages": [{"kind": "movingAvg", "params": {"size": 10}}]},
+//	    {"source": "ACC_Y", "stages": [{"kind": "movingAvg", "params": {"size": 10}}]},
+//	    {"source": "ACC_Z", "stages": [{"kind": "movingAvg", "params": {"size": 10}}]}
+//	  ],
+//	  "tail": [
+//	    {"kind": "vectorMagnitude"},
+//	    {"kind": "minThreshold", "params": {"min": 15}}
+//	  ]
+//	}
+//
+// Parameter values are JSON numbers or strings (for enums such as window
+// shapes and statistic names).
+package spec
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"sidewinder/internal/core"
+)
+
+// File is the top-level JSON document.
+type File struct {
+	Name     string       `json:"name"`
+	Branches []BranchSpec `json:"branches"`
+	Tail     []StageSpec  `json:"tail,omitempty"`
+}
+
+// BranchSpec is one processing branch.
+type BranchSpec struct {
+	Source string      `json:"source"`
+	Stages []StageSpec `json:"stages,omitempty"`
+}
+
+// StageSpec is one parameterized algorithm instance.
+type StageSpec struct {
+	Kind   string                     `json:"kind"`
+	Params map[string]json.RawMessage `json:"params,omitempty"`
+}
+
+// Parse decodes a JSON pipeline spec into a builder pipeline. The result
+// still needs Validate against a catalog; Parse checks JSON structure
+// only, so error messages stay separated (syntax vs semantics).
+func Parse(data []byte) (*core.Pipeline, error) {
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("spec: invalid JSON: %w", err)
+	}
+	return f.Pipeline()
+}
+
+// Pipeline converts the decoded file into a builder pipeline.
+func (f *File) Pipeline() (*core.Pipeline, error) {
+	p := core.NewPipeline(f.Name)
+	for i, b := range f.Branches {
+		br := core.NewBranch(core.SensorChannel(b.Source))
+		for j, s := range b.Stages {
+			stage, err := s.stage()
+			if err != nil {
+				return nil, fmt.Errorf("spec: branch %d stage %d: %w", i+1, j+1, err)
+			}
+			br.Add(stage)
+		}
+		p.AddBranch(br)
+	}
+	for i, s := range f.Tail {
+		stage, err := s.stage()
+		if err != nil {
+			return nil, fmt.Errorf("spec: tail stage %d: %w", i+1, err)
+		}
+		p.Add(stage)
+	}
+	return p, nil
+}
+
+// stage converts one StageSpec.
+func (s *StageSpec) stage() (core.Stage, error) {
+	if s.Kind == "" {
+		return core.Stage{}, fmt.Errorf("missing algorithm kind")
+	}
+	params := make(core.Params, len(s.Params))
+	for name, raw := range s.Params {
+		var num float64
+		if err := json.Unmarshal(raw, &num); err == nil {
+			params[name] = core.Number(num)
+			continue
+		}
+		var str string
+		if err := json.Unmarshal(raw, &str); err == nil {
+			params[name] = core.Str(str)
+			continue
+		}
+		return core.Stage{}, fmt.Errorf("parameter %q must be a number or string, got %s", name, raw)
+	}
+	if len(params) == 0 {
+		params = nil
+	}
+	return core.Stage{Kind: core.AlgorithmKind(s.Kind), Params: params}, nil
+}
+
+// Marshal encodes a builder pipeline back into the JSON spec format.
+func Marshal(p *core.Pipeline) ([]byte, error) {
+	f := File{Name: p.Name()}
+	for _, b := range p.Branches() {
+		bs := BranchSpec{Source: string(b.Source())}
+		for _, s := range b.Stages() {
+			bs.Stages = append(bs.Stages, stageSpec(s))
+		}
+		f.Branches = append(f.Branches, bs)
+	}
+	for _, s := range p.Tail() {
+		f.Tail = append(f.Tail, stageSpec(s))
+	}
+	return json.MarshalIndent(&f, "", "  ")
+}
+
+func stageSpec(s core.Stage) StageSpec {
+	out := StageSpec{Kind: string(s.Kind)}
+	if len(s.Params) > 0 {
+		out.Params = make(map[string]json.RawMessage, len(s.Params))
+		for name, v := range s.Params {
+			var raw []byte
+			if v.IsStr {
+				raw, _ = json.Marshal(v.Str)
+			} else {
+				raw, _ = json.Marshal(v.Num)
+			}
+			out.Params[name] = raw
+		}
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"sidewinder/internal/core"
+	"sidewinder/internal/ir"
+)
+
+const significantMotionJSON = `{
+  "name": "significantMotion",
+  "branches": [
+    {"source": "ACC_X", "stages": [{"kind": "movingAvg", "params": {"size": 10}}]},
+    {"source": "ACC_Y", "stages": [{"kind": "movingAvg", "params": {"size": 10}}]},
+    {"source": "ACC_Z", "stages": [{"kind": "movingAvg", "params": {"size": 10}}]}
+  ],
+  "tail": [
+    {"kind": "vectorMagnitude"},
+    {"kind": "minThreshold", "params": {"min": 15}}
+  ]
+}`
+
+func TestParseAndValidate(t *testing.T) {
+	p, err := Parse([]byte(significantMotionJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "significantMotion" {
+		t.Errorf("name = %q", p.Name())
+	}
+	plan, err := p.Validate(core.DefaultCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Nodes) != 5 {
+		t.Errorf("plan has %d nodes, want 5", len(plan.Nodes))
+	}
+	text := ir.CompileToText(plan)
+	if !strings.Contains(text, "1,2,3 -> vectorMagnitude(id=4);") {
+		t.Errorf("unexpected IR:\n%s", text)
+	}
+}
+
+func TestParseEnumAndStringParams(t *testing.T) {
+	doc := `{
+	  "name": "w",
+	  "branches": [
+	    {"source": "MIC", "stages": [
+	      {"kind": "window", "params": {"size": 64, "shape": "hamming"}},
+	      {"kind": "stat", "params": {"op": "variance"}},
+	      {"kind": "minThreshold", "params": {"min": 0.5}}
+	    ]}
+	  ]
+	}`
+	p, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := p.Validate(core.DefaultCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Nodes[0].Params.Str("shape") != "hamming" {
+		t.Error("shape enum lost")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, doc, want string }{
+		{"bad json", `{`, "invalid JSON"},
+		{"missing kind", `{"branches":[{"source":"ACC_X","stages":[{"params":{}}]}]}`, "missing algorithm kind"},
+		{"bad param type", `{"branches":[{"source":"ACC_X","stages":[{"kind":"movingAvg","params":{"size":[1]}}]}]}`, "number or string"},
+		{"bad tail param", `{"branches":[{"source":"ACC_X"}],"tail":[{"kind":"abs","params":{"x":{}}}]}`, "tail stage 1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.doc))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	p, err := Parse([]byte(significantMotionJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Parse(data)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, data)
+	}
+	cat := core.DefaultCatalog()
+	plan1, err := p.Validate(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan2, err := p2.Validate(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ir.CompileToText(plan1) != ir.CompileToText(plan2) {
+		t.Error("round trip changed the compiled program")
+	}
+}
+
+func TestSemanticErrorsSurfaceAtValidate(t *testing.T) {
+	// Unknown algorithm parses fine (syntax) but fails validation
+	// (semantics) -- the layering the package doc promises.
+	p, err := Parse([]byte(`{"branches":[{"source":"ACC_X","stages":[{"kind":"teleport"}]}]}`))
+	if err != nil {
+		t.Fatalf("syntax parse should succeed: %v", err)
+	}
+	if _, err := p.Validate(core.DefaultCatalog()); err == nil {
+		t.Fatal("validation should reject unknown algorithm")
+	}
+}

@@ -1,0 +1,308 @@
+package tracegen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"sidewinder/internal/core"
+	"sidewinder/internal/sensor"
+)
+
+// AudioEnvironment names one of the paper's recording environments (§4.1):
+// an office, a coffee shop, and outdoors.
+type AudioEnvironment string
+
+// The three environments.
+const (
+	OfficeAudio     AudioEnvironment = "office"
+	CoffeeShopAudio AudioEnvironment = "coffeeshop"
+	OutdoorsAudio   AudioEnvironment = "outdoors"
+)
+
+// AudioEnvironments lists the environments in paper order.
+func AudioEnvironments() []AudioEnvironment {
+	return []AudioEnvironment{OfficeAudio, CoffeeShopAudio, OutdoorsAudio}
+}
+
+// AudioConfig parameterizes one synthetic audio trace. The paper mixed
+// events of interest into recorded beds: music 5%, speech 5%, sirens 2% of
+// each trace, with the phrase of interest occurring in under 1%.
+type AudioConfig struct {
+	Seed        int64
+	Duration    time.Duration
+	Environment AudioEnvironment
+	// Event shares of the trace; zero values take the paper defaults
+	// when UseDefaults is true (helper NewAudioConfig sets them).
+	MusicFraction  float64
+	SpeechFraction float64
+	SirenFraction  float64
+	// PhraseFraction is the share of the trace containing the phrase of
+	// interest; phrases are embedded inside speech segments.
+	PhraseFraction float64
+	// RateHz defaults to core.AudioRateHz.
+	RateHz float64
+}
+
+// NewAudioConfig returns a config with the paper's event mix.
+func NewAudioConfig(seed int64, d time.Duration, env AudioEnvironment) AudioConfig {
+	return AudioConfig{
+		Seed:           seed,
+		Duration:       d,
+		Environment:    env,
+		MusicFraction:  0.05,
+		SpeechFraction: 0.05,
+		SirenFraction:  0.02,
+		PhraseFraction: 0.008,
+		RateHz:         core.AudioRateHz,
+	}
+}
+
+// environment bed parameters.
+type audioBed struct {
+	level  float64 // RMS-ish noise amplitude
+	humHz  float64 // mains/machine hum (0 for none)
+	humAmp float64
+	burstP float64 // probability per second of a short background burst
+	burstA float64 // burst amplitude
+	rumble float64 // low-frequency rumble amplitude (outdoors traffic)
+}
+
+var audioBeds = map[AudioEnvironment]audioBed{
+	OfficeAudio:     {level: 0.015, humHz: 120, humAmp: 0.01, burstP: 0.02, burstA: 0.05},
+	CoffeeShopAudio: {level: 0.05, humHz: 0, humAmp: 0, burstP: 0.02, burstA: 0.05},
+	OutdoorsAudio:   {level: 0.03, humHz: 0, humAmp: 0, burstP: 0.02, burstA: 0.05, rumble: 0.04},
+}
+
+// Audio synthesizes one environment trace with injected events of
+// interest, each labeled with exact ground truth.
+func Audio(cfg AudioConfig) (*sensor.Trace, error) {
+	bed, ok := audioBeds[cfg.Environment]
+	if !ok {
+		return nil, fmt.Errorf("tracegen: unknown audio environment %q", cfg.Environment)
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("tracegen: audio trace duration must be positive")
+	}
+	if cfg.MusicFraction+cfg.SpeechFraction+cfg.SirenFraction > 0.5 {
+		return nil, fmt.Errorf("tracegen: event fractions sum to more than half the trace")
+	}
+	if cfg.PhraseFraction > cfg.SpeechFraction {
+		return nil, fmt.Errorf("tracegen: phrase fraction %g exceeds speech fraction %g", cfg.PhraseFraction, cfg.SpeechFraction)
+	}
+	rate := cfg.RateHz
+	if rate == 0 {
+		rate = core.AudioRateHz
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	total := int(cfg.Duration.Seconds() * rate)
+
+	samples := make([]float64, total)
+	synthBed(samples, bed, rng, rate)
+
+	// Schedule non-overlapping event segments, then synthesize each in
+	// place over the bed.
+	var events []sensor.Event
+	schedule := func(label string, fraction, minSec, maxSec float64) []sensor.Event {
+		placed := placeSegments(rng, total, int(fraction*float64(total)), int(minSec*rate), int(maxSec*rate), events)
+		for _, e := range placed {
+			events = append(events, sensor.Event{Label: label, Start: e.Start, End: e.End})
+		}
+		return placed
+	}
+
+	musicSegs := schedule(LabelMusic, cfg.MusicFraction, 15, 40)
+	speechSegs := schedule(LabelSpeech, cfg.SpeechFraction, 6, 18)
+	sirenSegs := schedule(LabelSiren, cfg.SirenFraction, 4, 12)
+
+	for _, e := range musicSegs {
+		synthMusic(samples[e.Start:e.End], rng, rate)
+	}
+	for _, e := range speechSegs {
+		synthSpeech(samples[e.Start:e.End], rng, rate)
+	}
+	for _, e := range sirenSegs {
+		synthSiren(samples[e.Start:e.End], rng, rate)
+	}
+
+	// Phrases live inside speech segments: mark sub-intervals until the
+	// phrase budget is spent. The phrase is acoustically just speech --
+	// only the main-CPU recognizer distinguishes it (paper §3.7.2).
+	phraseBudget := int(cfg.PhraseFraction * float64(total))
+	for _, seg := range speechSegs {
+		if phraseBudget <= 0 {
+			break
+		}
+		plen := int(jitter(rng, 1.5, 0.3) * rate) // ~1.5 s phrases
+		if plen > seg.End-seg.Start {
+			plen = seg.End - seg.Start
+		}
+		if plen > phraseBudget {
+			plen = phraseBudget
+		}
+		start := seg.Start + rng.Intn(seg.End-seg.Start-plen+1)
+		events = append(events, sensor.Event{Label: LabelPhrase, Start: start, End: start + plen})
+		phraseBudget -= plen
+	}
+
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].Start != events[j].Start {
+			return events[i].Start < events[j].Start
+		}
+		return events[i].End < events[j].End
+	})
+
+	tr := &sensor.Trace{
+		Name:     fmt.Sprintf("audio-%s", cfg.Environment),
+		RateHz:   rate,
+		Channels: map[core.SensorChannel][]float64{core.Mic: samples},
+		Events:   events,
+		Meta: map[string]string{
+			"kind":        "audio",
+			"environment": string(cfg.Environment),
+		},
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("tracegen: generated invalid audio trace: %w", err)
+	}
+	return tr, nil
+}
+
+// placeSegments schedules non-overlapping segments totaling roughly budget
+// samples, each between minLen and maxLen, avoiding existing events.
+func placeSegments(rng *rand.Rand, total, budget, minLen, maxLen int, existing []sensor.Event) []sensor.Event {
+	var placed []sensor.Event
+	occupied := append([]sensor.Event(nil), existing...)
+	tries := 0
+	for budget > 0 && tries < 10000 {
+		tries++
+		l := minLen
+		if maxLen > minLen {
+			l += rng.Intn(maxLen - minLen)
+		}
+		if l > budget {
+			l = budget
+		}
+		if l < minLen/3 || l >= total {
+			break // the remainder is too short to be a meaningful event
+		}
+		start := rng.Intn(total - l)
+		conflict := false
+		for _, e := range occupied {
+			// Keep a 1000-sample guard band between events.
+			if e.Overlaps(start-1000, start+l+1000) {
+				conflict = true
+				break
+			}
+		}
+		if conflict {
+			continue
+		}
+		seg := sensor.Event{Start: start, End: start + l}
+		placed = append(placed, seg)
+		occupied = append(occupied, seg)
+		budget -= l
+	}
+	return placed
+}
+
+// synthBed fills samples with the environment's background noise.
+func synthBed(samples []float64, bed audioBed, rng *rand.Rand, rate float64) {
+	burstLeft := 0
+	burstAmp := 0.0
+	for i := range samples {
+		t := float64(i) / rate
+		v := rng.NormFloat64() * bed.level
+		if bed.humHz > 0 {
+			v += bed.humAmp * math.Sin(2*math.Pi*bed.humHz*t)
+		}
+		if bed.rumble > 0 {
+			v += bed.rumble * math.Sin(2*math.Pi*31*t) * (0.5 + 0.5*math.Sin(2*math.Pi*0.13*t))
+		}
+		if burstLeft == 0 && rng.Float64() < bed.burstP/rate {
+			burstLeft = int(0.3 * rate)
+			burstAmp = bed.burstA * (0.5 + rng.Float64())
+		}
+		if burstLeft > 0 {
+			v += rng.NormFloat64() * burstAmp
+			burstLeft--
+		}
+		samples[i] = v
+	}
+}
+
+// synthMusic overlays a song: sustained chord tones changing every ~0.5 s
+// with beat-synchronous amplitude modulation. High amplitude variance,
+// low-to-moderate zero-crossing-rate variance (pitch is stable within a
+// note).
+func synthMusic(seg []float64, rng *rand.Rand, rate float64) {
+	noteLen := int(0.5 * rate)
+	// Notes stay below ~440 Hz so even the 1.5x harmonic sits under the
+	// siren detector's 750 Hz high-pass: recorded music does reach that
+	// band, but the paper's siren condition distinguished sirens from
+	// music, so the synthetic music must too.
+	base := 220.0 * math.Pow(2, float64(rng.Intn(5))/12)
+	freq := base
+	for i := range seg {
+		if i%noteLen == 0 {
+			freq = base * math.Pow(2, float64(rng.Intn(8))/12)
+		}
+		t := float64(i) / rate
+		beat := 0.6 + 0.4*math.Abs(math.Sin(2*math.Pi*1.0*t)) // 120 bpm pulse
+		v := 0.28 * beat * (math.Sin(2*math.Pi*freq*t) + 0.5*math.Sin(2*math.Pi*freq*1.5*t))
+		seg[i] += v
+	}
+}
+
+// synthSpeech overlays speech: ~4 Hz syllable bursts alternating voiced
+// (low-frequency, high energy) and unvoiced (noisy) sounds with pauses.
+// High amplitude variance and high zero-crossing-rate variance.
+func synthSpeech(seg []float64, rng *rand.Rand, rate float64) {
+	i := 0
+	for i < len(seg) {
+		sylLen := int(jitter(rng, 0.22, 0.4) * rate)
+		if i+sylLen > len(seg) {
+			sylLen = len(seg) - i
+		}
+		voiced := rng.Float64() < 0.65
+		pitch := jitter(rng, 160, 0.3)
+		for j := 0; j < sylLen; j++ {
+			u := float64(j) / float64(sylLen)
+			env := 0.35 * bump(u)
+			t := float64(i+j) / rate
+			var v float64
+			if voiced {
+				v = env * (math.Sin(2*math.Pi*pitch*t) + 0.4*math.Sin(2*math.Pi*2*pitch*t))
+			} else {
+				v = env * rng.NormFloat64() * 0.8
+			}
+			seg[i+j] += v
+		}
+		i += sylLen
+		// Inter-syllable / inter-word pause.
+		pause := int(jitter(rng, 0.08, 0.6) * rate)
+		if rng.Float64() < 0.15 {
+			pause = int(jitter(rng, 0.4, 0.5) * rate) // word gap
+		}
+		i += pause
+	}
+}
+
+// synthSiren overlays an emergency-vehicle siren: a strong tone sweeping
+// within the 850-1800 Hz band the paper's detector targets (sounds must be
+// pitched and last longer than 650 ms).
+func synthSiren(seg []float64, rng *rand.Rand, rate float64) {
+	// Real "wail" sirens sweep slowly (a 5-10 s period); a fast sweep
+	// would smear the tone across FFT bins within one analysis window.
+	sweepHz := jitter(rng, 0.15, 0.3)
+	phase := rng.Float64() * 2 * math.Pi
+	var phi float64
+	for i := range seg {
+		t := float64(i) / rate
+		f := 1325 + 450*math.Sin(2*math.Pi*sweepHz*t+phase) // 875..1775 Hz
+		phi += 2 * math.Pi * f / rate
+		seg[i] += 0.6 * math.Sin(phi)
+	}
+}

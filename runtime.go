@@ -1,0 +1,51 @@
+package sidewinder
+
+import (
+	"sidewinder/internal/hub"
+	"sidewinder/internal/manager"
+)
+
+// Runtime surface: the sensor manager, the hub node and the devices they
+// run on (paper Fig. 1 and §3.4-3.5).
+type (
+	// Manager is the phone-side SidewinderSensorManager.
+	Manager = manager.Manager
+	// HubNode is the hub-side runtime: IR binding, device placement,
+	// interpretation, wake delivery.
+	HubNode = manager.HubNode
+	// Testbed couples a Manager and a HubNode over a simulated UART,
+	// mirroring the paper's phone+microcontroller prototype.
+	Testbed = manager.Testbed
+	// TestbedConfig tunes the testbed.
+	TestbedConfig = manager.TestbedConfig
+	// Event is delivered to listeners on wake-up, with the hub's raw
+	// data buffer.
+	Event = manager.Event
+	// Listener is the paper's SensorEventListener.
+	Listener = manager.Listener
+	// ListenerFunc adapts a function to Listener.
+	ListenerFunc = manager.ListenerFunc
+	// Device models a sensor-hub microcontroller.
+	Device = hub.Device
+)
+
+// NewTestbed builds the full phone+hub assembly over a simulated serial
+// link.
+func NewTestbed(cfg TestbedConfig) (*Testbed, error) { return manager.NewTestbed(cfg) }
+
+// MSP430 returns the prototype's low-power microcontroller model
+// (3.6 mW awake, no FPU).
+func MSP430() Device { return hub.MSP430() }
+
+// LM4F120 returns the prototype's Cortex-M4F microcontroller model
+// (49.4 mW awake, hardware floating point).
+func LM4F120() Device { return hub.LM4F120() }
+
+// Devices returns the prototype's device ladder in increasing power order.
+func Devices() []Device { return hub.Devices() }
+
+// SelectDevice returns the lowest-power device able to run all given
+// plans concurrently in real time and within RAM (paper §3.8 "Sizing").
+func SelectDevice(candidates []Device, plans ...*Plan) (Device, error) {
+	return hub.SelectDevice(candidates, plans...)
+}

@@ -1,0 +1,208 @@
+// Package sidewinder is an energy-efficient, developer-friendly framework
+// for continuous mobile sensing, reproducing the system described in
+// "Sidewinder: An Energy Efficient and Developer Friendly Heterogeneous
+// Architecture for Continuous Mobile Sensing" (ASPLOS 2016).
+//
+// Sidewinder splits energy-efficient event detection between the platform
+// and the application developer: the platform ships a catalog of sensor
+// data processing algorithms that run on a low-power sensor hub, and
+// developers chain and parameterize those algorithms into custom wake-up
+// conditions. Conditions are compiled to an intermediate language, pushed
+// to the hub, and interpreted there while the main processor sleeps; when
+// a condition's final admission-control stage fires, the main processor is
+// woken and the application receives a buffer of raw sensor data.
+//
+// A wake-up condition is built exactly like the paper's Java API
+// (Fig. 2a):
+//
+//	p := sidewinder.NewPipeline("significantMotion")
+//	for _, ch := range []sidewinder.SensorChannel{
+//		sidewinder.AccelX, sidewinder.AccelY, sidewinder.AccelZ,
+//	} {
+//		p.AddBranch(sidewinder.NewBranch(ch).Add(sidewinder.MovingAverage(10)))
+//	}
+//	p.Add(sidewinder.VectorMagnitude())
+//	p.Add(sidewinder.MinThreshold(15))
+//
+//	bed, _ := sidewinder.NewTestbed(sidewinder.TestbedConfig{})
+//	id, device, _ := bed.Push(p, sidewinder.ListenerFunc(func(e sidewinder.Event) {
+//		// main processor woken: e.Data holds the hub's raw buffer
+//	}))
+//
+// The package also exposes the evaluation machinery used to reproduce the
+// paper's results: synthetic trace generators, the six reference
+// applications, the sensing strategies of §4.2 (Always Awake, Duty
+// Cycling, Batching, Predefined Activity, Sidewinder, Oracle) and the
+// experiment harness for every table and figure.
+package sidewinder
+
+import (
+	"sidewinder/internal/core"
+	"sidewinder/internal/ir"
+)
+
+// Pipeline building blocks (paper §3.2). These are aliases of the core
+// types so values flow freely between the public API and the evaluation
+// helpers.
+type (
+	// Pipeline is a ProcessingPipeline: an entire wake-up condition.
+	Pipeline = core.Pipeline
+	// Branch is a ProcessingBranch: data flow from one sensor channel
+	// through single-input algorithms.
+	Branch = core.Branch
+	// Stage is one parameterized algorithm instance.
+	Stage = core.Stage
+	// SensorChannel names a hub input channel.
+	SensorChannel = core.SensorChannel
+	// Catalog is the platform's algorithm catalog.
+	Catalog = core.Catalog
+	// Plan is a validated, fully resolved wake-up condition.
+	Plan = core.Plan
+)
+
+// Sensor channels of the prototype hub (paper §3.4).
+const (
+	AccelX = core.AccelX
+	AccelY = core.AccelY
+	AccelZ = core.AccelZ
+	Mic    = core.Mic
+)
+
+// Sampling rates of the prototype's sensors in Hz.
+const (
+	AccelRateHz = core.AccelRateHz
+	AudioRateHz = core.AudioRateHz
+)
+
+// NewPipeline returns an empty wake-up condition with a diagnostic name.
+func NewPipeline(name string) *Pipeline { return core.NewPipeline(name) }
+
+// NewBranch returns a branch rooted at a sensor channel.
+func NewBranch(source SensorChannel) *Branch { return core.NewBranch(source) }
+
+// DefaultCatalog returns the platform algorithm catalog (paper §3.6).
+func DefaultCatalog() *Catalog { return core.DefaultCatalog() }
+
+// Validate checks a pipeline against the platform catalog and resolves it
+// into a Plan.
+func Validate(p *Pipeline) (*Plan, error) { return p.Validate(core.DefaultCatalog()) }
+
+// CompileIR validates a pipeline and returns its intermediate-language
+// program (paper §3.3, Fig. 2c), the form pushed to the sensor hub.
+func CompileIR(p *Pipeline) (string, error) {
+	plan, err := p.Validate(core.DefaultCatalog())
+	if err != nil {
+		return "", err
+	}
+	return ir.CompileToText(plan), nil
+}
+
+// ParseIR parses intermediate-language text and binds it against the
+// platform catalog, returning the executable plan. It is what a hub
+// implementation runs on a received configuration.
+func ParseIR(text string) (*Plan, error) {
+	return ir.ParseAndBind(text, core.DefaultCatalog())
+}
+
+// Stage constructors (paper §3.6). Each returns an algorithm stub that is
+// validated when the pipeline is pushed.
+
+// Window partitions a sample stream into windows of size samples emitted
+// every step samples (step 0 means non-overlapping); shape is
+// "rectangular" or "hamming".
+func Window(size, step int, shape string) Stage { return core.Window(size, step, shape) }
+
+// FFT transforms a window into an interleaved complex spectrum.
+func FFT() Stage { return core.FFT() }
+
+// IFFT inverts an interleaved complex spectrum back into a real block.
+func IFFT() Stage { return core.IFFT() }
+
+// SpectralMag reduces a complex spectrum to per-bin magnitudes.
+func SpectralMag() Stage { return core.SpectralMag() }
+
+// MovingAverage smooths a stream over the last size samples.
+func MovingAverage(size int) Stage { return core.MovingAverage(size) }
+
+// ExpMovingAverage smooths a stream with factor alpha in (0, 1].
+func ExpMovingAverage(alpha float64) Stage { return core.ExpMovingAverage(alpha) }
+
+// LowPass applies an FFT-based low-pass filter at cutoff Hz over
+// power-of-two blocks.
+func LowPass(cutoff float64, block int) Stage { return core.LowPass(cutoff, block) }
+
+// HighPass applies an FFT-based high-pass filter at cutoff Hz over
+// power-of-two blocks.
+func HighPass(cutoff float64, block int) Stage { return core.HighPass(cutoff, block) }
+
+// IIRLowPass applies a streaming biquad low-pass at cutoff Hz: the cheap,
+// per-sample alternative to the FFT block filter, feasible on FPU-less
+// microcontrollers.
+func IIRLowPass(cutoff, rate float64) Stage { return core.IIRLowPass(cutoff, rate) }
+
+// IIRHighPass applies a streaming biquad high-pass at cutoff Hz.
+func IIRHighPass(cutoff, rate float64) Stage { return core.IIRHighPass(cutoff, rate) }
+
+// GoertzelBank scans [bandLow, bandHigh] Hz with n fixed-point Goertzel
+// detectors over blocks of the given size, emitting the best normalized
+// tone score per block — a tone detector cheap enough for the MSP430.
+func GoertzelBank(bandLow, bandHigh, rate float64, block, detectors int) Stage {
+	return core.GoertzelBank(bandLow, bandHigh, rate, block, detectors)
+}
+
+// VectorMagnitude aggregates N scalar branches into their Euclidean
+// magnitude.
+func VectorMagnitude() Stage { return core.VectorMagnitude() }
+
+// ZeroCrossingRate computes the zero-crossing rate of each window.
+func ZeroCrossingRate() Stage { return core.ZeroCrossingRate() }
+
+// ZCRVariance computes the variance of per-sub-window zero-crossing rates.
+func ZCRVariance(subwindows int) Stage { return core.ZCRVariance(subwindows) }
+
+// Stat computes a windowed statistic: one of mean, variance, stddev, min,
+// max, range, rms, median, meanAbs, energy.
+func Stat(op string) Stage { return core.Stat(op) }
+
+// DominantFreqMag emits the magnitude of the dominant non-DC spectral bin.
+func DominantFreqMag() Stage { return core.DominantFreqMag() }
+
+// Tonality emits the peak-to-mean spectral ratio when the dominant bin
+// lies within [bandLow, bandHigh] Hz; rate is the signal's sampling rate.
+func Tonality(bandLow, bandHigh, rate float64) Stage {
+	return core.Tonality(bandLow, bandHigh, rate)
+}
+
+// Delta emits differences between consecutive values.
+func Delta() Stage { return core.Delta() }
+
+// Abs emits absolute values.
+func Abs() Stage { return core.Abs() }
+
+// Ratio aggregates exactly two scalar branches into first/second.
+func Ratio() Stage { return core.Ratio() }
+
+// And aggregates N scalar branches, emitting only when every branch
+// produced a value for the same emission.
+func And() Stage { return core.And() }
+
+// MinThreshold admits values >= min (admission control).
+func MinThreshold(min float64) Stage { return core.MinThreshold(min) }
+
+// MinThresholdSustained admits values >= min once the condition has held
+// for sustain consecutive emissions.
+func MinThresholdSustained(min float64, sustain int) Stage {
+	return core.MinThresholdSustained(min, sustain)
+}
+
+// MaxThreshold admits values <= max.
+func MaxThreshold(max float64) Stage { return core.MaxThreshold(max) }
+
+// BandThreshold admits values in [min, max].
+func BandThreshold(min, max float64) Stage { return core.BandThreshold(min, max) }
+
+// BandThresholdSustained admits values in [min, max] once the condition
+// has held for sustain consecutive emissions.
+func BandThresholdSustained(min, max float64, sustain int) Stage {
+	return core.BandThresholdSustained(min, max, sustain)
+}

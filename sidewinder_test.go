@@ -1,0 +1,160 @@
+package sidewinder_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sidewinder"
+)
+
+// TestQuickstartFlow exercises the README's quickstart path end to end
+// through the public API only.
+func TestQuickstartFlow(t *testing.T) {
+	p := sidewinder.NewPipeline("significantMotion")
+	for _, ch := range []sidewinder.SensorChannel{sidewinder.AccelX, sidewinder.AccelY, sidewinder.AccelZ} {
+		p.AddBranch(sidewinder.NewBranch(ch).Add(sidewinder.MovingAverage(10)))
+	}
+	p.Add(sidewinder.VectorMagnitude())
+	p.Add(sidewinder.MinThreshold(15))
+
+	irText, err := sidewinder.CompileIR(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(irText, "vectorMagnitude(id=4)") || !strings.Contains(irText, "5 -> OUT;") {
+		t.Errorf("IR missing expected statements:\n%s", irText)
+	}
+	plan, err := sidewinder.ParseIR(irText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.OutputNode() != 5 {
+		t.Errorf("output node = %d", plan.OutputNode())
+	}
+
+	bed, err := sidewinder.NewTestbed(sidewinder.TestbedConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	_, device, err := bed.Push(p, sidewinder.ListenerFunc(func(e sidewinder.Event) {
+		fired++
+		if len(e.Data) == 0 {
+			t.Error("wake event without raw data buffer")
+		}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if device != "MSP430" {
+		t.Errorf("device = %s", device)
+	}
+	for i := 0; i < 30; i++ {
+		bed.Feed(sidewinder.AccelX, 11)
+		bed.Feed(sidewinder.AccelY, 11)
+		bed.Feed(sidewinder.AccelZ, 11)
+	}
+	if fired == 0 {
+		t.Fatal("condition never fired")
+	}
+}
+
+func TestDeviceSelectionThroughPublicAPI(t *testing.T) {
+	plan, err := sidewinder.Validate(sidewinder.Sirens().Wake)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := sidewinder.SelectDevice(sidewinder.Devices(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.Name != "LM4F120" {
+		t.Errorf("sirens on %s, want LM4F120", dev.Name)
+	}
+	if sidewinder.MSP430().ActivePowerMW != 3.6 || sidewinder.LM4F120().ActivePowerMW != 49.4 {
+		t.Error("device power constants wrong")
+	}
+}
+
+func TestSimulationThroughPublicAPI(t *testing.T) {
+	tr, err := sidewinder.GenerateRobotTrace(sidewinder.RobotConfig{
+		Seed: 5, Duration: 5 * time.Minute, IdleFraction: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := sidewinder.Headbutts()
+	oracle, err := sidewinder.Simulate(sidewinder.Oracle{}, tr, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := sidewinder.Simulate(sidewinder.SidewinderStrategy{}, tr, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aa, err := sidewinder.Simulate(sidewinder.AlwaysAwake{}, tr, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(oracle.Power.TotalAvgMW < sw.Power.TotalAvgMW && sw.Power.TotalAvgMW < aa.Power.TotalAvgMW) {
+		t.Errorf("power ordering violated: oracle %.1f, sw %.1f, aa %.1f",
+			oracle.Power.TotalAvgMW, sw.Power.TotalAvgMW, aa.Power.TotalAvgMW)
+	}
+	if sw.Recall < 1 {
+		t.Errorf("sidewinder recall = %.2f", sw.Recall)
+	}
+}
+
+func TestAllAppsExposed(t *testing.T) {
+	if got := len(sidewinder.Apps()); got != 6 {
+		t.Fatalf("Apps() = %d, want 6", got)
+	}
+	for _, app := range sidewinder.Apps() {
+		if _, err := sidewinder.Validate(app.Wake); err != nil {
+			t.Errorf("%s: %v", app.Name, err)
+		}
+	}
+}
+
+func TestAudioGenerationThroughPublicAPI(t *testing.T) {
+	tr, err := sidewinder.GenerateAudioTrace(sidewinder.NewAudioConfig(9, time.Minute, "office"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.RateHz != sidewinder.AudioRateHz {
+		t.Errorf("rate = %g", tr.RateHz)
+	}
+	if _, err := sidewinder.GenerateHumanTrace(sidewinder.HumanConfig{
+		Seed: 2, Duration: time.Minute, Profile: "office",
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvalSurfaceThroughPublicAPI(t *testing.T) {
+	tb := sidewinder.Table1()
+	if len(tb.Rows) != 4 {
+		t.Fatalf("Table1 rows = %d", len(tb.Rows))
+	}
+	w, err := sidewinder.GenerateEvalWorkload(sidewinder.EvalOptions{
+		Seed:             2,
+		RobotRunDuration: time.Minute,
+		AudioDuration:    time.Minute,
+		HumanDuration:    2 * time.Minute,
+		SleepIntervals:   []float64{2, 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.RobotRuns) != 18 {
+		t.Fatalf("robot runs = %d", len(w.RobotRuns))
+	}
+	res, err := sidewinder.Figure6(sidewinder.EvalOptions{SleepIntervals: []float64{2, 10}}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.Render() == "" {
+		t.Error("empty Figure 6 render")
+	}
+}

@@ -1,0 +1,99 @@
+package sidewinder
+
+import (
+	"sidewinder/internal/apps"
+	"sidewinder/internal/eval"
+	"sidewinder/internal/sensor"
+	"sidewinder/internal/sim"
+	"sidewinder/internal/tracegen"
+)
+
+// Evaluation surface: traces, reference applications, sensing strategies
+// and the experiment harness (paper §3.7, §4, §5).
+type (
+	// Trace is a multi-channel sensor capture with ground-truth events.
+	Trace = sensor.Trace
+	// TraceEvent is one labeled ground-truth interval.
+	TraceEvent = sensor.Event
+	// App is a continuous-sensing application: a main-CPU classifier
+	// plus its Sidewinder wake-up condition.
+	App = apps.App
+	// Detector is a main-CPU classifier.
+	Detector = apps.Detector
+	// Strategy is one sensing configuration of paper §4.2.
+	Strategy = sim.Strategy
+	// Result is the outcome of one (strategy, app, trace) simulation.
+	Result = sim.Result
+
+	// RobotConfig parameterizes a synthetic robot run.
+	RobotConfig = tracegen.RobotConfig
+	// HumanConfig parameterizes a synthetic human capture.
+	HumanConfig = tracegen.HumanConfig
+	// AudioConfig parameterizes a synthetic audio trace.
+	AudioConfig = tracegen.AudioConfig
+
+	// EvalOptions parameterizes a full paper-evaluation run.
+	EvalOptions = eval.Options
+	// EvalWorkload bundles the generated evaluation traces.
+	EvalWorkload = eval.Workload
+)
+
+// The sensing configurations of paper §4.2.
+type (
+	// AlwaysAwake never sleeps: the power upper bound.
+	AlwaysAwake = sim.AlwaysAwake
+	// DutyCycling wakes at fixed intervals to collect 4 s of data.
+	DutyCycling = sim.DutyCycling
+	// Batching is duty cycling with hub-cached data delivery.
+	Batching = sim.Batching
+	// PredefinedActivity wakes on hardwired significant motion/sound.
+	PredefinedActivity = sim.PredefinedActivity
+	// SidewinderStrategy runs the app's wake-up condition on the hub.
+	SidewinderStrategy = sim.Sidewinder
+	// Oracle is the hypothetical ideal wake-up mechanism.
+	Oracle = sim.Oracle
+)
+
+// Reference applications (paper §3.7).
+
+// Steps returns the robot/human step counter.
+func Steps() *App { return apps.Steps() }
+
+// Transitions returns the sit/stand transition detector.
+func Transitions() *App { return apps.Transitions() }
+
+// Headbutts returns the sudden-head-movement (fall-like event) detector.
+func Headbutts() *App { return apps.Headbutts() }
+
+// Sirens returns the emergency-vehicle siren detector.
+func Sirens() *App { return apps.Sirens() }
+
+// MusicJournal returns the ambient-music detector.
+func MusicJournal() *App { return apps.MusicJournal() }
+
+// PhraseDetection returns the spoken-phrase detector.
+func PhraseDetection() *App { return apps.PhraseDetection() }
+
+// Apps returns all six reference applications.
+func Apps() []*App { return apps.All() }
+
+// Trace generators (paper §4.1).
+
+// GenerateRobotTrace synthesizes one scripted robot run with exact ground
+// truth.
+func GenerateRobotTrace(cfg RobotConfig) (*Trace, error) { return tracegen.Robot(cfg) }
+
+// GenerateHumanTrace synthesizes a human daily-activity capture.
+func GenerateHumanTrace(cfg HumanConfig) (*Trace, error) { return tracegen.Human(cfg) }
+
+// GenerateAudioTrace synthesizes an environment recording with injected
+// music, speech and siren events.
+func GenerateAudioTrace(cfg AudioConfig) (*Trace, error) { return tracegen.Audio(cfg) }
+
+// NewAudioConfig returns an audio config with the paper's event mix
+// (music 5%, speech 5%, sirens 2%, phrases <1%).
+var NewAudioConfig = tracegen.NewAudioConfig
+
+// Simulate replays a trace under a sensing strategy for an application and
+// reports energy, wake-ups, recall and precision.
+func Simulate(s Strategy, tr *Trace, app *App) (*Result, error) { return s.Run(tr, app) }
