@@ -1,0 +1,24 @@
+# Tier-1 gate: everything must build, vet clean, and pass the full test
+# suite under the race detector (the parallel evaluation harness fans
+# simulation cells across goroutines, so -race is part of the contract).
+
+GO ?= go
+
+.PHONY: verify build vet test race bench
+
+verify: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .

@@ -14,12 +14,18 @@ package sidewinder_test
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"testing"
 	"time"
 
 	"sidewinder"
+	"sidewinder/internal/apps"
+	"sidewinder/internal/core"
+	"sidewinder/internal/dsp"
 	"sidewinder/internal/eval"
+	"sidewinder/internal/interp"
+	"sidewinder/internal/parallel"
 )
 
 // benchOptions keeps per-iteration work around a few seconds.
@@ -174,6 +180,30 @@ func BenchmarkSavingsAnalysis(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelEval measures the Figure 5 experiment through the
+// parallel harness at different worker counts. The rendered tables are
+// byte-identical across counts, so the ratio between the sub-benchmarks is
+// the harness speedup on this machine.
+func BenchmarkParallelEval(b *testing.B) {
+	o := benchOptions()
+	base := workload(b)
+	for _, workers := range []int{1, 0} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 0 {
+			name = fmt.Sprintf("workers=max(%d)", parallel.DefaultWorkers())
+		}
+		b.Run(name, func(b *testing.B) {
+			w := *base
+			w.Workers = workers
+			for i := 0; i < b.N; i++ {
+				if _, err := eval.Figure5(o, &w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // ------------------------------------------------------------ components
 
 // BenchmarkHubInterpreterAccel measures the hub interpreter's throughput
@@ -187,6 +217,7 @@ func BenchmarkHubInterpreterAccel(b *testing.B) {
 	p.Add(sidewinder.VectorMagnitude())
 	p.Add(sidewinder.MinThreshold(1e18))
 	bed := pushBench(b, p)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		bed.Feed(sidewinder.AccelX, 1)
@@ -198,9 +229,58 @@ func BenchmarkHubInterpreterAccel(b *testing.B) {
 // BenchmarkHubInterpreterAudio measures the FFT-heavy siren condition.
 func BenchmarkHubInterpreterAudio(b *testing.B) {
 	bed := pushBench(b, sidewinder.Sirens().Wake)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		bed.Feed(sidewinder.Mic, float64(i%7)*0.01)
+	}
+}
+
+// BenchmarkFFTReal tracks the per-window transform of the audio hot path:
+// the one-shot allocating API next to the scratch-carrying variant the
+// interpreter uses, which must stay allocation-free in steady state.
+func BenchmarkFFTReal(b *testing.B) {
+	x := make([]float64, 400)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * float64(i) / 25)
+	}
+	b.Run("alloc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := dsp.FFTReal(x); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("into", func(b *testing.B) {
+		b.ReportAllocs()
+		var spec []complex128
+		var err error
+		for i := 0; i < b.N; i++ {
+			if spec, err = dsp.FFTRealInto(spec, x); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMachinePushSample measures interp.Machine.PushSample on the
+// FFT-heavy siren condition without the manager in the loop; steady state
+// must stay allocation-free.
+func BenchmarkMachinePushSample(b *testing.B) {
+	plan, err := apps.Sirens().Wake.Validate(core.DefaultCatalog())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := interp.New(plan)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ch := plan.Channels[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PushSample(ch, float64(i%7)*0.01)
 	}
 }
 

@@ -6,18 +6,24 @@
 //
 //	sidewinder-eval [-experiment table1|table2|fig5|fig6|fig7|savings|all]
 //	                [-seed N] [-robot-min M] [-audio-min M] [-human-min M]
+//	                [-workers N] [-speedup] [-cpuprofile FILE]
 //
-// Traces are synthesized deterministically from the seed, so two runs with
-// the same flags print identical tables.
+// Traces are synthesized deterministically from the seed, and simulation
+// cells fan out over a worker pool that collects results in submission
+// order, so two runs with the same flags print identical tables at any
+// worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime/pprof"
 	"time"
 
 	"sidewinder/internal/eval"
+	"sidewinder/internal/parallel"
 )
 
 func main() {
@@ -27,6 +33,9 @@ func main() {
 	robotMin := flag.Int("robot-min", 30, "duration of each robot run in minutes")
 	audioMin := flag.Int("audio-min", 30, "duration of each audio trace in minutes")
 	humanMin := flag.Int("human-min", 120, "duration of each human trace in minutes")
+	workers := flag.Int("workers", 0, "simulation workers (0 = one per CPU); any count prints identical tables")
+	speedup := flag.Bool("speedup", false, "repeat the run with -workers=1 and report the parallel speedup")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
 
 	opts := eval.Options{
@@ -34,31 +43,69 @@ func main() {
 		RobotRunDuration: time.Duration(*robotMin) * time.Minute,
 		AudioDuration:    time.Duration(*audioMin) * time.Minute,
 		HumanDuration:    time.Duration(*humanMin) * time.Minute,
+		Workers:          *workers,
 	}
-	if err := run(*experiment, opts); err != nil {
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sidewinder-eval:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "sidewinder-eval:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	start := time.Now()
+	if err := run(os.Stdout, os.Stderr, *experiment, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "sidewinder-eval:", err)
 		os.Exit(1)
 	}
+	elapsed := time.Since(start)
+	effective := opts.Workers
+	if effective <= 0 {
+		effective = parallel.DefaultWorkers()
+	}
+	fmt.Fprintf(os.Stderr, "completed %s with %d workers in %v\n",
+		*experiment, effective, elapsed.Round(time.Millisecond))
+
+	if *speedup {
+		serialOpts := opts
+		serialOpts.Workers = 1
+		serialStart := time.Now()
+		if err := run(io.Discard, io.Discard, *experiment, serialOpts); err != nil {
+			fmt.Fprintln(os.Stderr, "sidewinder-eval: serial rerun:", err)
+			os.Exit(1)
+		}
+		serial := time.Since(serialStart)
+		fmt.Fprintf(os.Stderr, "serial baseline (1 worker): %v; speedup %.2fx\n",
+			serial.Round(time.Millisecond), serial.Seconds()/elapsed.Seconds())
+	}
 }
 
-func run(experiment string, opts eval.Options) error {
+// run executes one experiment, writing tables to out and progress notes to
+// progress.
+func run(out, progress io.Writer, experiment string, opts eval.Options) error {
 	needWorkload := experiment != "table1"
 	var w *eval.Workload
 	if needWorkload {
 		start := time.Now()
-		fmt.Fprintf(os.Stderr, "generating workload (seed %d)...\n", opts.Seed)
+		fmt.Fprintf(progress, "generating workload (seed %d)...\n", opts.Seed)
 		var err error
 		if w, err = eval.GenerateWorkload(opts); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "workload ready in %v\n\n", time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(progress, "workload ready in %v\n\n", time.Since(start).Round(time.Millisecond))
 	}
 
 	want := func(name string) bool { return experiment == "all" || experiment == name }
 	ran := false
 
 	if want("table1") {
-		fmt.Println(eval.Table1().Render())
+		fmt.Fprintln(out, eval.Table1().Render())
 		ran = true
 	}
 	if want("table2") {
@@ -66,8 +113,8 @@ func run(experiment string, opts eval.Options) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(res.Table.Render())
-		fmt.Printf("(calibrated significant-sound threshold: %.4g; devices: %v)\n\n",
+		fmt.Fprintln(out, res.Table.Render())
+		fmt.Fprintf(out, "(calibrated significant-sound threshold: %.4g; devices: %v)\n\n",
 			res.PAThreshold, res.Devices)
 		ran = true
 	}
@@ -77,10 +124,10 @@ func run(experiment string, opts eval.Options) error {
 			return err
 		}
 		for _, tb := range res.Tables {
-			fmt.Println(tb.Render())
+			fmt.Fprintln(out, tb.Render())
 		}
-		fmt.Printf("(calibrated significant-motion threshold: %.4g)\n", res.PAThreshold)
-		fmt.Printf("(average main-CPU classifier precision: steps %.0f%%, transitions %.0f%%, headbutts %.0f%%)\n\n",
+		fmt.Fprintf(out, "(calibrated significant-motion threshold: %.4g)\n", res.PAThreshold)
+		fmt.Fprintf(out, "(average main-CPU classifier precision: steps %.0f%%, transitions %.0f%%, headbutts %.0f%%)\n\n",
 			res.Precision["steps"]*100, res.Precision["transitions"]*100, res.Precision["headbutts"]*100)
 		ran = true
 	}
@@ -89,7 +136,7 @@ func run(experiment string, opts eval.Options) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(res.Table.Render())
+		fmt.Fprintln(out, res.Table.Render())
 		ran = true
 	}
 	if want("fig7") {
@@ -97,12 +144,12 @@ func run(experiment string, opts eval.Options) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(res.Table.Render())
-		fmt.Print("(Sidewinder's share of available savings:")
+		fmt.Fprintln(out, res.Table.Render())
+		fmt.Fprint(out, "(Sidewinder's share of available savings:")
 		for _, tr := range w.Human {
-			fmt.Printf(" %s %.1f%%", tr.Name, res.SidewinderSavings[tr.Name]*100)
+			fmt.Fprintf(out, " %s %.1f%%", tr.Name, res.SidewinderSavings[tr.Name]*100)
 		}
-		fmt.Print(")\n\n")
+		fmt.Fprint(out, ")\n\n")
 		ran = true
 	}
 	if want("savings") {
@@ -110,8 +157,8 @@ func run(experiment string, opts eval.Options) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(res.Table.Render())
-		fmt.Printf("(oracle range across accel scenarios: %.1f-%.1f mW; always-awake 323 mW)\n\n",
+		fmt.Fprintln(out, res.Table.Render())
+		fmt.Fprintf(out, "(oracle range across accel scenarios: %.1f-%.1f mW; always-awake 323 mW)\n\n",
 			res.OracleMinMW, res.OracleMaxMW)
 		ran = true
 	}
@@ -120,7 +167,7 @@ func run(experiment string, opts eval.Options) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(res.Table.Render())
+		fmt.Fprintln(out, res.Table.Render())
 		ran = true
 	}
 	if want("ablations") {
@@ -128,32 +175,32 @@ func run(experiment string, opts eval.Options) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(ds.Table.Render())
+		fmt.Fprintln(out, ds.Table.Render())
 		ca, err := eval.ConditionAblation(w)
 		if err != nil {
 			return err
 		}
-		fmt.Println(ca.Table.Render())
+		fmt.Fprintln(out, ca.Table.Render())
 		bl, err := eval.BatchingLatency(opts, w)
 		if err != nil {
 			return err
 		}
-		fmt.Println(bl.Table.Render())
+		fmt.Fprintln(out, bl.Table.Render())
 		ps, err := eval.PipelineSharing()
 		if err != nil {
 			return err
 		}
-		fmt.Println(ps.Table.Render())
+		fmt.Fprintln(out, ps.Table.Render())
 		sr, err := eval.SirenRedesign(w)
 		if err != nil {
 			return err
 		}
-		fmt.Println(sr.Table.Render())
+		fmt.Fprintln(out, sr.Table.Render())
 		at, err := eval.AdaptiveTuning(w)
 		if err != nil {
 			return err
 		}
-		fmt.Println(at.Table.Render())
+		fmt.Fprintln(out, at.Table.Render())
 		ran = true
 	}
 	if !ran {

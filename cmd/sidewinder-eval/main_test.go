@@ -1,6 +1,8 @@
 package main
 
 import (
+	"io"
+	"strings"
 	"testing"
 	"time"
 
@@ -8,8 +10,12 @@ import (
 )
 
 func TestRunTable1(t *testing.T) {
-	if err := run("table1", eval.Options{}); err != nil {
+	var out strings.Builder
+	if err := run(&out, io.Discard, "table1", eval.Options{}); err != nil {
 		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Table 1") {
+		t.Errorf("table output missing header:\n%s", out.String())
 	}
 }
 
@@ -20,7 +26,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 		AudioDuration:    30 * time.Second,
 		HumanDuration:    time.Minute,
 	}
-	if err := run("figure-nine", opts); err == nil {
+	if err := run(io.Discard, io.Discard, "figure-nine", opts); err == nil {
 		t.Fatal("unknown experiment should fail")
 	}
 }
@@ -35,7 +41,7 @@ func TestRunSmallFigure6(t *testing.T) {
 		HumanDuration:    time.Minute,
 		SleepIntervals:   []float64{2, 10},
 	}
-	if err := run("fig6", opts); err != nil {
+	if err := run(io.Discard, io.Discard, "fig6", opts); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sync"
 )
 
 // IsPowerOfTwo reports whether n is a positive power of two.
@@ -47,6 +48,26 @@ func IFFT(x []complex128) error {
 	return nil
 }
 
+// twiddleCache memoizes the forward twiddle factors per transform size.
+// Tables are immutable once published, so the lock-free sync.Map keeps
+// concurrent machines (one per simulation cell in the parallel evaluation
+// harness) race-free without per-transform recomputation or allocation.
+var twiddleCache sync.Map // int -> []complex128, length n/2
+
+// twiddles returns e^(-2πik/n) for k in [0, n/2).
+func twiddles(n int) []complex128 {
+	if v, ok := twiddleCache.Load(n); ok {
+		return v.([]complex128)
+	}
+	tw := make([]complex128, n/2)
+	for k := range tw {
+		angle := -2 * math.Pi * float64(k) / float64(n)
+		tw[k] = complex(math.Cos(angle), math.Sin(angle))
+	}
+	v, _ := twiddleCache.LoadOrStore(n, tw)
+	return v.([]complex128)
+}
+
 func fftInternal(x []complex128, inverse bool) error {
 	n := len(x)
 	if n == 0 {
@@ -65,22 +86,22 @@ func fftInternal(x []complex128, inverse bool) error {
 		}
 	}
 
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
+	// Table lookups replace the incremental w *= wStep recurrence: no
+	// per-stage trigonometry and no error accumulation across a stage.
+	tw := twiddles(n)
 	for size := 2; size <= n; size <<= 1 {
 		half := size / 2
-		angle := sign * 2 * math.Pi / float64(size)
-		wStep := complex(math.Cos(angle), math.Sin(angle))
+		stride := n / size
 		for start := 0; start < n; start += size {
-			w := complex(1, 0)
 			for k := 0; k < half; k++ {
+				w := tw[k*stride]
+				if inverse {
+					w = complex(real(w), -imag(w))
+				}
 				even := x[start+k]
 				odd := x[start+k+half] * w
 				x[start+k] = even + odd
 				x[start+k+half] = even - odd
-				w *= wStep
 			}
 		}
 	}
@@ -89,29 +110,58 @@ func fftInternal(x []complex128, inverse bool) error {
 
 // FFTReal transforms a real-valued signal into its complex spectrum. The
 // input is zero-padded to the next power of two. The returned slice has the
-// padded length.
+// padded length and is freshly allocated; per-sample hot paths should use
+// FFTRealInto with a reused buffer instead.
 func FFTReal(x []float64) ([]complex128, error) {
 	if len(x) == 0 {
 		return nil, nil
 	}
+	return FFTRealInto(nil, x)
+}
+
+// FFTRealInto is FFTReal writing into dst, growing it only when its
+// capacity is too small. It returns the spectrum slice (dst, possibly
+// reallocated) so streaming callers can carry one scratch buffer across
+// transforms and stay allocation-free in steady state. An empty input
+// yields an empty spectrum.
+func FFTRealInto(dst []complex128, x []float64) ([]complex128, error) {
+	if len(x) == 0 {
+		return dst[:0], nil
+	}
 	n := NextPowerOfTwo(len(x))
-	buf := make([]complex128, n)
+	if cap(dst) < n {
+		dst = make([]complex128, n)
+	}
+	dst = dst[:n]
 	for i, v := range x {
-		buf[i] = complex(v, 0)
+		dst[i] = complex(v, 0)
 	}
-	if err := FFT(buf); err != nil {
-		return nil, err
+	for i := len(x); i < n; i++ {
+		dst[i] = 0
 	}
-	return buf, nil
+	if err := FFT(dst); err != nil {
+		return dst, err
+	}
+	return dst, nil
 }
 
 // Magnitudes returns |X[k]| for each spectral bin.
 func Magnitudes(spec []complex128) []float64 {
-	out := make([]float64, len(spec))
-	for i, c := range spec {
-		out[i] = math.Hypot(real(c), imag(c))
+	return MagnitudesInto(nil, spec)
+}
+
+// MagnitudesInto writes |X[k]| for each spectral bin into dst, growing it
+// only when its capacity is too small, and returns the (possibly
+// reallocated) slice.
+func MagnitudesInto(dst []float64, spec []complex128) []float64 {
+	if cap(dst) < len(spec) {
+		dst = make([]float64, len(spec))
 	}
-	return out
+	dst = dst[:len(spec)]
+	for i, c := range spec {
+		dst[i] = math.Hypot(real(c), imag(c))
+	}
+	return dst
 }
 
 // BinFrequency returns the center frequency in Hz of spectral bin k for a
@@ -186,9 +236,21 @@ func fftFilter(x []float64, sampleRate float64, keep func(freq float64) bool) ([
 	if len(x) == 0 {
 		return nil, nil
 	}
-	spec, err := FFTReal(x)
+	out, _, err := fftFilterInto(nil, nil, x, sampleRate, keep)
+	return out, err
+}
+
+// fftFilterInto is fftFilter with caller-owned scratch: dst receives the
+// filtered block and spec is the spectrum workspace, both grown only when
+// too small. It returns the (possibly reallocated) slices so streaming
+// callers such as BlockFilter amortize their buffers across blocks.
+func fftFilterInto(dst []float64, spec []complex128, x []float64, sampleRate float64, keep func(freq float64) bool) ([]float64, []complex128, error) {
+	if len(x) == 0 {
+		return dst[:0], spec, nil
+	}
+	spec, err := FFTRealInto(spec, x)
 	if err != nil {
-		return nil, err
+		return dst, spec, err
 	}
 	n := len(spec)
 	for k := 0; k <= n/2; k++ {
@@ -200,11 +262,14 @@ func fftFilter(x []float64, sampleRate float64, keep func(freq float64) bool) ([
 		}
 	}
 	if err := IFFT(spec); err != nil {
-		return nil, err
+		return dst, spec, err
 	}
-	out := make([]float64, len(x))
-	for i := range out {
-		out[i] = real(spec[i])
+	if cap(dst) < len(x) {
+		dst = make([]float64, len(x))
 	}
-	return out, nil
+	dst = dst[:len(x)]
+	for i := range dst {
+		dst[i] = real(spec[i])
+	}
+	return dst, spec, nil
 }

@@ -100,6 +100,9 @@ type BlockFilter struct {
 	sampleRate float64
 	buf        []float64
 	blockSize  int
+	out        []float64
+	spec       []complex128
+	keep       func(freq float64) bool
 }
 
 // NewBlockFilter returns an FFT-based block filter.
@@ -113,33 +116,34 @@ func NewBlockFilter(kind BlockFilterKind, cutoff, sampleRate float64, blockSize 
 	if cutoff < 0 || cutoff > sampleRate/2 {
 		return nil, fmt.Errorf("dsp: cutoff %g Hz outside [0, Nyquist=%g]", cutoff, sampleRate/2)
 	}
-	return &BlockFilter{
+	f := &BlockFilter{
 		kind:       kind,
 		cutoff:     cutoff,
 		sampleRate: sampleRate,
 		buf:        make([]float64, 0, blockSize),
 		blockSize:  blockSize,
-	}, nil
+	}
+	f.keep = func(freq float64) bool { return freq <= f.cutoff }
+	if kind == HighPass {
+		f.keep = func(freq float64) bool { return freq >= f.cutoff }
+	}
+	return f, nil
 }
 
 // BlockSize returns the filter's block length in samples.
 func (f *BlockFilter) BlockSize() int { return f.blockSize }
 
 // Push adds a sample. When a full block has accumulated it returns the
-// filtered block with ok=true; the internal buffer is then empty.
+// filtered block with ok=true; the internal buffer is then empty. The
+// returned block is the filter's internal scratch: it stays valid only
+// until the next emission, so callers that retain blocks must copy.
 func (f *BlockFilter) Push(v float64) (block []float64, ok bool) {
 	f.buf = append(f.buf, v)
 	if len(f.buf) < f.blockSize {
 		return nil, false
 	}
-	var out []float64
-	var err error
-	switch f.kind {
-	case LowPass:
-		out, err = LowPassFFT(f.buf, f.cutoff, f.sampleRate)
-	case HighPass:
-		out, err = HighPassFFT(f.buf, f.cutoff, f.sampleRate)
-	}
+	out, spec, err := fftFilterInto(f.out, f.spec, f.buf, f.sampleRate, f.keep)
+	f.out, f.spec = out, spec
 	f.buf = f.buf[:0]
 	if err != nil {
 		// Unreachable for a power-of-two block, but fail closed.

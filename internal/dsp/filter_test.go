@@ -235,7 +235,8 @@ func TestWindowerNonOverlapping(t *testing.T) {
 	var windows [][]float64
 	for i := 1; i <= 9; i++ {
 		if win, ok := w.Push(float64(i)); ok {
-			windows = append(windows, win)
+			// Push reuses its buffer; retained windows must be copied.
+			windows = append(windows, append([]float64(nil), win...))
 		}
 	}
 	if len(windows) != 3 {
@@ -259,7 +260,7 @@ func TestWindowerOverlapping(t *testing.T) {
 	var windows [][]float64
 	for i := 1; i <= 8; i++ {
 		if win, ok := w.Push(float64(i)); ok {
-			windows = append(windows, win)
+			windows = append(windows, append([]float64(nil), win...))
 		}
 	}
 	want := [][]float64{{1, 2, 3, 4}, {3, 4, 5, 6}, {5, 6, 7, 8}}

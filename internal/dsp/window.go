@@ -67,11 +67,12 @@ func ApplyWindow(x []float64, shape WindowShape) []float64 {
 // overlap and tapering (paper §3.6 "Windowing"). The zero value is not
 // usable; construct with NewWindower.
 type Windower struct {
-	size   int
-	step   int
-	shape  WindowShape
-	buf    []float64
-	filled int
+	size  int
+	step  int
+	shape WindowShape
+	buf   []float64
+	out   []float64
+	taper []float64
 }
 
 // NewWindower returns a Windower emitting windows of size samples every
@@ -84,26 +85,38 @@ func NewWindower(size, step int, shape WindowShape) (*Windower, error) {
 	if step <= 0 || step > size {
 		return nil, fmt.Errorf("dsp: window step must be in [1, size], got %d", step)
 	}
-	return &Windower{size: size, step: step, shape: shape, buf: make([]float64, 0, size)}, nil
+	w := &Windower{size: size, step: step, shape: shape, buf: make([]float64, 0, size)}
+	if shape == Hamming {
+		w.taper = HammingCoefficients(size)
+	}
+	return w, nil
 }
 
 // Size returns the window length in samples.
 func (w *Windower) Size() int { return w.size }
 
-// Push adds one sample. When a full window is available it returns a fresh
-// slice with the taper applied and ok=true; otherwise ok=false.
+// Push adds one sample. When a full window is available it returns the
+// window with the taper applied and ok=true; otherwise ok=false. The
+// returned slice is the Windower's internal buffer: it stays valid only
+// until the next emission, so callers that retain windows must copy.
 func (w *Windower) Push(v float64) (window []float64, ok bool) {
 	w.buf = append(w.buf, v)
 	if len(w.buf) < w.size {
 		return nil, false
 	}
-	out := make([]float64, w.size)
-	copy(out, w.buf)
-	ApplyWindow(out, w.shape)
+	if w.out == nil {
+		w.out = make([]float64, w.size)
+	}
+	copy(w.out, w.buf)
+	if w.taper != nil {
+		for i, c := range w.taper {
+			w.out[i] *= c
+		}
+	}
 	// Slide by step.
 	copy(w.buf, w.buf[w.step:])
 	w.buf = w.buf[:w.size-w.step]
-	return out, true
+	return w.out, true
 }
 
 // Reset discards any buffered samples.
@@ -120,7 +133,8 @@ func Partition(x []float64, size, step int, shape WindowShape) ([][]float64, err
 	var out [][]float64
 	for _, v := range x {
 		if win, ok := w.Push(v); ok {
-			out = append(out, win)
+			// Push reuses its buffer across emissions; keep a copy.
+			out = append(out, append([]float64(nil), win...))
 		}
 	}
 	return out, nil

@@ -7,6 +7,7 @@ import (
 	"sidewinder/internal/core"
 	"sidewinder/internal/hub"
 	"sidewinder/internal/manager"
+	"sidewinder/internal/parallel"
 	"sidewinder/internal/sensor"
 	"sidewinder/internal/sim"
 	"sidewinder/internal/tracegen"
@@ -38,17 +39,29 @@ func DeviceSweep(w *Workload) (*DeviceSweepResult, error) {
 		Header: []string{"App", "MSP430 (mW)", "LM4F120 (mW)", "Penalty for oversizing"},
 		Note:   "Penalty: extra average power from running a condition on the larger part when the small one suffices.",
 	}
-	for _, app := range apps.All() {
+	allApps := apps.All()
+	devices := hub.Devices()
+	var b runBatch
+	devCells := make([][]cellRange, len(allApps))
+	for ai, app := range allApps {
 		traces := w.Audio
 		if app.Channels[0] != core.Mic {
 			traces = w.RobotGroup(2)
 		}
+		devCells[ai] = make([]cellRange, len(devices))
+		for di, dev := range devices {
+			devCells[ai][di] = b.add(sim.Sidewinder{Devices: []hub.Device{dev}}, traces, app)
+		}
+	}
+	b.run(w.Workers)
+	for ai, app := range allApps {
 		out.PowerMW[app.Name] = make(map[string]float64)
 		row := []string{app.Name}
 		var cells [2]string
-		for di, dev := range hub.Devices() {
-			s := sim.Sidewinder{Devices: []hub.Device{dev}}
-			results, err := runAll(s, traces, app)
+		for di, dev := range devices {
+			// An error here is the expected outcome for a condition that
+			// does not fit the device (e.g. the FFT chain on the MSP430).
+			results, err := devCells[ai][di].results()
 			if err != nil {
 				cells[di] = "infeasible"
 				continue
@@ -128,10 +141,17 @@ func ConditionAblation(w *Workload) (*ConditionAblationResult, error) {
 	}
 	runs := w.RobotGroup(2)
 	base := apps.Steps()
-	for _, variant := range StepsConditionVariants() {
+	variants := StepsConditionVariants()
+	var b runBatch
+	cells := make([]cellRange, len(variants))
+	for vi, variant := range variants {
 		app := *base
 		app.Wake = variant.Wake
-		results, err := runAll(sim.Sidewinder{}, runs, &app)
+		cells[vi] = b.add(sim.Sidewinder{}, runs, &app)
+	}
+	b.run(w.Workers)
+	for vi, variant := range variants {
+		results, err := cells[vi].results()
 		if err != nil {
 			return nil, err
 		}
@@ -185,8 +205,14 @@ func BatchingLatency(o Options, w *Workload) (*BatchingLatencyResult, error) {
 	}
 	runs := w.RobotGroup(2)
 	app := apps.Transitions()
-	for _, sl := range o.SleepIntervals {
-		results, err := runAll(sim.Batching{SleepSec: sl}, runs, app)
+	var b runBatch
+	cells := make([]cellRange, len(o.SleepIntervals))
+	for si, sl := range o.SleepIntervals {
+		cells[si] = b.add(sim.Batching{SleepSec: sl}, runs, app)
+	}
+	b.run(w.Workers)
+	for si, sl := range o.SleepIntervals {
+		results, err := cells[si].results()
 		if err != nil {
 			return nil, err
 		}
@@ -356,10 +382,16 @@ func SirenRedesign(w *Workload) (*SirenRedesignResult, error) {
 		{"FFT tonality (paper)", base.Wake},
 		{"Goertzel bank (extension)", GoertzelSirenCondition()},
 	}
-	for _, v := range variants {
+	var b runBatch
+	cells := make([]cellRange, len(variants))
+	for vi, v := range variants {
 		app := *base
 		app.Wake = v.Wake
-		results, err := runAll(sim.Sidewinder{}, w.Audio, &app)
+		cells[vi] = b.add(sim.Sidewinder{}, w.Audio, &app)
+	}
+	b.run(w.Workers)
+	for vi, v := range variants {
+		results, err := cells[vi].results()
 		if err != nil {
 			return nil, err
 		}
@@ -438,10 +470,20 @@ func AdaptiveTuning(w *Workload) (*AdaptiveTuningResult, error) {
 		return false
 	}
 
-	for _, mode := range []string{"static", "tuned"} {
+	// The two modes replay the trace through independent testbeds, so
+	// they run as two cells of the pool.
+	modes := []string{"static", "tuned"}
+	type modeOutcome struct {
+		firstHalf, secondHalf int
+		recall                float64
+		finalFactor           float64
+	}
+	outcomes, err := parallel.Map(w.Workers, len(modes), func(mi int) (modeOutcome, error) {
+		mode := modes[mi]
+		var mo modeOutcome
 		bed, err := manager.NewTestbed(manager.TestbedConfig{})
 		if err != nil {
-			return nil, err
+			return mo, err
 		}
 		var wakeSamples []int
 		sampleIdx := 0
@@ -458,17 +500,17 @@ func AdaptiveTuning(w *Workload) (*AdaptiveTuningResult, error) {
 			pendingVerdicts = append(pendingVerdicts, len(dets) == 0)
 		}))
 		if err != nil {
-			return nil, err
+			return mo, err
 		}
 		for i, v := range x {
 			sampleIdx = i
 			if err := bed.Feed(core.AccelX, v); err != nil {
-				return nil, err
+				return mo, err
 			}
 			if mode == "tuned" {
 				for _, fp := range pendingVerdicts {
 					if err := bed.Feedback(id, fp); err != nil {
-						return nil, err
+						return mo, err
 					}
 				}
 			}
@@ -479,9 +521,9 @@ func AdaptiveTuning(w *Workload) (*AdaptiveTuningResult, error) {
 				continue // count only false-positive wakes
 			}
 			if s < half {
-				out.WakesFirstHalf[mode]++
+				mo.firstHalf++
 			} else {
-				out.WakesSecondHalf[mode]++
+				mo.secondHalf++
 			}
 		}
 		// Recall on the second half: an event is caught if a wake lands
@@ -500,13 +542,24 @@ func AdaptiveTuning(w *Workload) (*AdaptiveTuningResult, error) {
 				}
 			}
 		}
+		mo.recall = 1
 		if total > 0 {
-			out.Recall[mode] = float64(caught) / float64(total)
-		} else {
-			out.Recall[mode] = 1
+			mo.recall = float64(caught) / float64(total)
 		}
 		if mode == "tuned" {
-			out.FinalFactor, _ = bed.Hub.TuningFactor(id)
+			mo.finalFactor, _ = bed.Hub.TuningFactor(id)
+		}
+		return mo, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for mi, mode := range modes {
+		out.WakesFirstHalf[mode] = outcomes[mi].firstHalf
+		out.WakesSecondHalf[mode] = outcomes[mi].secondHalf
+		out.Recall[mode] = outcomes[mi].recall
+		if mode == "tuned" {
+			out.FinalFactor = outcomes[mi].finalFactor
 		}
 	}
 

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"sidewinder/internal/apps"
+	"sidewinder/internal/parallel"
 	"sidewinder/internal/sensor"
 	"sidewinder/internal/sim"
 )
@@ -19,22 +20,29 @@ import (
 // so the best threshold is the largest one that still recalls everything:
 // a coarse descending scan over a geometric grid suffices and stays
 // deterministic.
-func CalibratePA(kind sim.PAKind, traces []*sensor.Trace, appList []*apps.App, truths map[string][]sensor.Event) (float64, error) {
+func CalibratePA(workers int, kind sim.PAKind, traces []*sensor.Trace, appList []*apps.App, truths map[string][]sensor.Event) (float64, error) {
 	// "100% recall" means recalling everything the main-CPU classifier
 	// can detect at all: the Always-Awake run is the per-(trace, app)
-	// ceiling no wake-up mechanism can exceed.
-	ceilings := make(map[string]float64)
-	for _, tr := range traces {
-		for _, app := range appList {
-			res, err := (sim.AlwaysAwake{}).Run(tr, app)
-			if err != nil {
-				return 0, err
-			}
-			if truth, ok := truths[truthKey(tr, app)]; ok {
-				res.RescoreAgainst(truth, int(app.MatchTolSec*tr.RateHz))
-			}
-			ceilings[truthKey(tr, app)] = res.Recall
+	// ceiling no wake-up mechanism can exceed. The pairs are independent,
+	// so they fan through the pool.
+	pairs := calibrationPairs(traces, appList)
+	recalls, err := parallel.Map(workers, len(pairs), func(i int) (float64, error) {
+		tr, app := pairs[i].tr, pairs[i].app
+		res, err := (sim.AlwaysAwake{}).Run(tr, app)
+		if err != nil {
+			return 0, err
 		}
+		if truth, ok := truths[truthKey(tr, app)]; ok {
+			res.RescoreAgainst(truth, int(app.MatchTolSec*tr.RateHz))
+		}
+		return res.Recall, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	ceilings := make(map[string]float64, len(pairs))
+	for i, p := range pairs {
+		ceilings[truthKey(p.tr, p.app)] = recalls[i]
 	}
 
 	grid := motionGrid
@@ -43,7 +51,7 @@ func CalibratePA(kind sim.PAKind, traces []*sensor.Trace, appList []*apps.App, t
 	}
 	for i := len(grid) - 1; i >= 0; i-- {
 		threshold := grid[i]
-		ok, err := paRecallsAll(kind, threshold, traces, appList, truths, ceilings)
+		ok, err := paRecallsAll(workers, kind, threshold, pairs, truths, ceilings)
 		if err != nil {
 			return 0, err
 		}
@@ -52,6 +60,23 @@ func CalibratePA(kind sim.PAKind, traces []*sensor.Trace, appList []*apps.App, t
 		}
 	}
 	return 0, fmt.Errorf("eval: no predefined-activity threshold achieves full recall")
+}
+
+// calibrationPair is one (trace, app) recall measurement.
+type calibrationPair struct {
+	tr  *sensor.Trace
+	app *apps.App
+}
+
+// calibrationPairs flattens the (trace, app) matrix in deterministic order.
+func calibrationPairs(traces []*sensor.Trace, appList []*apps.App) []calibrationPair {
+	out := make([]calibrationPair, 0, len(traces)*len(appList))
+	for _, tr := range traces {
+		for _, app := range appList {
+			out = append(out, calibrationPair{tr: tr, app: app})
+		}
+	}
+	return out
 }
 
 // Geometric threshold grids for the two hardwired detectors. Units:
@@ -73,26 +98,24 @@ func geometric(lo, hi float64, n int) []float64 {
 }
 
 // paRecallsAll reports whether the PA configuration with the given
-// threshold achieves full recall on every trace for every app. For traces
+// threshold achieves full recall on every (trace, app) pair. For traces
 // listed in truths, recall is measured against that baseline instead of
-// trace labels (human traces, §5.5).
-func paRecallsAll(kind sim.PAKind, threshold float64, traces []*sensor.Trace, appList []*apps.App, truths map[string][]sensor.Event, ceilings map[string]float64) (bool, error) {
+// trace labels (human traces, §5.5). Pairs fan through the pool and stop
+// early once any pair falls short; the verdict is deterministic even
+// though the set of pairs actually simulated is not.
+func paRecallsAll(workers int, kind sim.PAKind, threshold float64, pairs []calibrationPair, truths map[string][]sensor.Event, ceilings map[string]float64) (bool, error) {
 	pa := sim.PredefinedActivity{Kind: kind, Threshold: threshold}
-	for _, tr := range traces {
-		for _, app := range appList {
-			res, err := pa.Run(tr, app)
-			if err != nil {
-				return false, err
-			}
-			if truth, ok := truths[truthKey(tr, app)]; ok {
-				res.RescoreAgainst(truth, int(app.MatchTolSec*tr.RateHz))
-			}
-			if res.Recall < ceilings[truthKey(tr, app)]-1e-9 {
-				return false, nil
-			}
+	return parallel.All(workers, len(pairs), func(i int) (bool, error) {
+		tr, app := pairs[i].tr, pairs[i].app
+		res, err := pa.Run(tr, app)
+		if err != nil {
+			return false, err
 		}
-	}
-	return true, nil
+		if truth, ok := truths[truthKey(tr, app)]; ok {
+			res.RescoreAgainst(truth, int(app.MatchTolSec*tr.RateHz))
+		}
+		return res.Recall >= ceilings[truthKey(tr, app)]-1e-9, nil
+	})
 }
 
 // truthKey identifies a (trace, app) baseline in the truths map.

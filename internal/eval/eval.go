@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"sidewinder/internal/apps"
+	"sidewinder/internal/parallel"
 	"sidewinder/internal/sensor"
 	"sidewinder/internal/sim"
 	"sidewinder/internal/tracegen"
@@ -21,6 +22,11 @@ type Options struct {
 	// Seed drives every generator; a given seed reproduces the entire
 	// evaluation bit for bit.
 	Seed int64
+	// Workers bounds the worker pool that fans out independent
+	// (strategy, app, trace) cells and per-trace generation; <= 0 means
+	// one worker per CPU. Results are collected in submission order, so
+	// every worker count renders byte-identical tables.
+	Workers int
 	// RobotRunDuration is the length of each of the 18 robot runs
 	// (the paper's live runs took ~1 h; simulation defaults to 30 min,
 	// which the paper's idle-fraction groups make equivalent in shape).
@@ -108,35 +114,61 @@ type Workload struct {
 	RobotRuns []*sensor.Trace // 18 runs, meta "group" in {1,2,3}
 	Audio     []*sensor.Trace // office, coffee shop, outdoors
 	Human     []*sensor.Trace // commute, retail, office profiles
+
+	// Workers bounds the parallelism of experiments run over this
+	// workload (<= 0: one worker per CPU). Every simulation cell owns its
+	// seeded RNG and machine state, and results are consumed in
+	// submission order, so changing Workers never changes any table.
+	Workers int
 }
 
-// GenerateWorkload produces all traces for the options.
+// GenerateWorkload produces all traces for the options. Each trace derives
+// its seed from Options.Seed alone, so the traces are generated through
+// the worker pool and are identical for every worker count.
 func GenerateWorkload(o Options) (*Workload, error) {
 	o = o.withDefaults()
-	w := &Workload{}
-	var err error
-	if w.RobotRuns, err = tracegen.PaperRobotRuns(o.Seed, o.RobotRunDuration); err != nil {
-		return nil, err
+	robotConfigs, robotGroups := tracegen.PaperRobotRunSpecs(o.Seed, o.RobotRunDuration)
+	audioEnvs := tracegen.AudioEnvironments()
+	humanProfiles := tracegen.HumanProfiles()
+
+	gen := make([]func() (*sensor.Trace, error), 0,
+		len(robotConfigs)+len(audioEnvs)+len(humanProfiles))
+	for i := range robotConfigs {
+		cfg, group := robotConfigs[i], robotGroups[i]
+		gen = append(gen, func() (*sensor.Trace, error) {
+			tr, err := tracegen.Robot(cfg)
+			if err != nil {
+				return nil, err
+			}
+			tr.Meta["group"] = fmt.Sprintf("%d", group)
+			return tr, nil
+		})
 	}
-	for i, env := range tracegen.AudioEnvironments() {
-		tr, err := tracegen.Audio(tracegen.NewAudioConfig(o.Seed+int64(i)*101, o.AudioDuration, env))
-		if err != nil {
-			return nil, err
-		}
-		w.Audio = append(w.Audio, tr)
+	for i, env := range audioEnvs {
+		cfg := tracegen.NewAudioConfig(o.Seed+int64(i)*101, o.AudioDuration, env)
+		gen = append(gen, func() (*sensor.Trace, error) { return tracegen.Audio(cfg) })
 	}
-	for i, prof := range tracegen.HumanProfiles() {
-		tr, err := tracegen.Human(tracegen.HumanConfig{
+	for i, prof := range humanProfiles {
+		cfg := tracegen.HumanConfig{
 			Seed:     o.Seed + int64(i)*211,
 			Duration: o.HumanDuration,
 			Profile:  prof,
-		})
-		if err != nil {
-			return nil, err
 		}
-		w.Human = append(w.Human, tr)
+		gen = append(gen, func() (*sensor.Trace, error) { return tracegen.Human(cfg) })
 	}
-	return w, nil
+
+	traces, err := parallel.Map(o.Workers, len(gen), func(i int) (*sensor.Trace, error) {
+		return gen[i]()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{
+		RobotRuns: traces[:len(robotConfigs)],
+		Audio:     traces[len(robotConfigs) : len(robotConfigs)+len(audioEnvs)],
+		Human:     traces[len(robotConfigs)+len(audioEnvs):],
+		Workers:   o.Workers,
+	}, nil
 }
 
 // RobotGroup returns the runs belonging to one paper group (1, 2 or 3).
@@ -186,15 +218,11 @@ func meanPrecision(results []*sim.Result) float64 {
 	return sum / float64(len(results))
 }
 
-// runAll executes a strategy over a set of traces for one app.
-func runAll(s sim.Strategy, traces []*sensor.Trace, app *apps.App) ([]*sim.Result, error) {
-	out := make([]*sim.Result, 0, len(traces))
-	for _, tr := range traces {
-		r, err := s.Run(tr, app)
-		if err != nil {
-			return nil, fmt.Errorf("eval: %s/%s on %s: %w", s.Name(), app.Name, tr.Name, err)
-		}
-		out = append(out, r)
-	}
-	return out, nil
+// runAll executes a strategy over a set of traces for one app, fanning the
+// per-trace cells through the worker pool.
+func runAll(workers int, s sim.Strategy, traces []*sensor.Trace, app *apps.App) ([]*sim.Result, error) {
+	var b runBatch
+	h := b.add(s, traces, app)
+	b.run(workers)
+	return h.results()
 }

@@ -239,7 +239,7 @@ func TestSavingsShape(t *testing.T) {
 
 func TestCalibratePAFindsThreshold(t *testing.T) {
 	w := workload(t)
-	th, err := CalibratePA(sim.SignificantMotion, w.RobotRuns[:3], apps.AccelApps(), nil)
+	th, err := CalibratePA(w.Workers, sim.SignificantMotion, w.RobotRuns[:3], apps.AccelApps(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

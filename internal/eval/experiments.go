@@ -69,7 +69,7 @@ type Table2Result struct {
 // Sidewinder, averaged over the three audio environments.
 func Table2(w *Workload) (*Table2Result, error) {
 	audioApps := apps.AudioApps()
-	paThreshold, err := CalibratePA(sim.SignificantSound, w.Audio, audioApps, nil)
+	paThreshold, err := CalibratePA(w.Workers, sim.SignificantSound, w.Audio, audioApps, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -83,6 +83,18 @@ func Table2(w *Workload) (*Table2Result, error) {
 		{"Sidewinder", sim.Sidewinder{}},
 	}
 
+	// Fan every (mechanism, app, trace) cell through the pool, then
+	// aggregate in enqueue order.
+	var b runBatch
+	cells := make([][]cellRange, len(mechanisms))
+	for mi, mech := range mechanisms {
+		cells[mi] = make([]cellRange, len(audioApps))
+		for ai, app := range audioApps {
+			cells[mi][ai] = b.add(mech.s, w.Audio, app)
+		}
+	}
+	b.run(w.Workers)
+
 	res := &Table2Result{
 		PowerMW:     make(map[string]map[string]float64),
 		Recall:      make(map[string]map[string]float64),
@@ -94,12 +106,12 @@ func Table2(w *Workload) (*Table2Result, error) {
 		Header: []string{"Wake-up Mechanism", "Sirens", "Music", "Phrase"},
 		Note:   "Paper: Oracle 16.8/27.2/14.7; Predefined 51.9 (all); Sidewinder 63.1*/32.3/35.6 (* = LM4F120).",
 	}
-	for _, mech := range mechanisms {
+	for mi, mech := range mechanisms {
 		res.PowerMW[mech.name] = make(map[string]float64)
 		res.Recall[mech.name] = make(map[string]float64)
 		row := []string{mech.name}
-		for _, app := range audioApps {
-			results, err := runAll(mech.s, w.Audio, app)
+		for ai, app := range audioApps {
+			results, err := cells[mi][ai].results()
 			if err != nil {
 				return nil, err
 			}
@@ -140,7 +152,7 @@ func Figure5(o Options, w *Workload) (*Figure5Result, error) {
 	o = o.withDefaults()
 	accelApps := apps.AccelApps()
 
-	paThreshold, err := CalibratePA(sim.SignificantMotion, w.RobotRuns, accelApps, nil)
+	paThreshold, err := CalibratePA(w.Workers, sim.SignificantMotion, w.RobotRuns, accelApps, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -179,7 +191,25 @@ func Figure5(o Options, w *Workload) (*Figure5Result, error) {
 		PAThreshold: paThreshold,
 	}
 
-	for _, app := range accelApps {
+	// Enqueue the full (app, config, group, trace) matrix — plus the
+	// per-group Oracle references — then run it through one pool.
+	var b runBatch
+	oracleCells := make([][3]cellRange, len(accelApps))
+	cfgCells := make([][][3]cellRange, len(accelApps))
+	for ai, app := range accelApps {
+		for group := 1; group <= 3; group++ {
+			oracleCells[ai][group-1] = b.add(sim.Oracle{}, w.RobotGroup(group), app)
+		}
+		cfgCells[ai] = make([][3]cellRange, len(configs))
+		for ci, cfg := range configs {
+			for group := 1; group <= 3; group++ {
+				cfgCells[ai][ci][group-1] = b.add(cfg.s, w.RobotGroup(group), app)
+			}
+		}
+	}
+	b.run(w.Workers)
+
+	for ai, app := range accelApps {
 		out.Relative[app.Name] = make(map[int]map[string]float64)
 		out.Recall[app.Name] = make(map[int]map[string]float64)
 		table := &Table{
@@ -190,7 +220,7 @@ func Figure5(o Options, w *Workload) (*Figure5Result, error) {
 		// Oracle reference per group, computed once.
 		oraclePower := make(map[int]float64, 3)
 		for group := 1; group <= 3; group++ {
-			oracleRes, err := runAll(sim.Oracle{}, w.RobotGroup(group), app)
+			oracleRes, err := oracleCells[ai][group-1].results()
 			if err != nil {
 				return nil, err
 			}
@@ -198,11 +228,10 @@ func Figure5(o Options, w *Workload) (*Figure5Result, error) {
 		}
 		var precSum float64
 		var precN int
-		for _, cfg := range configs {
+		for ci, cfg := range configs {
 			row := []string{cfg.label}
 			for group := 1; group <= 3; group++ {
-				runs := w.RobotGroup(group)
-				cfgRes, err := runAll(cfg.s, runs, app)
+				cfgRes, err := cfgCells[ai][ci][group-1].results()
 				if err != nil {
 					return nil, err
 				}
@@ -252,10 +281,19 @@ func Figure6(o Options, w *Workload) (*Figure6Result, error) {
 		table.Header = append(table.Header, app.Name)
 		out.Recall[app.Name] = make(map[float64]float64)
 	}
-	for _, sl := range o.SleepIntervals {
+	var b runBatch
+	cells := make([][]cellRange, len(o.SleepIntervals))
+	for si, sl := range o.SleepIntervals {
+		cells[si] = make([]cellRange, len(accelApps))
+		for ai, app := range accelApps {
+			cells[si][ai] = b.add(sim.DutyCycling{SleepSec: sl}, runs, app)
+		}
+	}
+	b.run(w.Workers)
+	for si, sl := range o.SleepIntervals {
 		row := []string{fmt.Sprintf("%.0f s", sl)}
-		for _, app := range accelApps {
-			results, err := runAll(sim.DutyCycling{SleepSec: sl}, runs, app)
+		for ai, app := range accelApps {
+			results, err := cells[si][ai].results()
 			if err != nil {
 				return nil, err
 			}
@@ -289,11 +327,19 @@ func Figure7(o Options, w *Workload) (*Figure7Result, error) {
 	o = o.withDefaults()
 	app := apps.Steps()
 
-	// Always-Awake provides the pseudo ground truth.
+	// Always-Awake provides the pseudo ground truth; the per-trace runs
+	// are independent, so they fan through the pool first.
+	var aaBatch runBatch
+	aaCells := make([]cellRange, len(w.Human))
+	for ti, tr := range w.Human {
+		aaCells[ti] = aaBatch.addOne(sim.AlwaysAwake{}, tr, app)
+	}
+	aaBatch.run(w.Workers)
+
 	truths := make(map[string][]sensor.Event)
 	aaResults := make(map[string]*sim.Result)
-	for _, tr := range w.Human {
-		res, err := (sim.AlwaysAwake{}).Run(tr, app)
+	for ti, tr := range w.Human {
+		res, err := aaCells[ti].first()
 		if err != nil {
 			return nil, err
 		}
@@ -301,7 +347,7 @@ func Figure7(o Options, w *Workload) (*Figure7Result, error) {
 		truths[truthKey(tr, app)] = res.Detections
 	}
 
-	paThreshold, err := CalibratePA(sim.SignificantMotion, w.Human, []*apps.App{app}, truths)
+	paThreshold, err := CalibratePA(w.Workers, sim.SignificantMotion, w.Human, []*apps.App{app}, truths)
 	if err != nil {
 		return nil, err
 	}
@@ -331,21 +377,36 @@ func Figure7(o Options, w *Workload) (*Figure7Result, error) {
 		table.Header = append(table.Header, tr.Name)
 	}
 
-	// Oracle on a human trace: wake exactly for the AA-detected steps.
-	oraclePower := make(map[string]float64)
-	for _, tr := range w.Human {
+	// Oracle (on pseudo-truth traces) and every (config, trace) cell run
+	// through one pool; rescoring happens in the ordered aggregation pass.
+	var b runBatch
+	oracleCells := make([]cellRange, len(w.Human))
+	for ti, tr := range w.Human {
 		pseudo := pseudoTruthTrace(tr, app.Label, truths[truthKey(tr, app)])
-		res, err := (sim.Oracle{}).Run(pseudo, app)
+		oracleCells[ti] = b.addOne(sim.Oracle{}, pseudo, app)
+	}
+	cfgCells := make([][]cellRange, len(configs))
+	for ci, cfg := range configs {
+		cfgCells[ci] = make([]cellRange, len(w.Human))
+		for ti, tr := range w.Human {
+			cfgCells[ci][ti] = b.addOne(cfg.s, tr, app)
+		}
+	}
+	b.run(w.Workers)
+
+	oraclePower := make(map[string]float64)
+	for ti, tr := range w.Human {
+		res, err := oracleCells[ti].first()
 		if err != nil {
 			return nil, err
 		}
 		oraclePower[tr.Name] = res.Power.TotalAvgMW
 	}
 
-	for _, cfg := range configs {
+	for ci, cfg := range configs {
 		row := []string{cfg.label}
-		for _, tr := range w.Human {
-			res, err := cfg.s.Run(tr, app)
+		for ti, tr := range w.Human {
+			res, err := cfgCells[ci][ti].first()
 			if err != nil {
 				return nil, err
 			}
@@ -416,15 +477,37 @@ func Savings(o Options, w *Workload) (*SavingsResult, error) {
 	}
 	const aa = 323.0
 
-	for _, app := range apps.AccelApps() {
-		out.AccelSavings[app.Name] = make(map[int]float64)
+	accelApps := apps.AccelApps()
+	audioApps := apps.AudioApps()
+	var b runBatch
+	type savingsCells struct{ oracle, sw cellRange }
+	accelCells := make([][3]savingsCells, len(accelApps))
+	for ai, app := range accelApps {
 		for group := 1; group <= 3; group++ {
 			runs := w.RobotGroup(group)
-			oracleRes, err := runAll(sim.Oracle{}, runs, app)
+			accelCells[ai][group-1] = savingsCells{
+				oracle: b.add(sim.Oracle{}, runs, app),
+				sw:     b.add(sim.Sidewinder{}, runs, app),
+			}
+		}
+	}
+	audioCells := make([]savingsCells, len(audioApps))
+	for ai, app := range audioApps {
+		audioCells[ai] = savingsCells{
+			oracle: b.add(sim.Oracle{}, w.Audio, app),
+			sw:     b.add(sim.Sidewinder{}, w.Audio, app),
+		}
+	}
+	b.run(w.Workers)
+
+	for ai, app := range accelApps {
+		out.AccelSavings[app.Name] = make(map[int]float64)
+		for group := 1; group <= 3; group++ {
+			oracleRes, err := accelCells[ai][group-1].oracle.results()
 			if err != nil {
 				return nil, err
 			}
-			swRes, err := runAll(sim.Sidewinder{}, runs, app)
+			swRes, err := accelCells[ai][group-1].sw.results()
 			if err != nil {
 				return nil, err
 			}
@@ -444,12 +527,12 @@ func Savings(o Options, w *Workload) (*SavingsResult, error) {
 			})
 		}
 	}
-	for _, app := range apps.AudioApps() {
-		oracleRes, err := runAll(sim.Oracle{}, w.Audio, app)
+	for ai, app := range audioApps {
+		oracleRes, err := audioCells[ai].oracle.results()
 		if err != nil {
 			return nil, err
 		}
-		swRes, err := runAll(sim.Sidewinder{}, w.Audio, app)
+		swRes, err := audioCells[ai].sw.results()
 		if err != nil {
 			return nil, err
 		}
@@ -495,15 +578,25 @@ func BatteryLife(w *Workload) (*BatteryLifeResult, error) {
 		{"Sidewinder", sim.Sidewinder{}},
 		{"Oracle", sim.Oracle{}},
 	}
-	for _, app := range apps.All() {
+	allApps := apps.All()
+	var b runBatch
+	cells := make([][]cellRange, len(allApps))
+	for ai, app := range allApps {
 		traces := w.Audio
 		if app.Channels[0] != core.Mic {
 			traces = w.RobotGroup(1)
 		}
+		cells[ai] = make([]cellRange, len(configs))
+		for ci, cfg := range configs {
+			cells[ai][ci] = b.add(cfg.s, traces, app)
+		}
+	}
+	b.run(w.Workers)
+	for ai, app := range allApps {
 		out.Hours[app.Name] = make(map[string]float64)
 		row := []string{app.Name}
-		for _, cfg := range configs {
-			results, err := runAll(cfg.s, traces, app)
+		for ci, cfg := range configs {
+			results, err := cells[ai][ci].results()
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,110 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"sidewinder/internal/core"
+	"sidewinder/internal/sensor"
+)
+
+// renderFigure5 renders everything Figure5 reports — the tables plus the
+// calibrated threshold and precision lines the CLI prints — so the
+// comparison covers every externally visible number.
+func renderFigure5(t *testing.T, w *Workload) string {
+	t.Helper()
+	res, err := Figure5(testOptions(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, tb := range res.Tables {
+		b.WriteString(tb.Render())
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "threshold %.17g\n", res.PAThreshold)
+	for _, k := range []string{"steps", "transitions", "headbutts"} {
+		fmt.Fprintf(&b, "%s %.17g\n", k, res.Precision[k])
+	}
+	return b.String()
+}
+
+// TestFigure5DeterministicAcrossWorkers is the regression guard for the
+// parallel harness: the fan-out must never leak scheduling order into
+// results, so a serial run and an oversubscribed 8-worker run must render
+// byte-identical output.
+func TestFigure5DeterministicAcrossWorkers(t *testing.T) {
+	base := workload(t)
+
+	serial := *base
+	serial.Workers = 1
+	wide := *base
+	wide.Workers = 8
+
+	got1 := renderFigure5(t, &serial)
+	got8 := renderFigure5(t, &wide)
+	if got1 != got8 {
+		t.Errorf("Figure5 output differs between 1 and 8 workers:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", got1, got8)
+	}
+}
+
+// traceDigest summarizes a workload's traces well enough to detect any
+// reordering or divergence: names in order, lengths, and full sample sums.
+func traceDigest(w *Workload) string {
+	var b strings.Builder
+	dump := func(label string, tr *sensor.Trace) {
+		fmt.Fprintf(&b, "%s %s %s %d ev=%d", label, tr.Name, tr.Meta["group"], tr.Len(), len(tr.Events))
+		keys := make([]string, 0, len(tr.Channels))
+		for ch := range tr.Channels {
+			keys = append(keys, string(ch))
+		}
+		sort.Strings(keys)
+		for _, ch := range keys {
+			var sum float64
+			for _, v := range tr.Channels[core.SensorChannel(ch)] {
+				sum += v
+			}
+			fmt.Fprintf(&b, " %s=%.17g", ch, sum)
+		}
+		b.WriteByte('\n')
+	}
+	for _, tr := range w.RobotRuns {
+		dump("robot", tr)
+	}
+	for _, tr := range w.Audio {
+		dump("audio", tr)
+	}
+	for _, tr := range w.Human {
+		dump("human", tr)
+	}
+	return b.String()
+}
+
+// TestGenerateWorkloadDeterministicAcrossWorkers checks that parallel trace
+// generation assembles the same workload, in the same order, as a serial
+// run.
+func TestGenerateWorkloadDeterministicAcrossWorkers(t *testing.T) {
+	o := Options{
+		Seed:             7,
+		RobotRunDuration: time.Minute,
+		AudioDuration:    30 * time.Second,
+		HumanDuration:    time.Minute,
+	}
+	o.Workers = 1
+	w1, err := GenerateWorkload(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Workers = 8
+	w8, err := GenerateWorkload(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, d8 := traceDigest(w1), traceDigest(w8)
+	if d1 != d8 {
+		t.Errorf("workloads differ between 1 and 8 workers:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", d1, d8)
+	}
+}

@@ -21,6 +21,11 @@ import (
 // Value is one emission flowing over a pipeline edge: a scalar or a vector
 // block, tagged with the emitting node's sequence number. Sequence numbers
 // let aggregation algorithms synchronize branches without timestamps.
+//
+// Vector contents are owned by the emitting instance, which reuses the
+// backing array across emissions: a Vector is valid only for the delivery
+// cascade of the sample that produced it, and consumers must copy it to
+// retain it (and must never mutate it).
 type Value struct {
 	Seq    int64
 	Scalar float64

@@ -484,13 +484,13 @@ func TestStatFuncCoverage(t *testing.T) {
 }
 
 func TestZCRVarianceEdgeCases(t *testing.T) {
-	if _, ok := zcrVariance([]float64{1, 2}, 4); ok {
+	if _, ok := zcrVariance(make([]float64, 4), []float64{1, 2}, 4); ok {
 		t.Error("window shorter than k should not produce")
 	}
-	if _, ok := zcrVariance([]float64{1, 2, 3, 4}, 1); ok {
+	if _, ok := zcrVariance(nil, []float64{1, 2, 3, 4}, 1); ok {
 		t.Error("k < 2 should not produce")
 	}
-	v, ok := zcrVariance([]float64{1, -1, 1, -1, 1, 1, 1, 1}, 2)
+	v, ok := zcrVariance(make([]float64, 2), []float64{1, -1, 1, -1, 1, 1, 1, 1}, 2)
 	if !ok || v <= 0 {
 		t.Errorf("zcrVariance = (%g, %v), want positive", v, ok)
 	}

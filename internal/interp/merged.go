@@ -2,7 +2,6 @@ package interp
 
 import (
 	"fmt"
-	"sort"
 
 	"sidewinder/internal/core"
 )
@@ -141,7 +140,14 @@ func (m *Merged) PushSample(ch core.SensorChannel, sample float64) []TaggedWake 
 	for _, tg := range m.byChan[ch] {
 		m.deliver(tg, v)
 	}
-	sort.Slice(m.wakes, func(i, j int) bool { return m.wakes[i].Plan < m.wakes[j].Plan })
+	// Order by plan index. Samples produce zero or one wake almost always;
+	// insertion sort keeps this per-sample path free of the reflection
+	// allocations sort.Slice would make on every call.
+	for i := 1; i < len(m.wakes); i++ {
+		for j := i; j > 0 && m.wakes[j].Plan < m.wakes[j-1].Plan; j-- {
+			m.wakes[j], m.wakes[j-1] = m.wakes[j-1], m.wakes[j]
+		}
+	}
 	return m.wakes
 }
 

@@ -106,8 +106,12 @@ func newInstance(n *core.PlanNode) (instance, error) {
 		}), nil
 	case core.KindZCRVariance:
 		k := p.Int("subwindows")
+		var rates []float64 // per-instance scratch for the sub-window rates
+		if k >= 2 {
+			rates = make([]float64, k)
+		}
 		return vectorFeatureInst(func(win []float64) (float64, bool) {
-			return zcrVariance(win, k)
+			return zcrVariance(rates, win, k)
 		}), nil
 	case core.KindStat:
 		fn, err := statFunc(p.Str("op"))
@@ -167,14 +171,29 @@ func (i *windowInst) Reset() { i.w.Reset(); i.seq = 0 }
 
 // --- transforms ----------------------------------------------------------
 
-type fftInst struct{}
+// Vector-emitting instances own their output buffers and reuse them across
+// pushes: a Vector is valid only while the delivery cascade for the sample
+// that produced it is running, and no instance may mutate an input vector
+// or retain a reference past its Push call. This keeps the per-sample path
+// allocation-free without copying at every edge; instances stay race-free
+// because each machine owns its instances.
 
-func (fftInst) Push(_ int, v Value) (Value, bool) {
-	spec, err := dsp.FFTReal(v.Vector)
-	if err != nil || spec == nil {
+type fftInst struct {
+	spec []complex128
+	out  []float64
+}
+
+func (i *fftInst) Push(_ int, v Value) (Value, bool) {
+	spec, err := dsp.FFTRealInto(i.spec, v.Vector)
+	i.spec = spec
+	if err != nil || len(spec) == 0 {
 		return Value{}, false
 	}
-	out := make([]float64, 2*len(spec))
+	n := 2 * len(spec)
+	if cap(i.out) < n {
+		i.out = make([]float64, n)
+	}
+	out := i.out[:n]
 	for k, c := range spec {
 		out[2*k] = real(c)
 		out[2*k+1] = imag(c)
@@ -182,43 +201,57 @@ func (fftInst) Push(_ int, v Value) (Value, bool) {
 	return Value{Seq: v.Seq, Vector: out}, true
 }
 
-func (fftInst) Reset() {}
+func (i *fftInst) Reset() {}
 
-type ifftInst struct{}
+type ifftInst struct {
+	buf []complex128
+	out []float64
+}
 
-func (ifftInst) Push(_ int, v Value) (Value, bool) {
+func (i *ifftInst) Push(_ int, v Value) (Value, bool) {
 	n := len(v.Vector) / 2
 	if n == 0 || !dsp.IsPowerOfTwo(n) {
 		return Value{}, false
 	}
-	buf := make([]complex128, n)
+	if cap(i.buf) < n {
+		i.buf = make([]complex128, n)
+	}
+	buf := i.buf[:n]
 	for k := range buf {
 		buf[k] = complex(v.Vector[2*k], v.Vector[2*k+1])
 	}
 	if err := dsp.IFFT(buf); err != nil {
 		return Value{}, false
 	}
-	out := make([]float64, n)
+	if cap(i.out) < n {
+		i.out = make([]float64, n)
+	}
+	out := i.out[:n]
 	for k, c := range buf {
 		out[k] = real(c)
 	}
 	return Value{Seq: v.Seq, Vector: out}, true
 }
 
-func (ifftInst) Reset() {}
+func (i *ifftInst) Reset() {}
 
-type spectralMagInst struct{}
+type spectralMagInst struct {
+	out []float64
+}
 
-func (spectralMagInst) Push(_ int, v Value) (Value, bool) {
+func (i *spectralMagInst) Push(_ int, v Value) (Value, bool) {
 	n := len(v.Vector) / 2
-	out := make([]float64, n)
+	if cap(i.out) < n {
+		i.out = make([]float64, n)
+	}
+	out := i.out[:n]
 	for k := 0; k < n; k++ {
 		out[k] = math.Hypot(v.Vector[2*k], v.Vector[2*k+1])
 	}
 	return Value{Seq: v.Seq, Vector: out}, true
 }
 
-func (spectralMagInst) Reset() {}
+func (i *spectralMagInst) Reset() {}
 
 // --- scalar filters ------------------------------------------------------
 
@@ -323,13 +356,13 @@ func statFunc(op string) (func([]float64) float64, error) {
 }
 
 // zcrVariance splits win into k equal sub-windows and returns the variance
-// of their zero-crossing rates (paper §3.7.2, Music Journal).
-func zcrVariance(win []float64, k int) (float64, bool) {
+// of their zero-crossing rates (paper §3.7.2, Music Journal). rates is
+// caller-owned scratch of length k.
+func zcrVariance(rates, win []float64, k int) (float64, bool) {
 	if k < 2 || len(win) < k {
 		return 0, false
 	}
 	sub := len(win) / k
-	rates := make([]float64, k)
 	for i := 0; i < k; i++ {
 		rates[i] = dsp.ZeroCrossingRate(win[i*sub : (i+1)*sub])
 	}
@@ -415,6 +448,7 @@ type joinInst struct {
 	pending map[int64]*joinSlot
 	latest  []int64 // highest Seq seen per port
 	primed  []bool
+	free    []*joinSlot // recycled slots; steady state allocates none
 }
 
 type joinSlot struct {
@@ -438,7 +472,7 @@ func (i *joinInst) Push(port int, v Value) (Value, bool) {
 	i.primed[port] = true
 	slot := i.pending[v.Seq]
 	if slot == nil {
-		slot = &joinSlot{vals: make([]float64, i.ports), have: make([]bool, i.ports)}
+		slot = i.newSlot()
 		i.pending[v.Seq] = slot
 	}
 	if !slot.have[port] {
@@ -454,10 +488,30 @@ func (i *joinInst) Push(port int, v Value) (Value, bool) {
 	}
 	delete(i.pending, v.Seq)
 	out, ok := i.combine(slot.vals)
+	i.recycle(slot)
 	if !ok {
 		return Value{}, false
 	}
 	return Value{Seq: v.Seq, Scalar: out}, true
+}
+
+// newSlot pops a recycled slot or allocates the pool's first few.
+func (i *joinInst) newSlot() *joinSlot {
+	if n := len(i.free); n > 0 {
+		slot := i.free[n-1]
+		i.free = i.free[:n-1]
+		return slot
+	}
+	return &joinSlot{vals: make([]float64, i.ports), have: make([]bool, i.ports)}
+}
+
+// recycle clears a slot and returns it to the pool.
+func (i *joinInst) recycle(slot *joinSlot) {
+	for p := range slot.have {
+		slot.have[p] = false
+	}
+	slot.count = 0
+	i.free = append(i.free, slot)
 }
 
 // prune drops pending sequences older than the slowest port's progress:
@@ -474,13 +528,17 @@ func (i *joinInst) prune() {
 	}
 	for seq := range i.pending {
 		if seq < min {
+			i.recycle(i.pending[seq])
 			delete(i.pending, seq)
 		}
 	}
 }
 
 func (i *joinInst) Reset() {
-	i.pending = make(map[int64]*joinSlot)
+	for seq, slot := range i.pending {
+		i.recycle(slot)
+		delete(i.pending, seq)
+	}
 	for p := range i.latest {
 		i.latest[p] = 0
 		i.primed[p] = false

@@ -154,28 +154,42 @@ func Robot(cfg RobotConfig) (*sensor.Trace, error) {
 // PaperGroups returns the idle fractions of the paper's three run groups.
 func PaperGroups() []float64 { return []float64{0.9, 0.5, 0.1} }
 
-// PaperRobotRuns generates the paper's 18-run set: 9 runs at 90% idle, 6 at
-// 50% and 3 at 10%, each of the given duration. Run seeds derive from the
-// base seed deterministically.
-func PaperRobotRuns(seed int64, duration time.Duration) ([]*sensor.Trace, error) {
+// PaperRobotRunSpecs returns the per-run configurations of the paper's
+// 18-run set — 9 runs at 90% idle, 6 at 50% and 3 at 10% — plus each run's
+// group number (1-3). Run seeds derive from the base seed
+// deterministically, so the runs can be generated in any order (or in
+// parallel) and still reproduce bit for bit.
+func PaperRobotRunSpecs(seed int64, duration time.Duration) (configs []RobotConfig, groups []int) {
 	counts := map[float64]int{0.9: 9, 0.5: 6, 0.1: 3}
-	var out []*sensor.Trace
 	run := 0
 	for gi, idle := range PaperGroups() {
 		for i := 0; i < counts[idle]; i++ {
-			tr, err := Robot(RobotConfig{
+			configs = append(configs, RobotConfig{
 				Seed:         seed + int64(run)*7919,
 				Duration:     duration,
 				IdleFraction: idle,
 				Name:         fmt.Sprintf("robot-g%d-run%d", gi+1, i+1),
 			})
-			if err != nil {
-				return nil, err
-			}
-			tr.Meta["group"] = fmt.Sprintf("%d", gi+1)
-			out = append(out, tr)
+			groups = append(groups, gi+1)
 			run++
 		}
+	}
+	return configs, groups
+}
+
+// PaperRobotRuns generates the paper's 18-run set serially. Callers that
+// want the runs generated in parallel should fan PaperRobotRunSpecs
+// through their own pool.
+func PaperRobotRuns(seed int64, duration time.Duration) ([]*sensor.Trace, error) {
+	configs, groups := PaperRobotRunSpecs(seed, duration)
+	out := make([]*sensor.Trace, len(configs))
+	for i, cfg := range configs {
+		tr, err := Robot(cfg)
+		if err != nil {
+			return nil, err
+		}
+		tr.Meta["group"] = fmt.Sprintf("%d", groups[i])
+		out[i] = tr
 	}
 	return out, nil
 }
