@@ -1,12 +1,17 @@
 # Tier-1 gate: everything must build, vet clean, and pass the full test
 # suite under the race detector (the parallel evaluation harness fans
 # simulation cells across goroutines, so -race is part of the contract).
+# `make fuzz` runs the native fuzz targets (link deframer, IR parser) for
+# a short fixed budget on top of their committed corpora; run it before
+# shipping protocol or parser changes.
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: verify build vet test race bench
+.PHONY: verify build vet test race bench fuzz
 
 verify: build vet race
+	@echo "verify clean — consider 'make fuzz' (FUZZTIME=$(FUZZTIME) per target) for parser/framing changes"
 
 build:
 	$(GO) build ./...
@@ -22,3 +27,7 @@ race:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
+
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeFrame$$' -fuzztime $(FUZZTIME) ./internal/link
+	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/ir

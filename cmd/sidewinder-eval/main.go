@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	sidewinder-eval [-experiment table1|table2|fig5|fig6|fig7|savings|all]
+//	sidewinder-eval [-experiment table1|table2|fig5|fig6|fig7|savings|battery|ablations|link|all]
 //	                [-seed N] [-robot-min M] [-audio-min M] [-human-min M]
 //	                [-workers N] [-speedup] [-cpuprofile FILE]
 //
@@ -28,7 +28,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: table1, table2, fig5, fig6, fig7, savings, battery, ablations, all")
+		"which experiment to run: table1, table2, fig5, fig6, fig7, savings, battery, ablations, link, all")
 	seed := flag.Int64("seed", 1, "generator seed (same seed, same tables)")
 	robotMin := flag.Int("robot-min", 30, "duration of each robot run in minutes")
 	audioMin := flag.Int("audio-min", 30, "duration of each audio trace in minutes")
@@ -201,6 +201,14 @@ func run(out, progress io.Writer, experiment string, opts eval.Options) error {
 			return err
 		}
 		fmt.Fprintln(out, at.Table.Render())
+		ran = true
+	}
+	if want("link") {
+		lr, err := eval.LinkReliability(w)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, lr.Table.Render())
 		ran = true
 	}
 	if !ran {

@@ -1,13 +1,18 @@
 package main
 
 import (
+	"flag"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
 
 	"sidewinder/internal/eval"
 )
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
 
 func TestRunTable1(t *testing.T) {
 	var out strings.Builder
@@ -28,6 +33,52 @@ func TestRunUnknownExperiment(t *testing.T) {
 	}
 	if err := run(io.Discard, io.Discard, "figure-nine", opts); err == nil {
 		t.Fatal("unknown experiment should fail")
+	}
+}
+
+// TestRunAllGolden pins the full `-experiment all` rendering at a small,
+// fixed workload scale against a golden file, so a formatting or numeric
+// regression in any table is caught without eyeballing docs/results/.
+// The simulation is deterministic end to end (seeded traces, ordered
+// parallel collection, seeded fault injection), so the bytes must match
+// at any worker count. Refresh intentionally changed output with:
+//
+//	go test ./cmd/sidewinder-eval -run TestRunAllGolden -update
+func TestRunAllGolden(t *testing.T) {
+	opts := eval.Options{
+		Seed:             1,
+		RobotRunDuration: 2 * time.Minute,
+		AudioDuration:    time.Minute,
+		HumanDuration:    4 * time.Minute,
+		SleepIntervals:   []float64{2, 10, 30},
+	}
+	var out strings.Builder
+	if err := run(&out, io.Discard, "all", opts); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "all_small.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(out.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create): %v", err)
+	}
+	if got := out.String(); got != string(want) {
+		t.Errorf("output differs from %s (run with -update if the change is intended)\ngot %d bytes, want %d",
+			golden, len(got), len(want))
+		gl, wl := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+		for i := 0; i < len(gl) && i < len(wl); i++ {
+			if gl[i] != wl[i] {
+				t.Errorf("first difference at line %d:\ngot:  %s\nwant: %s", i+1, gl[i], wl[i])
+				break
+			}
+		}
 	}
 }
 

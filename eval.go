@@ -19,6 +19,8 @@ type (
 	SavingsResult = eval.SavingsResult
 	// BatteryLifeResult carries battery-life estimates per application.
 	BatteryLifeResult = eval.BatteryLifeResult
+	// LinkReliabilityResult carries the lossy-link error-rate sweep.
+	LinkReliabilityResult = eval.LinkReliabilityResult
 )
 
 // GenerateEvalWorkload synthesizes the full evaluation trace set (18 robot
@@ -59,4 +61,11 @@ func Savings(o EvalOptions, w *EvalWorkload) (*SavingsResult, error) {
 // application.
 func BatteryLife(w *EvalWorkload) (*BatteryLifeResult, error) {
 	return eval.BatteryLife(w)
+}
+
+// LinkReliability sweeps the serial link's frame-error rate, comparing
+// delivered wake-up recall and energy overhead of raw frames vs the
+// stop-and-wait ARQ layer.
+func LinkReliability(w *EvalWorkload) (*LinkReliabilityResult, error) {
+	return eval.LinkReliability(w)
 }

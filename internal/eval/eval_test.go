@@ -417,3 +417,39 @@ func TestAdaptiveTuning(t *testing.T) {
 		t.Errorf("tuning cost recall: %.2f vs %.2f", res.Recall["tuned"], res.Recall["static"])
 	}
 }
+
+func TestLinkReliability(t *testing.T) {
+	w := workload(t)
+	res, err := LinkReliability(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RawRecall[0] != 1 || res.ARQRecall[0] != 1 {
+		t.Errorf("clean wire should deliver everything: raw %.2f, arq %.2f",
+			res.RawRecall[0], res.ARQRecall[0])
+	}
+	for rate, recall := range res.ARQRecall {
+		if recall != 1 {
+			t.Errorf("ARQ recall at %.0f%% error = %.3f, want 1", rate*100, recall)
+		}
+	}
+	if res.RawRecall[0.20] >= 1 {
+		t.Errorf("raw link at 20%% error lost nothing (recall %.3f); faults inert", res.RawRecall[0.20])
+	}
+	if res.Retransmits[0.20] <= res.Retransmits[0] {
+		t.Errorf("retransmits did not grow with error rate: %d at 0%%, %d at 20%%",
+			res.Retransmits[0], res.Retransmits[0.20])
+	}
+
+	// The sweep must render identically at any worker count: the pool
+	// collects results in submission order.
+	serial := *w
+	serial.Workers = 1
+	sres, err := LinkReliability(&serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := sres.Table.Render(), res.Table.Render(); got != want {
+		t.Errorf("worker count changed the table:\n--- parallel\n%s\n--- serial\n%s", want, got)
+	}
+}

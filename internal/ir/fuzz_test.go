@@ -1,0 +1,69 @@
+package ir
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sidewinder/internal/core"
+)
+
+// FuzzParse hammers the IR text parser with arbitrary input. Invariants:
+//
+//   - Parse never panics, whatever the bytes;
+//   - an accepted program re-encodes to a canonical form that parses
+//     again and is a fixed point (Encode∘Parse∘Encode = Encode), so a
+//     hub and a phone that exchange re-encoded programs always agree;
+//   - binding an accepted program never panics either (it may fail).
+//
+// The seed corpus is the six golden applications plus hand-picked edge
+// shapes; go test runs the corpus as regular tests, and `make fuzz`
+// explores beyond it for a fixed budget.
+func FuzzParse(f *testing.F) {
+	golden, err := filepath.Glob(filepath.Join("..", "apps", "testdata", "*.ir"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(golden) == 0 {
+		f.Fatal("no golden IR programs found")
+	}
+	for _, path := range golden {
+		text, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(text))
+	}
+	f.Add("")
+	f.Add("# pipeline: edge\nMIC -> OUT;")
+	f.Add("ACC_X -> movingAvg(id=1, params={3}); 1 -> OUT;")
+	f.Add("ACC_X -> movingAvg(id=1, params={+07e1}); 1 -> OUT;")
+	f.Add("1 -> window(id=1, params={8, 0, hamming}); 1 -> OUT")
+	f.Add("MIC -> stat(id=999999999999, params={stddev});")
+
+	cat := core.DefaultCatalog()
+	f.Fuzz(func(t *testing.T, text string) {
+		if len(text) > 64<<10 {
+			return // bound worst-case parse time, not interesting
+		}
+		prog, err := Parse(text)
+		if err != nil {
+			return
+		}
+		enc := Encode(prog)
+		prog2, err := Parse(enc)
+		if err != nil {
+			t.Fatalf("re-parse of accepted program failed: %v\nencoded:\n%s", err, enc)
+		}
+		if enc2 := Encode(prog2); enc2 != enc {
+			t.Fatalf("canonical form unstable:\n--- first\n%s\n--- second\n%s", enc, enc2)
+		}
+		// Binding must never panic; acceptance is catalog-dependent.
+		if plan, err := Bind(prog, cat); err == nil {
+			// A bound plan must survive the compiler round trip too.
+			if _, err := ParseAndBind(CompileToText(plan), cat); err != nil {
+				t.Fatalf("compile of bound plan does not re-bind: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,75 @@
+package link
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeFrame hammers the streaming deframer with arbitrary wire
+// bytes. Invariants:
+//
+//   - Feed never panics, whatever the bytes;
+//   - byte-at-a-time feeding yields exactly the same frames as one-shot
+//     feeding (the decoder is a pure byte-stream state machine);
+//   - every decoded frame re-encodes and decodes back to itself (what
+//     came off the wire is a well-formed frame, not an artifact).
+//
+// The seed corpus covers clean frames (including a golden config push),
+// stuffed bytes, concatenations, truncations and flips; `make fuzz`
+// explores beyond it for a fixed budget.
+func FuzzDecodeFrame(f *testing.F) {
+	stepsIR := "ACC_X -> movingAvg(id=1, params={3}); 1 -> window(id=2, params={25, 12, rectangular}); 2 -> stat(id=3, params={stddev}); 3 -> minThreshold(id=4, params={0.7, 1}); 4 -> OUT;\n"
+	push := Encode(Frame{Type: MsgConfigPush, Payload: append([]byte{0, 1}, []byte(stepsIR)...)})
+	ping := Encode(Frame{Type: MsgPing})
+	stuffed := Encode(Frame{Type: MsgData, Payload: []byte{flagByte, escapeByte, 0x00, flagByte}})
+	wake := Encode(Frame{Type: MsgWake, Payload: make([]byte, 18)})
+	arq := Encode(Frame{Type: MsgArqData, Payload: append([]byte{7, byte(MsgWake)}, make([]byte, 18)...)})
+
+	f.Add(push)
+	f.Add(ping)
+	f.Add(stuffed)
+	f.Add(wake)
+	f.Add(arq)
+	f.Add(append(append([]byte{}, ping...), stuffed...)) // back-to-back
+	f.Add(push[:len(push)/2])                            // truncated
+	f.Add([]byte{})
+	f.Add([]byte{flagByte, flagByte, flagByte})
+	f.Add([]byte{escapeByte, flagByte, escapeByte})
+	corrupted := append([]byte{}, push...)
+	corrupted[6] ^= 0x40
+	f.Add(corrupted)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 64<<10 {
+			return
+		}
+		var oneShot Decoder
+		frames, _ := oneShot.Feed(data)
+
+		var byByte Decoder
+		var streamed []Frame
+		for _, b := range data {
+			fs, _ := byByte.Feed([]byte{b})
+			streamed = append(streamed, fs...)
+		}
+		if len(frames) != len(streamed) {
+			t.Fatalf("chunking changes results: %d frames one-shot, %d streamed", len(frames), len(streamed))
+		}
+		for i := range frames {
+			if frames[i].Type != streamed[i].Type || !bytes.Equal(frames[i].Payload, streamed[i].Payload) {
+				t.Fatalf("frame %d differs between one-shot and streamed decode", i)
+			}
+		}
+
+		for i, fr := range frames {
+			var re Decoder
+			back, err := re.Feed(Encode(fr))
+			if err != nil {
+				t.Fatalf("frame %d does not re-encode cleanly: %v", i, err)
+			}
+			if len(back) != 1 || back[0].Type != fr.Type || !bytes.Equal(back[0].Payload, fr.Payload) {
+				t.Fatalf("frame %d round trip mismatch: %+v -> %+v", i, fr, back)
+			}
+		}
+	})
+}

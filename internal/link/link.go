@@ -3,12 +3,20 @@
 // debugging interface). It provides:
 //
 //   - a byte-stuffed frame codec with CRC-16 integrity checking, the kind
-//     of framing a real microcontroller UART protocol uses, and
+//     of framing a real microcontroller UART protocol uses,
 //
 //   - an in-memory full-duplex Pipe with a configurable baud rate that
 //     accounts transfer time and byte counts, so experiments can reason
 //     about link occupancy (the paper notes the serial link suffices for
-//     low-bit-rate sensors but a camera would need I²C or better).
+//     low-bit-rate sensors but a camera would need I²C or better),
+//
+//   - a deterministic, seedable fault injector (FaultConfig) modeling the
+//     noise a real audio-jack UART suffers: bit flips, frame drops,
+//     truncation, burst errors and delivery jitter, and
+//
+//   - a stop-and-wait ARQ reliability layer (ARQ) that recovers from those
+//     faults with sequence numbers, acknowledgements, capped exponential
+//     backoff and duplicate suppression.
 package link
 
 import (
@@ -42,6 +50,12 @@ const (
 	// hub so the runtime can tune the condition's final threshold
 	// (paper §7).
 	MsgFeedback MsgType = 0x09
+
+	// MsgArqData and MsgArqAck are the ARQ transport frames: a reliable
+	// frame travels as [seq u8 | inner type u8 | inner payload] and is
+	// confirmed by an ack carrying the same sequence number.
+	MsgArqData MsgType = 0x10
+	MsgArqAck  MsgType = 0x11
 )
 
 // Frame is one protocol unit.
@@ -57,8 +71,41 @@ const (
 	escapeXor  = 0x20
 )
 
-// ErrCRC reports a corrupted frame.
-var ErrCRC = errors.New("link: CRC mismatch")
+// Decode-error taxonomy. Line damage (a failed CRC, or a frame cut short
+// by noise) is transient — the right reaction is "retry", which the ARQ
+// layer does automatically. A length declaration that disagrees with a
+// frame whose CRC *passed* means the peer encoded nonsense: retrying
+// reproduces the same bytes, so consumers must fail the operation instead.
+var (
+	// ErrCRC reports a corrupted frame (checksum mismatch).
+	ErrCRC = errors.New("link: CRC mismatch")
+	// ErrShortFrame reports a frame body below the minimum 5 bytes
+	// (type + length + CRC), typically a truncated transmission.
+	ErrShortFrame = errors.New("link: frame too short")
+	// ErrLengthMismatch reports a CRC-valid frame whose declared payload
+	// length disagrees with the bytes received — a sender-side bug, not
+	// line noise.
+	ErrLengthMismatch = errors.New("link: length mismatch")
+	// ErrLinkDown reports that the ARQ layer exhausted its bounded
+	// retransmissions without an acknowledgement.
+	ErrLinkDown = errors.New("link: delivery failed after bounded retransmissions")
+)
+
+// IsCorrupt reports whether a decode error indicates transient line damage
+// (worth retrying), as opposed to a structurally malformed frame.
+func IsCorrupt(err error) bool {
+	return errors.Is(err, ErrCRC) || errors.Is(err, ErrShortFrame)
+}
+
+// IsMalformed reports whether a decode error indicates a well-transmitted
+// but wrongly encoded frame (retrying cannot help).
+func IsMalformed(err error) bool { return errors.Is(err, ErrLengthMismatch) }
+
+// UARTActiveMW is the modeled draw of the audio-jack UART bridge while the
+// line is busy (driver + level shifting on both ends). Experiments price
+// link occupancy with it, so every retransmitted frame costs real
+// simulated milliwatts.
+const UARTActiveMW = 12.0
 
 // crc16 computes CRC-16/CCITT-FALSE over data.
 func crc16(data []byte) uint16 {
@@ -106,22 +153,30 @@ type Decoder struct {
 	buf     []byte
 	inFrame bool
 	escaped bool
+
+	corrupt   int // CRC failures and short frames (line damage)
+	malformed int // length mismatches (sender bugs)
 }
 
 // Feed consumes wire bytes and returns completed frames, skipping noise
-// between frames. Corrupted frames produce an error alongside any frames
-// decoded earlier in the same call.
+// between frames. A damaged frame does not stop the scan: later frames in
+// the same call still decode, and the first error encountered is returned
+// alongside them. Cumulative error counts are available via Corrupt and
+// Malformed.
 func (d *Decoder) Feed(data []byte) ([]Frame, error) {
 	var frames []Frame
+	var firstErr error
 	for _, b := range data {
 		if b == flagByte {
 			if d.inFrame && len(d.buf) > 0 {
 				f, err := d.complete()
 				if err != nil {
-					d.reset()
-					return frames, err
+					if firstErr == nil {
+						firstErr = err
+					}
+				} else {
+					frames = append(frames, f)
 				}
-				frames = append(frames, f)
 				d.reset()
 				// Stay in-frame: back-to-back frames share flags.
 				d.inFrame = true
@@ -146,8 +201,16 @@ func (d *Decoder) Feed(data []byte) ([]Frame, error) {
 		}
 		d.buf = append(d.buf, b)
 	}
-	return frames, nil
+	return frames, firstErr
 }
+
+// Corrupt returns the cumulative count of line-damaged frames (CRC
+// failures and truncations) this decoder has rejected.
+func (d *Decoder) Corrupt() int { return d.corrupt }
+
+// Malformed returns the cumulative count of structurally malformed frames
+// (CRC-valid but self-inconsistent) this decoder has rejected.
+func (d *Decoder) Malformed() int { return d.malformed }
 
 func (d *Decoder) reset() {
 	d.buf = d.buf[:0]
@@ -159,23 +222,47 @@ func (d *Decoder) reset() {
 func (d *Decoder) complete() (Frame, error) {
 	raw := d.buf
 	if len(raw) < 5 {
-		return Frame{}, fmt.Errorf("link: frame too short (%d bytes)", len(raw))
+		d.corrupt++
+		return Frame{}, fmt.Errorf("%w (%d bytes)", ErrShortFrame, len(raw))
 	}
 	body, crcBytes := raw[:len(raw)-2], raw[len(raw)-2:]
 	want := uint16(crcBytes[0])<<8 | uint16(crcBytes[1])
 	if crc16(body) != want {
+		d.corrupt++
 		return Frame{}, ErrCRC
 	}
 	declared := int(body[1])<<8 | int(body[2])
 	payload := body[3:]
 	if declared != len(payload) {
-		return Frame{}, fmt.Errorf("link: length mismatch: declared %d, got %d", declared, len(payload))
+		d.malformed++
+		return Frame{}, fmt.Errorf("%w: declared %d, got %d", ErrLengthMismatch, declared, len(payload))
 	}
 	out := Frame{Type: MsgType(body[0])}
 	if len(payload) > 0 {
 		out.Payload = append([]byte(nil), payload...)
 	}
 	return out, nil
+}
+
+// Port is the frame channel the manager and hub node speak through. The
+// raw *Endpoint implements it directly (Send is best-effort and instant);
+// *ARQ implements it with reliable delivery for Send and pass-through for
+// SendLossy.
+type Port interface {
+	// Send transmits a frame; over an ARQ port delivery is guaranteed
+	// within the bounded retransmission budget or reported via TakeDead.
+	Send(Frame) error
+	// SendLossy transmits fire-and-forget: the frame may be lost.
+	SendLossy(Frame) error
+	// Receive pops the oldest delivered frame.
+	Receive() (Frame, bool)
+	// Tick advances timers: ARQ retransmissions and delayed-fault
+	// delivery. A no-op for a fault-free raw endpoint.
+	Tick()
+	// Idle reports that the port has no in-flight outbound work.
+	Idle() bool
+	// Pending returns the number of frames ready (or queued) for Receive.
+	Pending() int
 }
 
 // Endpoint is one end of a simulated serial pipe.
@@ -186,6 +273,7 @@ type Endpoint struct {
 	baud      int
 	sentBytes int
 	busySec   float64
+	faults    *injector
 }
 
 // Pipe creates a connected full-duplex link at the given baud rate
@@ -201,19 +289,74 @@ func Pipe(baud int) (a, b *Endpoint, err error) {
 	return a, b, nil
 }
 
+// SetFaults installs a deterministic fault injector on this endpoint's
+// transmit path: frames this endpoint sends are subjected to the
+// configured drop/corruption/delay lottery before reaching the peer. A
+// zero FaultConfig removes the injector (perfect link).
+func (e *Endpoint) SetFaults(cfg FaultConfig) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if !cfg.enabled() {
+		e.faults = nil
+		return nil
+	}
+	e.faults = newInjector(cfg)
+	return nil
+}
+
+// FaultStats returns the injector's tally (zero value when no faults are
+// configured).
+func (e *Endpoint) FaultStats() FaultStats {
+	if e.faults == nil {
+		return FaultStats{}
+	}
+	return e.faults.stats
+}
+
 // Send encodes and transmits a frame to the peer, accounting transfer
-// time at 10 wire bits per byte (8N1 UART).
+// time at 10 wire bits per byte (8N1 UART). Wire damage is the receiver's
+// problem, exactly as on a real UART: a frame the peer cannot decode is
+// counted in the peer's RxCorrupt/RxMalformed tallies and never enters its
+// inbox; Send itself only fails for local configuration errors.
 func (e *Endpoint) Send(f Frame) error {
 	wire := Encode(f)
 	e.sentBytes += len(wire)
 	e.busySec += float64(len(wire)*10) / float64(e.baud)
-	frames, err := e.peer.dec.Feed(wire)
-	if err != nil {
-		return err
+	if e.faults == nil {
+		e.deliver(wire)
+		return nil
 	}
-	e.peer.inbox = append(e.peer.inbox, frames...)
+	for _, chunk := range e.faults.transmit(wire) {
+		e.deliver(chunk)
+	}
 	return nil
 }
+
+// SendLossy is Send: a raw endpoint offers no stronger guarantee.
+func (e *Endpoint) SendLossy(f Frame) error { return e.Send(f) }
+
+// deliver feeds wire bytes into the peer's decoder.
+func (e *Endpoint) deliver(chunk []byte) {
+	// Decode errors are recorded by the peer's decoder counters; damaged
+	// frames simply never arrive.
+	frames, _ := e.peer.dec.Feed(chunk)
+	e.peer.inbox = append(e.peer.inbox, frames...)
+}
+
+// Tick releases any fault-delayed transmissions whose jitter has elapsed.
+func (e *Endpoint) Tick() {
+	if e.faults == nil {
+		return
+	}
+	for _, chunk := range e.faults.tickHeld() {
+		e.deliver(chunk)
+	}
+}
+
+// Idle reports whether this endpoint has no transmissions held back by
+// delay jitter.
+func (e *Endpoint) Idle() bool { return e.faults == nil || e.faults.heldCount() == 0 }
 
 // Receive pops the oldest pending frame.
 func (e *Endpoint) Receive() (Frame, bool) {
@@ -234,3 +377,11 @@ func (e *Endpoint) SentBytes() int { return e.sentBytes }
 // BusySeconds returns the cumulative wire time this endpoint's
 // transmissions occupied.
 func (e *Endpoint) BusySeconds() float64 { return e.busySec }
+
+// RxCorrupt returns how many inbound frames this endpoint rejected as
+// line-damaged (CRC failure or truncation).
+func (e *Endpoint) RxCorrupt() int { return e.dec.Corrupt() }
+
+// RxMalformed returns how many inbound frames this endpoint rejected as
+// structurally malformed (CRC-valid but self-inconsistent).
+func (e *Endpoint) RxMalformed() int { return e.dec.Malformed() }

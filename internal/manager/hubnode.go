@@ -13,11 +13,13 @@ import (
 
 // condState is one loaded wake-up condition on the hub. plan is the
 // developer's bound plan; the tuner's factor adjusts its final threshold
-// (paper §7).
+// (paper §7). pushText is the IR exactly as pushed, so a retransmitted
+// duplicate push can be recognized and re-acked idempotently.
 type condState struct {
-	id    uint16
-	plan  *core.Plan
-	tuner *tuner
+	id       uint16
+	plan     *core.Plan
+	pushText string
+	tuner    *tuner
 }
 
 // HubNode is the hub-side runtime (paper §3.5): it receives IR programs
@@ -28,7 +30,7 @@ type condState struct {
 type HubNode struct {
 	cat     *core.Catalog
 	devices []hub.Device
-	ep      *link.Endpoint
+	ep      link.Port
 
 	conds  map[uint16]*condState
 	device hub.Device
@@ -45,6 +47,14 @@ type HubNode struct {
 	rings   map[core.SensorChannel]*ring
 	counts  map[core.SensorChannel]int64
 	bufSize int
+
+	// wakesSent counts wake frames handed to the link; dropped counts
+	// inbound frames discarded as undecodable or of an unknown type;
+	// dead counts outbound frames the link abandoned after its bounded
+	// retransmissions.
+	wakesSent int
+	dropped   int
+	dead      int
 }
 
 // ring is a fixed-capacity sample buffer.
@@ -74,9 +84,11 @@ func (r *ring) snapshot() []float64 {
 	return out
 }
 
-// NewHubNode builds a hub runtime on one end of the link. bufSamples is
-// the per-channel raw-data ring capacity delivered on wake-up.
-func NewHubNode(ep *link.Endpoint, cat *core.Catalog, devices []hub.Device, bufSamples int) (*HubNode, error) {
+// NewHubNode builds a hub runtime on one end of the link — a raw
+// *link.Endpoint or a *link.ARQ for reliable delivery over a lossy wire.
+// bufSamples is the per-channel raw-data ring capacity delivered on
+// wake-up.
+func NewHubNode(ep link.Port, cat *core.Catalog, devices []hub.Device, bufSamples int) (*HubNode, error) {
 	if ep == nil {
 		return nil, fmt.Errorf("manager: hub node needs a link endpoint")
 	}
@@ -107,8 +119,18 @@ func (h *HubNode) Device() (hub.Device, bool) { return h.device, h.placed }
 // Loaded returns the number of active conditions.
 func (h *HubNode) Loaded() int { return len(h.conds) }
 
-// Service drains inbound frames: config pushes, removals, pings.
+// Service ticks the link (driving ARQ retransmissions) and drains inbound
+// frames: config pushes, removals, pings. A frame whose payload fails to
+// decode is counted (DroppedFrames) and skipped — line noise and peer
+// bugs must not kill the hub loop. Only internal failures (a broken
+// rebuild) are returned.
 func (h *HubNode) Service() error {
+	h.ep.Tick()
+	if td, ok := h.ep.(interface{ TakeDead() []link.Frame }); ok {
+		// A dead wake/data frame cannot be un-fired; count it so tests
+		// and experiments can see undelivered events.
+		h.dead += len(td.TakeDead())
+	}
 	for {
 		f, ok := h.ep.Receive()
 		if !ok {
@@ -122,7 +144,8 @@ func (h *HubNode) Service() error {
 		case link.MsgRemove:
 			id, err := decodeRemove(f.Payload)
 			if err != nil {
-				return err
+				h.dropped++
+				continue
 			}
 			delete(h.conds, id)
 			if err := h.rebuild(); err != nil {
@@ -131,7 +154,8 @@ func (h *HubNode) Service() error {
 		case link.MsgFeedback:
 			id, falsePositive, err := decodeFeedback(f.Payload)
 			if err != nil {
-				return err
+				h.dropped++
+				continue
 			}
 			if c, ok := h.conds[id]; ok {
 				if c.tuner.feedback(falsePositive) {
@@ -141,11 +165,11 @@ func (h *HubNode) Service() error {
 				}
 			}
 		case link.MsgPing:
-			if err := h.ep.Send(link.Frame{Type: link.MsgPong}); err != nil {
+			if err := h.ep.SendLossy(link.Frame{Type: link.MsgPong}); err != nil {
 				return err
 			}
 		default:
-			return fmt.Errorf("manager: hub received unexpected frame type %#x", f.Type)
+			h.dropped++
 		}
 	}
 }
@@ -156,19 +180,27 @@ func (h *HubNode) Service() error {
 func (h *HubNode) handlePush(payload []byte) error {
 	id, irText, err := decodeConfigPush(payload)
 	if err != nil {
-		return err
+		// Too mangled even to address a MsgConfigError reply; the
+		// manager recovers by timeout + Repush.
+		h.dropped++
+		return nil
 	}
 	fail := func(cause error) error {
 		return h.ep.Send(link.Frame{Type: link.MsgConfigError, Payload: encodeIDText(id, cause.Error())})
 	}
-	if _, dup := h.conds[id]; dup {
+	if prev, dup := h.conds[id]; dup {
+		if prev.pushText == irText {
+			// Retransmitted push whose ack was lost: re-ack, don't
+			// double-load.
+			return h.ep.Send(link.Frame{Type: link.MsgConfigAck, Payload: encodeIDText(id, h.device.Name)})
+		}
 		return fail(fmt.Errorf("condition %d already loaded", id))
 	}
 	plan, err := ir.ParseAndBind(irText, h.cat)
 	if err != nil {
 		return fail(err)
 	}
-	h.conds[id] = &condState{id: id, plan: plan, tuner: newTuner()}
+	h.conds[id] = &condState{id: id, plan: plan, pushText: irText, tuner: newTuner()}
 	if err := h.rebuild(); err != nil {
 		delete(h.conds, id)
 		// Restore the previous merged set; the old set was feasible.
@@ -247,9 +279,23 @@ func (h *HubNode) Feed(ch core.SensorChannel, v float64) error {
 		if err := h.ep.Send(link.Frame{Type: link.MsgWake, Payload: payload}); err != nil {
 			return err
 		}
+		h.wakesSent++
 	}
 	return nil
 }
+
+// WakesSent returns how many wake frames the hub has handed to the link.
+// Comparing it against listener callbacks measures delivery over a lossy
+// wire.
+func (h *HubNode) WakesSent() int { return h.wakesSent }
+
+// DroppedFrames returns how many inbound frames this hub discarded as
+// undecodable or of an unknown type.
+func (h *HubNode) DroppedFrames() int { return h.dropped }
+
+// DeadFrames returns how many outbound frames the link abandoned after
+// exhausting its retransmission budget.
+func (h *HubNode) DeadFrames() int { return h.dead }
 
 // Work returns the interpreter work of the merged condition set.
 func (h *HubNode) Work() core.CostEstimate {

@@ -29,9 +29,11 @@ type ListenerFunc func(Event)
 // OnSensorEvent implements Listener.
 func (f ListenerFunc) OnSensorEvent(e Event) { f(e) }
 
-// pushState tracks an in-flight or settled condition push.
+// pushState tracks an in-flight or settled condition push. irText keeps
+// the compiled program so a push whose delivery failed can be re-sent.
 type pushState struct {
 	listener Listener
+	irText   string
 	acked    bool
 	device   string
 	err      error
@@ -43,16 +45,20 @@ type pushState struct {
 // events (with the hub's raw-data buffer) to registered listeners.
 type Manager struct {
 	cat    *core.Catalog
-	ep     *link.Endpoint
+	ep     link.Port
 	nextID uint16
 	pushes map[uint16]*pushState
 	// pendingData accumulates raw buffers that precede their wake frame.
 	pendingData map[uint16]map[core.SensorChannel][]float64
+	// dropped counts inbound frames discarded as undecodable or of an
+	// unknown type — line noise or a peer bug, never fatal to the loop.
+	dropped int
 }
 
-// New builds a manager on one end of the link. A nil catalog uses the
-// platform default.
-func New(ep *link.Endpoint, cat *core.Catalog) (*Manager, error) {
+// New builds a manager on one end of the link — a raw *link.Endpoint or
+// a *link.ARQ for reliable delivery over a lossy wire. A nil catalog uses
+// the platform default.
+func New(ep link.Port, cat *core.Catalog) (*Manager, error) {
 	if ep == nil {
 		return nil, fmt.Errorf("manager: manager needs a link endpoint")
 	}
@@ -86,8 +92,22 @@ func (m *Manager) Push(p *core.Pipeline, l Listener) (uint16, error) {
 	if err := m.ep.Send(link.Frame{Type: link.MsgConfigPush, Payload: encodeConfigPush(id, irText)}); err != nil {
 		return 0, err
 	}
-	m.pushes[id] = &pushState{listener: l}
+	m.pushes[id] = &pushState{listener: l, irText: irText}
 	return id, nil
+}
+
+// Repush re-sends a condition whose earlier push was reported undelivered
+// (Status returned link.ErrLinkDown) or never answered, re-arming the
+// link layer's bounded retry budget. The hub treats a duplicate push with
+// identical IR as idempotent and simply re-acks.
+func (m *Manager) Repush(id uint16) error {
+	st, ok := m.pushes[id]
+	if !ok {
+		return fmt.Errorf("manager: unknown condition %d", id)
+	}
+	st.acked = false
+	st.err = nil
+	return m.ep.Send(link.Frame{Type: link.MsgConfigPush, Payload: encodeConfigPush(id, st.irText)})
 }
 
 // Feedback reports a wake-up verdict to the hub (paper §7): falsePositive
@@ -98,7 +118,9 @@ func (m *Manager) Feedback(id uint16, falsePositive bool) error {
 	if _, ok := m.pushes[id]; !ok {
 		return fmt.Errorf("manager: unknown condition %d", id)
 	}
-	return m.ep.Send(link.Frame{Type: link.MsgFeedback, Payload: encodeFeedback(id, falsePositive)})
+	// Fire-and-forget: a lost feedback hint only delays threshold tuning
+	// by one wake-up, so it is not worth retransmission traffic.
+	return m.ep.SendLossy(link.Frame{Type: link.MsgFeedback, Payload: encodeFeedback(id, falsePositive)})
 }
 
 // Remove unloads a condition from the hub and forgets its listener.
@@ -114,9 +136,15 @@ func (m *Manager) Remove(id uint16) error {
 	return nil
 }
 
-// Service drains inbound frames, settling pushes and dispatching wake
-// callbacks.
+// Service ticks the link (driving ARQ retransmissions), settles any
+// frames the link abandoned, and drains inbound frames — settling pushes
+// and dispatching wake callbacks. A frame that fails to decode is counted
+// (DroppedFrames) and skipped, never fatal: over a lossy link such frames
+// are expected, and over a perfect link they indicate a peer bug the
+// manager should survive.
 func (m *Manager) Service() error {
+	m.ep.Tick()
+	m.reapDead()
 	for {
 		f, ok := m.ep.Receive()
 		if !ok {
@@ -126,7 +154,8 @@ func (m *Manager) Service() error {
 		case link.MsgConfigAck:
 			id, device, err := decodeIDText(f.Payload)
 			if err != nil {
-				return err
+				m.dropped++
+				continue
 			}
 			if st := m.pushes[id]; st != nil {
 				st.acked = true
@@ -135,7 +164,8 @@ func (m *Manager) Service() error {
 		case link.MsgConfigError:
 			id, msg, err := decodeIDText(f.Payload)
 			if err != nil {
-				return err
+				m.dropped++
+				continue
 			}
 			if st := m.pushes[id]; st != nil {
 				st.acked = true
@@ -144,7 +174,8 @@ func (m *Manager) Service() error {
 		case link.MsgData:
 			id, ch, samples, err := decodeData(f.Payload)
 			if err != nil {
-				return err
+				m.dropped++
+				continue
 			}
 			if m.pendingData[id] == nil {
 				m.pendingData[id] = make(map[core.SensorChannel][]float64)
@@ -153,7 +184,8 @@ func (m *Manager) Service() error {
 		case link.MsgWake:
 			id, value, sampleIdx, err := decodeWake(f.Payload)
 			if err != nil {
-				return err
+				m.dropped++
+				continue
 			}
 			st := m.pushes[id]
 			if st == nil || st.listener == nil {
@@ -165,10 +197,38 @@ func (m *Manager) Service() error {
 		case link.MsgPong:
 			// liveness reply; nothing to do
 		default:
-			return fmt.Errorf("manager: unexpected frame type %#x", f.Type)
+			m.dropped++
 		}
 	}
 }
+
+// reapDead settles frames the ARQ layer abandoned after exhausting its
+// retransmission budget. A dead config push fails the pending Status with
+// link.ErrLinkDown so the caller can Repush; other dead frames carry no
+// manager-side state to settle.
+func (m *Manager) reapDead() {
+	td, ok := m.ep.(interface{ TakeDead() []link.Frame })
+	if !ok {
+		return
+	}
+	for _, f := range td.TakeDead() {
+		if f.Type != link.MsgConfigPush {
+			continue
+		}
+		id, _, err := decodeConfigPush(f.Payload)
+		if err != nil {
+			continue
+		}
+		if st := m.pushes[id]; st != nil && !st.acked {
+			st.acked = true
+			st.err = fmt.Errorf("manager: condition %d: config push undelivered: %w", id, link.ErrLinkDown)
+		}
+	}
+}
+
+// DroppedFrames returns how many inbound frames this manager discarded as
+// undecodable or of an unknown type.
+func (m *Manager) DroppedFrames() int { return m.dropped }
 
 // Status reports the outcome of a push: the selected device once acked,
 // or the hub's rejection error.

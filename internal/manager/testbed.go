@@ -1,6 +1,7 @@
 package manager
 
 import (
+	"errors"
 	"fmt"
 
 	"sidewinder/internal/core"
@@ -11,10 +12,15 @@ import (
 // Testbed wires a Manager and a HubNode over a simulated UART and pumps
 // both sides, giving examples and tests a synchronous view of the
 // asynchronous architecture. It corresponds to the paper's prototype: a
-// phone and a microcontroller joined by a serial cable (§3.4).
+// phone and a microcontroller joined by a serial cable (§3.4). The wire
+// can optionally be made lossy (Fault) and protected by the stop-and-wait
+// reliability layer (ARQ).
 type Testbed struct {
 	Manager *Manager
 	Hub     *HubNode
+
+	phoneRaw, hubRaw   *link.Endpoint
+	phonePort, hubPort link.Port
 }
 
 // TestbedConfig tunes the testbed; zero values take defaults.
@@ -23,6 +29,18 @@ type TestbedConfig struct {
 	Devices    []hub.Device  // hub device ladder
 	Baud       int           // serial rate (default 115200)
 	BufSamples int           // hub raw-data ring per channel (default 256)
+
+	// Fault, when non-nil, installs deterministic fault injectors on
+	// both transmit directions. The hub-to-phone direction uses
+	// Fault.Seed+1 so the two streams differ but the whole assembly
+	// stays reproducible. nil leaves the wire perfect — byte-identical
+	// to the pre-fault-model behavior.
+	Fault *link.FaultConfig
+
+	// ARQ, when non-nil, wraps both endpoints in the stop-and-wait
+	// reliability layer so config pushes and wake events survive the
+	// injected faults. nil runs raw frames (the legacy behavior).
+	ARQ *link.ARQConfig
 }
 
 // NewTestbed builds the full phone+hub assembly.
@@ -35,28 +53,62 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 	if err != nil {
 		return nil, err
 	}
-	m, err := New(phoneEnd, cfg.Catalog)
+	if cfg.Fault != nil {
+		phoneFaults := *cfg.Fault
+		if err := phoneEnd.SetFaults(phoneFaults); err != nil {
+			return nil, err
+		}
+		hubFaults := *cfg.Fault
+		hubFaults.Seed = cfg.Fault.Seed + 1
+		if err := hubEnd.SetFaults(hubFaults); err != nil {
+			return nil, err
+		}
+	}
+	var phonePort, hubPort link.Port = phoneEnd, hubEnd
+	if cfg.ARQ != nil {
+		phonePort = link.NewARQ(phoneEnd, *cfg.ARQ)
+		hubPort = link.NewARQ(hubEnd, *cfg.ARQ)
+	}
+	m, err := New(phonePort, cfg.Catalog)
 	if err != nil {
 		return nil, err
 	}
-	h, err := NewHubNode(hubEnd, cfg.Catalog, cfg.Devices, cfg.BufSamples)
+	h, err := NewHubNode(hubPort, cfg.Catalog, cfg.Devices, cfg.BufSamples)
 	if err != nil {
 		return nil, err
 	}
-	return &Testbed{Manager: m, Hub: h}, nil
+	return &Testbed{
+		Manager:   m,
+		Hub:       h,
+		phoneRaw:  phoneEnd,
+		hubRaw:    hubEnd,
+		phonePort: phonePort,
+		hubPort:   hubPort,
+	}, nil
 }
 
 // Push pushes a wake-up condition end to end and returns its ID and the
-// device the hub placed it on.
+// device the hub placed it on. If the link layer declares the push dead
+// mid-flight (bounded ARQ retries exhausted), one automatic re-push
+// re-arms the retry budget before giving up.
 func (t *Testbed) Push(p *core.Pipeline, l Listener) (id uint16, device string, err error) {
 	id, err = t.Manager.Push(p, l)
 	if err != nil {
 		return 0, "", err
 	}
-	if err := t.pump(); err != nil {
+	if err := t.Pump(); err != nil {
 		return 0, "", err
 	}
 	device, ready, err := t.Manager.Status(id)
+	if err != nil && errors.Is(err, link.ErrLinkDown) {
+		if err := t.Manager.Repush(id); err != nil {
+			return 0, "", err
+		}
+		if err := t.Pump(); err != nil {
+			return 0, "", err
+		}
+		device, ready, err = t.Manager.Status(id)
+	}
 	if err != nil {
 		return 0, "", err
 	}
@@ -71,7 +123,7 @@ func (t *Testbed) Remove(id uint16) error {
 	if err := t.Manager.Remove(id); err != nil {
 		return err
 	}
-	return t.pump()
+	return t.Pump()
 }
 
 // Feedback reports a wake-up verdict end to end and applies any resulting
@@ -80,7 +132,7 @@ func (t *Testbed) Feedback(id uint16, falsePositive bool) error {
 	if err := t.Manager.Feedback(id, falsePositive); err != nil {
 		return err
 	}
-	return t.pump()
+	return t.Pump()
 }
 
 // Feed delivers one sensor sample to the hub and pumps any resulting wake
@@ -89,7 +141,10 @@ func (t *Testbed) Feed(ch core.SensorChannel, v float64) error {
 	if err := t.Hub.Feed(ch, v); err != nil {
 		return err
 	}
-	return t.Manager.Service()
+	if t.quiet() {
+		return nil
+	}
+	return t.Pump()
 }
 
 // FeedSlice delivers a whole sample stream for one channel.
@@ -102,15 +157,70 @@ func (t *Testbed) FeedSlice(ch core.SensorChannel, samples []float64) error {
 	return nil
 }
 
-// pump services both sides until the link is quiet.
-func (t *Testbed) pump() error {
-	for i := 0; i < 8; i++ {
+// maxPumpRounds bounds Pump. ARQ backoff caps at 16 ticks and retries at
+// 8, so even a fully dead frame settles within ~130 rounds; the bound
+// only guards against a protocol bug livelocking the loop.
+const maxPumpRounds = 4096
+
+// Pump services both sides until the link is quiet: nothing pending,
+// nothing in flight, nothing delayed. With a lossy link this is where
+// retransmission ticks happen.
+func (t *Testbed) Pump() error {
+	for i := 0; i < maxPumpRounds; i++ {
 		if err := t.Hub.Service(); err != nil {
 			return err
 		}
 		if err := t.Manager.Service(); err != nil {
 			return err
 		}
+		if t.quiet() {
+			return nil
+		}
 	}
-	return nil
+	return fmt.Errorf("manager: link did not quiesce within %d pump rounds", maxPumpRounds)
+}
+
+// quiet reports that no frame is pending, in flight, or delayed in either
+// direction.
+func (t *Testbed) quiet() bool {
+	return t.phonePort.Idle() && t.hubPort.Idle() &&
+		t.phonePort.Pending() == 0 && t.hubPort.Pending() == 0
+}
+
+// LinkStats aggregates both directions' wire accounting, fault tallies,
+// and (when the testbed runs the reliability layer) ARQ session counters.
+type LinkStats struct {
+	WireBytes   int     // total bytes both endpoints transmitted
+	BusySeconds float64 // cumulative wire occupancy, both directions
+
+	PhoneFaults, HubFaults link.FaultStats
+
+	ARQ              bool // reliability layer active
+	PhoneARQ, HubARQ link.ARQStats
+	PhoneRxCorrupt   int
+	HubRxCorrupt     int
+	PhoneRxMalformed int
+	HubRxMalformed   int
+}
+
+// LinkStats snapshots the link's accounting.
+func (t *Testbed) LinkStats() LinkStats {
+	s := LinkStats{
+		WireBytes:        t.phoneRaw.SentBytes() + t.hubRaw.SentBytes(),
+		BusySeconds:      t.phoneRaw.BusySeconds() + t.hubRaw.BusySeconds(),
+		PhoneFaults:      t.phoneRaw.FaultStats(),
+		HubFaults:        t.hubRaw.FaultStats(),
+		PhoneRxCorrupt:   t.phoneRaw.RxCorrupt(),
+		HubRxCorrupt:     t.hubRaw.RxCorrupt(),
+		PhoneRxMalformed: t.phoneRaw.RxMalformed(),
+		HubRxMalformed:   t.hubRaw.RxMalformed(),
+	}
+	if pa, ok := t.phonePort.(*link.ARQ); ok {
+		s.ARQ = true
+		s.PhoneARQ = pa.Stats()
+	}
+	if ha, ok := t.hubPort.(*link.ARQ); ok {
+		s.HubARQ = ha.Stats()
+	}
+	return s
 }

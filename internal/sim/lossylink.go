@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"sidewinder/internal/apps"
+	"sidewinder/internal/link"
+	"sidewinder/internal/manager"
+	"sidewinder/internal/sensor"
+)
+
+// LossyLinkConfig parameterizes a replay of one application's wake-up
+// condition through the full manager/link/hub stack with fault injection
+// on the wire.
+type LossyLinkConfig struct {
+	// Fault is the injected fault regime (both directions; the testbed
+	// derives a distinct stream for each).
+	Fault link.FaultConfig
+	// ARQ, when non-nil, protects the wire with the stop-and-wait
+	// reliability layer. nil replays raw frames, measuring what the
+	// faults actually cost an unprotected link.
+	ARQ *link.ARQConfig
+	// BufSamples is the hub's per-channel raw-data ring (default 32: a
+	// small ring keeps data frames short, which is also what a real
+	// memory-starved hub would do).
+	BufSamples int
+}
+
+// LossyLinkResult reports delivery and energy outcomes of one replay.
+type LossyLinkResult struct {
+	HubWakes       int     // wake frames the hub handed to the link
+	DeliveredWakes int     // wake events that reached the listener
+	DuplicateWakes int     // events delivered more than once (must be 0)
+	DeliveredRecall float64 // DeliveredWakes / HubWakes (1 when no wakes)
+	PushAttempts   int     // config pushes needed to load the condition
+	Stats          manager.LinkStats
+	LinkBusySec    float64 // wire occupancy including retransmissions
+	LinkEnergyMJ   float64 // LinkBusySec × link.UARTActiveMW
+	LinkAvgMW      float64 // link energy averaged over the trace duration
+}
+
+// maxPushAttempts bounds config-push retries over a raw lossy wire; the
+// ARQ path virtually always succeeds on the first attempt.
+const maxPushAttempts = 25
+
+// LossyLinkRun replays an application's wake-up condition over a faulty
+// serial link and measures what survives: how many hub-side wake events
+// reach the phone, whether any arrive twice, and what the link traffic —
+// retransmissions included — costs in energy.
+func LossyLinkRun(tr *sensor.Trace, app *apps.App, cfg LossyLinkConfig) (*LossyLinkResult, error) {
+	bufSamples := cfg.BufSamples
+	if bufSamples <= 0 {
+		bufSamples = 32
+	}
+	fault := cfg.Fault
+	bed, err := manager.NewTestbed(manager.TestbedConfig{
+		BufSamples: bufSamples,
+		Fault:      &fault,
+		ARQ:        cfg.ARQ,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &LossyLinkResult{}
+	seen := make(map[int64]int)
+	id, err := bed.Manager.Push(app.Wake, manager.ListenerFunc(func(e manager.Event) {
+		res.DeliveredWakes++
+		seen[e.SampleIndex]++
+		if seen[e.SampleIndex] > 1 {
+			res.DuplicateWakes++
+		}
+	}))
+	if err != nil {
+		return nil, err
+	}
+
+	// Load the condition, re-pushing as long as the link keeps eating
+	// the push or its ack. The ARQ path settles this on the first
+	// attempt; a raw wire at high error rates may need several.
+	loaded := false
+	for attempt := 0; attempt < maxPushAttempts; attempt++ {
+		res.PushAttempts++
+		if err := bed.Pump(); err != nil {
+			return nil, err
+		}
+		_, ready, serr := bed.Manager.Status(id)
+		if ready && serr == nil {
+			loaded = true
+			break
+		}
+		if ready && serr != nil && !errors.Is(serr, link.ErrLinkDown) {
+			return nil, serr // the hub actually rejected the program
+		}
+		if err := bed.Manager.Repush(id); err != nil {
+			return nil, err
+		}
+	}
+	if !loaded {
+		return nil, fmt.Errorf("sim: condition never loaded after %d push attempts", maxPushAttempts)
+	}
+
+	// Replay the trace through the hub, all of the condition's channels
+	// in lockstep.
+	channels := make([][]float64, len(app.Channels))
+	for i, ch := range app.Channels {
+		channels[i] = tr.Channels[ch]
+	}
+	n := tr.Len()
+	for s := 0; s < n; s++ {
+		for i, ch := range app.Channels {
+			if s >= len(channels[i]) {
+				continue
+			}
+			if err := bed.Feed(ch, channels[i][s]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := bed.Pump(); err != nil {
+		return nil, err
+	}
+
+	res.HubWakes = bed.Hub.WakesSent()
+	res.Stats = bed.LinkStats()
+	res.LinkBusySec = res.Stats.BusySeconds
+	res.LinkEnergyMJ = res.LinkBusySec * link.UARTActiveMW
+	if dur := tr.Duration().Seconds(); dur > 0 {
+		res.LinkAvgMW = res.LinkEnergyMJ / dur
+	}
+	res.DeliveredRecall = 1
+	if res.HubWakes > 0 {
+		res.DeliveredRecall = float64(res.DeliveredWakes) / float64(res.HubWakes)
+	}
+	return res, nil
+}
