@@ -8,7 +8,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: verify build vet test race bench fuzz
+.PHONY: verify build vet test race bench bench-telemetry cover fuzz
 
 verify: build vet race
 	@echo "verify clean — consider 'make fuzz' (FUZZTIME=$(FUZZTIME) per target) for parser/framing changes"
@@ -27,6 +27,20 @@ race:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
+
+# bench-telemetry proves the observability contract: registry/tracer
+# primitives and the instrumented interpreter hot path must report
+# 0 allocs/op with sinks disabled.
+bench-telemetry:
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/telemetry
+	$(GO) test -run '^$$' -bench 'BenchmarkPushSample' -benchmem ./internal/interp
+
+# cover writes an aggregate coverage profile and prints the per-package
+# summary; open coverage.html for the annotated source view.
+cover:
+	$(GO) test -coverprofile=coverage.out -covermode=atomic ./...
+	$(GO) tool cover -func=coverage.out | tail -1
+	$(GO) tool cover -html=coverage.out -o coverage.html
 
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeFrame$$' -fuzztime $(FUZZTIME) ./internal/link

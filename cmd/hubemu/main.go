@@ -8,11 +8,20 @@
 // Usage:
 //
 //	hubemu -ir condition.ir -trace run.swtr [-device MSP430|LM4F120] [-v]
+//	       [-metrics FILE] [-traceout FILE]
+//
+// -metrics writes replay telemetry (wake counters, per-stage interpreter
+// work, the device's energy ledger) to FILE — JSON when FILE ends in
+// .json, aligned text otherwise. -traceout writes a Chrome trace_event
+// JSON execution trace (wake instants plus per-stage spans) loadable in
+// Perfetto; it is named -traceout because -trace already names the input
+// sensor trace. Both are opt-in and leave the replay output unchanged.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -22,6 +31,7 @@ import (
 	"sidewinder/internal/interp"
 	"sidewinder/internal/ir"
 	"sidewinder/internal/sensor"
+	"sidewinder/internal/telemetry"
 )
 
 func main() {
@@ -29,15 +39,17 @@ func main() {
 	tracePath := flag.String("trace", "", "trace file, binary or .json (required)")
 	deviceName := flag.String("device", "", "force a device (MSP430 or LM4F120); default: auto-select")
 	verbose := flag.Bool("v", false, "print every wake event")
+	metricsFile := flag.String("metrics", "", "write wake counters and the energy ledger to this file (.json for JSON)")
+	traceOutFile := flag.String("traceout", "", "write a Chrome trace_event JSON trace to this file (open in Perfetto)")
 	flag.Parse()
 
-	if err := run(*irPath, *tracePath, *deviceName, *verbose); err != nil {
+	if err := run(*irPath, *tracePath, *deviceName, *verbose, *metricsFile, *traceOutFile); err != nil {
 		fmt.Fprintln(os.Stderr, "hubemu:", err)
 		os.Exit(1)
 	}
 }
 
-func run(irPath, tracePath, deviceName string, verbose bool) error {
+func run(irPath, tracePath, deviceName string, verbose bool, metricsFile, traceOutFile string) error {
 	if irPath == "" || tracePath == "" {
 		return fmt.Errorf("-ir and -trace are required")
 	}
@@ -76,6 +88,32 @@ func run(irPath, tracePath, deviceName string, verbose bool) error {
 	if err != nil {
 		return err
 	}
+
+	// Opt-in telemetry: counters + ledger behind -metrics, execution trace
+	// behind -traceout. All handles are nil-safe, so the replay loop below
+	// is identical with and without them.
+	var set telemetry.Set
+	if metricsFile != "" {
+		set.Metrics = telemetry.NewRegistry()
+		set.Ledger = telemetry.NewLedger()
+	}
+	if traceOutFile != "" {
+		set.Tracer = telemetry.NewTracer()
+	}
+	var (
+		clk     *telemetry.Clock
+		stream  *telemetry.Stream
+		profile *telemetry.InterpProfile
+		cWakes  *telemetry.Counter
+	)
+	if set.Enabled() {
+		clk = &telemetry.Clock{}
+		stream = set.Tracer.Stream("hub", clk)
+		profile = telemetry.NewInterpProfile()
+		machine.SetProfile(profile)
+		cWakes = set.Metrics.Counter("hubemu.wakes")
+	}
+
 	channels := plan.Channels
 	for _, ch := range channels {
 		if _, ok := tr.Channels[ch]; !ok {
@@ -86,9 +124,12 @@ func run(irPath, tracePath, deviceName string, verbose bool) error {
 	wakes := 0
 	n := tr.Len()
 	for i := 0; i < n; i++ {
+		clk.SetSec(float64(i) / tr.RateHz)
 		for _, ch := range channels {
 			for _, w := range machine.PushSample(ch, tr.Channels[ch][i]) {
 				wakes++
+				cWakes.Inc()
+				stream.Instant2("wake.sent", "hub", "node", float64(w.NodeID), "value", w.Value)
 				if verbose {
 					at := time.Duration(float64(i) / tr.RateHz * float64(time.Second))
 					fmt.Printf("wake #%d at %v (sample %d): node %d emitted %.4g\n",
@@ -105,6 +146,81 @@ func run(irPath, tracePath, deviceName string, verbose bool) error {
 	fmt.Printf("wake-ups: %d (%.2f per minute)\n", wakes, float64(wakes)/(seconds/60))
 	fmt.Printf("interpreter work: %.0f float ops, %.0f int ops (%.2f%% of %s cycle budget)\n",
 		work.FloatOps, work.IntOps, cycles/seconds/(dev.ClockHz*dev.MaxUtilization)*100, dev.Name)
+
+	if set.Enabled() {
+		if led := set.LedgerSink(); led != nil {
+			led.AddEnergyMJ(telemetry.HubDevice, dev.ActivePowerMW*seconds)
+			profile.DepositCycles(led, dev.CyclesPerFloatOp, dev.CyclesPerIntOp)
+		}
+		// Per-stage execution spans: consecutive spans whose durations are
+		// the stages' cycle counts on this device's clock.
+		at := 0.0
+		for _, st := range profile.Stages() {
+			stageCycles := st.FloatOps*dev.CyclesPerFloatOp + st.IntOps*dev.CyclesPerIntOp
+			if dur := stageCycles / dev.ClockHz; dur > 0 {
+				stream.Span(st.Kind, "stage", at, dur)
+				at += dur
+			}
+		}
+		if err := writeTelemetry(set, metricsFile, traceOutFile); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeTelemetry exports the collected sinks: the metrics file carries the
+// registry and ledger (one JSON object for .json names, aligned text
+// otherwise); the trace file is Chrome trace_event JSON.
+func writeTelemetry(set telemetry.Set, metricsFile, traceFile string) error {
+	if metricsFile != "" {
+		f, err := os.Create(metricsFile)
+		if err != nil {
+			return err
+		}
+		if strings.HasSuffix(metricsFile, ".json") {
+			_, err = io.WriteString(f, `{"metrics":`)
+			if err == nil {
+				err = set.Metrics.WriteJSON(f)
+			}
+			if err == nil {
+				_, err = io.WriteString(f, `,"ledger":`)
+			}
+			if err == nil {
+				err = set.Ledger.WriteJSON(f)
+			}
+			if err == nil {
+				_, err = io.WriteString(f, "}\n")
+			}
+		} else {
+			err = set.Metrics.WriteText(f)
+			if err == nil {
+				_, err = io.WriteString(f, "\n")
+			}
+			if err == nil {
+				err = set.Ledger.WriteText(f)
+			}
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("writing metrics: %w", err)
+		}
+	}
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return err
+		}
+		err = set.Tracer.WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+	}
 	return nil
 }
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -43,11 +44,11 @@ func TestReplayEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	tracePath := writeTrace(t, dir)
-	if err := run(irPath, tracePath, "", false); err != nil {
+	if err := run(irPath, tracePath, "", false, "", ""); err != nil {
 		t.Fatalf("replay: %v", err)
 	}
 	// Forcing the LM4F120 works; verbose path also exercised.
-	if err := run(irPath, tracePath, "LM4F120", true); err != nil {
+	if err := run(irPath, tracePath, "LM4F120", true, "", ""); err != nil {
 		t.Fatalf("forced device: %v", err)
 	}
 }
@@ -58,13 +59,13 @@ func TestReplayErrors(t *testing.T) {
 	os.WriteFile(irPath, []byte(stepsIR), 0o644)
 	tracePath := writeTrace(t, dir)
 
-	if err := run("", tracePath, "", false); err == nil {
+	if err := run("", tracePath, "", false, "", ""); err == nil {
 		t.Error("missing -ir should fail")
 	}
-	if err := run(irPath, "", "", false); err == nil {
+	if err := run(irPath, "", "", false, "", ""); err == nil {
 		t.Error("missing -trace should fail")
 	}
-	if err := run(irPath, tracePath, "Z80", false); err == nil {
+	if err := run(irPath, tracePath, "Z80", false, "", ""); err == nil {
 		t.Error("unknown device should fail")
 	}
 
@@ -72,7 +73,7 @@ func TestReplayErrors(t *testing.T) {
 	audioIR := "MIC -> window(id=1, params={64, 0, rectangular});\n1 -> stat(id=2, params={rms});\n2 -> minThreshold(id=3, params={0.5, 1});\n3 -> OUT;\n"
 	audioPath := filepath.Join(dir, "audio.ir")
 	os.WriteFile(audioPath, []byte(audioIR), 0o644)
-	if err := run(audioPath, tracePath, "", false); err == nil {
+	if err := run(audioPath, tracePath, "", false, "", ""); err == nil {
 		t.Error("missing channel should fail")
 	}
 
@@ -87,8 +88,75 @@ func TestReplayErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	if err := run(irPath, jsonPath, "", false); err != nil {
+	if err := run(irPath, jsonPath, "", false, "", ""); err != nil {
 		t.Errorf("json trace: %v", err)
 	}
 	_ = sensor.Event{} // keep the import for clarity of the test's domain
+}
+
+// TestReplayTelemetryFiles exercises -metrics/-traceout: the replay must
+// write a parseable metrics JSON object whose ledger carries the device's
+// energy, and a Chrome trace_event JSON document with wake instants and
+// stage spans.
+func TestReplayTelemetryFiles(t *testing.T) {
+	dir := t.TempDir()
+	irPath := filepath.Join(dir, "steps.ir")
+	if err := os.WriteFile(irPath, []byte(stepsIR), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tracePath := writeTrace(t, dir)
+	metricsFile := filepath.Join(dir, "metrics.json")
+	traceFile := filepath.Join(dir, "trace.json")
+
+	if err := run(irPath, tracePath, "", false, metricsFile, traceFile); err != nil {
+		t.Fatal(err)
+	}
+
+	var metrics struct {
+		Metrics []map[string]any `json:"metrics"`
+		Ledger  struct {
+			EnergyMJ map[string]float64 `json:"energy_mj"`
+		} `json:"ledger"`
+	}
+	data, err := os.ReadFile(metricsFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &metrics); err != nil {
+		t.Fatalf("metrics file is not valid JSON: %v", err)
+	}
+	if len(metrics.Metrics) == 0 {
+		t.Error("metrics file has no counters")
+	}
+	if metrics.Ledger.EnergyMJ["hub.device"] <= 0 {
+		t.Errorf("ledger has no hub.device energy: %v", metrics.Ledger.EnergyMJ)
+	}
+
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	data, err = os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &trace); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	var wakeEvents, spans int
+	for _, ev := range trace.TraceEvents {
+		switch ev["ph"] {
+		case "i":
+			if ev["name"] == "wake.sent" {
+				wakeEvents++
+			}
+		case "X":
+			spans++
+		}
+	}
+	if wakeEvents == 0 {
+		t.Error("trace has no wake.sent instants")
+	}
+	if spans == 0 {
+		t.Error("trace has no per-stage spans")
+	}
 }

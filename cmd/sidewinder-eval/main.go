@@ -7,11 +7,18 @@
 //	sidewinder-eval [-experiment table1|table2|fig5|fig6|fig7|savings|battery|ablations|link|all]
 //	                [-seed N] [-robot-min M] [-audio-min M] [-human-min M]
 //	                [-workers N] [-speedup] [-cpuprofile FILE]
+//	                [-metrics FILE] [-trace FILE]
 //
 // Traces are synthesized deterministically from the seed, and simulation
 // cells fan out over a worker pool that collects results in submission
 // order, so two runs with the same flags print identical tables at any
 // worker count.
+//
+// -metrics writes the run's telemetry counters and energy ledger to FILE
+// (JSON when FILE ends in .json, aligned text otherwise). -trace writes a
+// Chrome trace_event JSON file loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. Both are strictly opt-in: without the flags no
+// telemetry is attached and the tables are byte-identical to older builds.
 package main
 
 import (
@@ -20,15 +27,17 @@ import (
 	"io"
 	"os"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"sidewinder/internal/eval"
 	"sidewinder/internal/parallel"
+	"sidewinder/internal/telemetry"
 )
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: table1, table2, fig5, fig6, fig7, savings, battery, ablations, link, all")
+		"which experiment to run: "+strings.Join(experimentNames, ", "))
 	seed := flag.Int64("seed", 1, "generator seed (same seed, same tables)")
 	robotMin := flag.Int("robot-min", 30, "duration of each robot run in minutes")
 	audioMin := flag.Int("audio-min", 30, "duration of each audio trace in minutes")
@@ -36,6 +45,8 @@ func main() {
 	workers := flag.Int("workers", 0, "simulation workers (0 = one per CPU); any count prints identical tables")
 	speedup := flag.Bool("speedup", false, "repeat the run with -workers=1 and report the parallel speedup")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	metricsFile := flag.String("metrics", "", "write telemetry metrics and energy ledger to this file (.json for JSON)")
+	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON trace to this file (open in Perfetto)")
 	flag.Parse()
 
 	opts := eval.Options{
@@ -44,6 +55,7 @@ func main() {
 		AudioDuration:    time.Duration(*audioMin) * time.Minute,
 		HumanDuration:    time.Duration(*humanMin) * time.Minute,
 		Workers:          *workers,
+		Telemetry:        telemetrySet(*metricsFile, *traceFile),
 	}
 
 	if *cpuprofile != "" {
@@ -72,9 +84,17 @@ func main() {
 	fmt.Fprintf(os.Stderr, "completed %s with %d workers in %v\n",
 		*experiment, effective, elapsed.Round(time.Millisecond))
 
+	if err := writeTelemetry(opts.Telemetry, *metricsFile, *traceFile); err != nil {
+		fmt.Fprintln(os.Stderr, "sidewinder-eval:", err)
+		os.Exit(1)
+	}
+
 	if *speedup {
 		serialOpts := opts
 		serialOpts.Workers = 1
+		// The serial rerun is a timing baseline only: attaching the same
+		// sinks again would double every counter and ledger entry.
+		serialOpts.Telemetry = telemetry.Set{}
 		serialStart := time.Now()
 		if err := run(io.Discard, io.Discard, *experiment, serialOpts); err != nil {
 			fmt.Fprintln(os.Stderr, "sidewinder-eval: serial rerun:", err)
@@ -86,9 +106,100 @@ func main() {
 	}
 }
 
+// experimentNames are the valid -experiment values, in presentation order.
+var experimentNames = []string{
+	"table1", "table2", "fig5", "fig6", "fig7",
+	"savings", "battery", "ablations", "link", "all",
+}
+
+func validExperiment(name string) bool {
+	for _, n := range experimentNames {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// telemetrySet builds the run's telemetry sinks from the output flags: a
+// registry plus ledger when -metrics is set, a tracer when -trace is set.
+// With neither flag the zero Set disables telemetry entirely.
+func telemetrySet(metricsFile, traceFile string) telemetry.Set {
+	var set telemetry.Set
+	if metricsFile != "" {
+		set.Metrics = telemetry.NewRegistry()
+		set.Ledger = telemetry.NewLedger()
+	}
+	if traceFile != "" {
+		set.Tracer = telemetry.NewTracer()
+	}
+	return set
+}
+
+// writeTelemetry exports the collected sinks to the requested files. The
+// metrics file carries both the counter registry and the energy ledger —
+// as one JSON object when the filename ends in .json, as aligned text
+// otherwise. The trace file is always Chrome trace_event JSON.
+func writeTelemetry(set telemetry.Set, metricsFile, traceFile string) error {
+	if metricsFile != "" {
+		f, err := os.Create(metricsFile)
+		if err != nil {
+			return err
+		}
+		if strings.HasSuffix(metricsFile, ".json") {
+			_, err = io.WriteString(f, `{"metrics":`)
+			if err == nil {
+				err = set.Metrics.WriteJSON(f)
+			}
+			if err == nil {
+				_, err = io.WriteString(f, `,"ledger":`)
+			}
+			if err == nil {
+				err = set.Ledger.WriteJSON(f)
+			}
+			if err == nil {
+				_, err = io.WriteString(f, "}\n")
+			}
+		} else {
+			err = set.Metrics.WriteText(f)
+			if err == nil {
+				_, err = io.WriteString(f, "\n")
+			}
+			if err == nil {
+				err = set.Ledger.WriteText(f)
+			}
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("writing metrics: %w", err)
+		}
+	}
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return err
+		}
+		err = set.Tracer.WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+	}
+	return nil
+}
+
 // run executes one experiment, writing tables to out and progress notes to
-// progress.
+// progress. Unknown experiment names fail before any workload is
+// generated.
 func run(out, progress io.Writer, experiment string, opts eval.Options) error {
+	if !validExperiment(experiment) {
+		return fmt.Errorf("unknown experiment %q (valid: %s)",
+			experiment, strings.Join(experimentNames, ", "))
+	}
 	needWorkload := experiment != "table1"
 	var w *eval.Workload
 	if needWorkload {
@@ -102,11 +213,9 @@ func run(out, progress io.Writer, experiment string, opts eval.Options) error {
 	}
 
 	want := func(name string) bool { return experiment == "all" || experiment == name }
-	ran := false
 
 	if want("table1") {
 		fmt.Fprintln(out, eval.Table1().Render())
-		ran = true
 	}
 	if want("table2") {
 		res, err := eval.Table2(w)
@@ -116,7 +225,6 @@ func run(out, progress io.Writer, experiment string, opts eval.Options) error {
 		fmt.Fprintln(out, res.Table.Render())
 		fmt.Fprintf(out, "(calibrated significant-sound threshold: %.4g; devices: %v)\n\n",
 			res.PAThreshold, res.Devices)
-		ran = true
 	}
 	if want("fig5") {
 		res, err := eval.Figure5(opts, w)
@@ -129,7 +237,6 @@ func run(out, progress io.Writer, experiment string, opts eval.Options) error {
 		fmt.Fprintf(out, "(calibrated significant-motion threshold: %.4g)\n", res.PAThreshold)
 		fmt.Fprintf(out, "(average main-CPU classifier precision: steps %.0f%%, transitions %.0f%%, headbutts %.0f%%)\n\n",
 			res.Precision["steps"]*100, res.Precision["transitions"]*100, res.Precision["headbutts"]*100)
-		ran = true
 	}
 	if want("fig6") {
 		res, err := eval.Figure6(opts, w)
@@ -137,7 +244,6 @@ func run(out, progress io.Writer, experiment string, opts eval.Options) error {
 			return err
 		}
 		fmt.Fprintln(out, res.Table.Render())
-		ran = true
 	}
 	if want("fig7") {
 		res, err := eval.Figure7(opts, w)
@@ -150,7 +256,6 @@ func run(out, progress io.Writer, experiment string, opts eval.Options) error {
 			fmt.Fprintf(out, " %s %.1f%%", tr.Name, res.SidewinderSavings[tr.Name]*100)
 		}
 		fmt.Fprint(out, ")\n\n")
-		ran = true
 	}
 	if want("savings") {
 		res, err := eval.Savings(opts, w)
@@ -160,7 +265,6 @@ func run(out, progress io.Writer, experiment string, opts eval.Options) error {
 		fmt.Fprintln(out, res.Table.Render())
 		fmt.Fprintf(out, "(oracle range across accel scenarios: %.1f-%.1f mW; always-awake 323 mW)\n\n",
 			res.OracleMinMW, res.OracleMaxMW)
-		ran = true
 	}
 	if want("battery") {
 		res, err := eval.BatteryLife(w)
@@ -168,7 +272,6 @@ func run(out, progress io.Writer, experiment string, opts eval.Options) error {
 			return err
 		}
 		fmt.Fprintln(out, res.Table.Render())
-		ran = true
 	}
 	if want("ablations") {
 		ds, err := eval.DeviceSweep(w)
@@ -201,7 +304,6 @@ func run(out, progress io.Writer, experiment string, opts eval.Options) error {
 			return err
 		}
 		fmt.Fprintln(out, at.Table.Render())
-		ran = true
 	}
 	if want("link") {
 		lr, err := eval.LinkReliability(w)
@@ -209,10 +311,6 @@ func run(out, progress io.Writer, experiment string, opts eval.Options) error {
 			return err
 		}
 		fmt.Fprintln(out, lr.Table.Render())
-		ran = true
-	}
-	if !ran {
-		return fmt.Errorf("unknown experiment %q", experiment)
 	}
 	return nil
 }

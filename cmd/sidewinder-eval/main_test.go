@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"io"
 	"os"
@@ -25,14 +26,81 @@ func TestRunTable1(t *testing.T) {
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
+	// Unknown names must be rejected before any workload generation: the
+	// full default workload takes minutes, and a typo should not pay for
+	// it. The deadline guards the "upfront" property.
+	start := time.Now()
+	err := run(io.Discard, io.Discard, "figure-nine", eval.Options{})
+	if err == nil {
+		t.Fatal("unknown experiment should fail")
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("rejection took %v; validation must run before workload generation", d)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"figure-nine"`) {
+		t.Errorf("error does not name the bad experiment: %q", msg)
+	}
+	for _, name := range experimentNames {
+		if !strings.Contains(msg, name) {
+			t.Errorf("error does not list valid experiment %q: %q", name, msg)
+		}
+	}
+}
+
+// TestTelemetryFlagsWriteFiles drives the -metrics/-trace plumbing end to
+// end: a small link-reliability run with both sinks attached must produce
+// a parseable metrics JSON object (registry + ledger) and a Chrome
+// trace_event JSON document with events.
+func TestTelemetryFlagsWriteFiles(t *testing.T) {
+	dir := t.TempDir()
+	metricsFile := filepath.Join(dir, "metrics.json")
+	traceFile := filepath.Join(dir, "trace.json")
+
 	opts := eval.Options{
 		Seed:             1,
-		RobotRunDuration: 30 * time.Second,
+		RobotRunDuration: time.Minute,
 		AudioDuration:    30 * time.Second,
 		HumanDuration:    time.Minute,
+		Telemetry:        telemetrySet(metricsFile, traceFile),
 	}
-	if err := run(io.Discard, io.Discard, "figure-nine", opts); err == nil {
-		t.Fatal("unknown experiment should fail")
+	if err := run(io.Discard, io.Discard, "link", opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeTelemetry(opts.Telemetry, metricsFile, traceFile); err != nil {
+		t.Fatal(err)
+	}
+
+	var metrics struct {
+		Metrics []map[string]any `json:"metrics"`
+		Ledger  map[string]any   `json:"ledger"`
+	}
+	data, err := os.ReadFile(metricsFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &metrics); err != nil {
+		t.Fatalf("metrics file is not valid JSON: %v", err)
+	}
+	if len(metrics.Metrics) == 0 {
+		t.Error("metrics file has no counters")
+	}
+	if len(metrics.Ledger) == 0 {
+		t.Error("metrics file has no ledger")
+	}
+
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	data, err = os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &trace); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Error("trace file has no events")
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"sidewinder/internal/parallel"
 	"sidewinder/internal/sensor"
 	"sidewinder/internal/sim"
+	"sidewinder/internal/telemetry"
 )
 
 // The evaluation matrix is embarrassingly parallel: every (strategy, app,
@@ -61,12 +62,23 @@ func (b *runBatch) addOne(s sim.Strategy, tr *sensor.Trace, app *apps.App) cellR
 }
 
 // run executes every enqueued cell through the pool. Outcomes land in
-// submission order regardless of the schedule.
-func (b *runBatch) run(workers int) {
+// submission order regardless of the schedule. When telemetry is enabled,
+// it is injected into every Sidewinder cell here — the one place all
+// experiments funnel through — with a per-cell trace label so parallel
+// cells land on distinct streams while sharing the registry and ledger.
+func (b *runBatch) run(workers int, tele telemetry.Set) {
 	// Map's fn never errors: each cell's error is part of its outcome.
 	b.out, _ = parallel.Map(workers, len(b.jobs), func(i int) (cellOutcome, error) {
 		j := b.jobs[i]
-		r, err := j.s.Run(j.tr, j.app)
+		s := j.s
+		if tele.Enabled() {
+			if sw, ok := s.(sim.Sidewinder); ok {
+				sw.Telemetry = tele
+				sw.TraceLabel = fmt.Sprintf("%s/%s/%s/", sw.Name(), j.app.Name, j.tr.Name)
+				s = sw
+			}
+		}
+		r, err := s.Run(j.tr, j.app)
 		if err != nil {
 			err = fmt.Errorf("eval: %s/%s on %s: %w", j.s.Name(), j.app.Name, j.tr.Name, err)
 		}

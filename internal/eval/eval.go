@@ -13,6 +13,7 @@ import (
 	"sidewinder/internal/parallel"
 	"sidewinder/internal/sensor"
 	"sidewinder/internal/sim"
+	"sidewinder/internal/telemetry"
 	"sidewinder/internal/tracegen"
 )
 
@@ -39,6 +40,12 @@ type Options struct {
 	// SleepIntervals are the duty-cycling/batching sleep intervals in
 	// seconds (paper: 2, 5, 10, 20, 30).
 	SleepIntervals []float64
+	// Telemetry, when any sink is set, is shared by every simulation cell
+	// of the run: counters aggregate across cells (the registry interns by
+	// name), the ledger accumulates the whole run's energy, and trace
+	// streams are disambiguated per cell. The zero Set disables telemetry
+	// and leaves the harness byte-identical to an uninstrumented run.
+	Telemetry telemetry.Set
 }
 
 // withDefaults fills unset options.
@@ -120,6 +127,10 @@ type Workload struct {
 	// seeded RNG and machine state, and results are consumed in
 	// submission order, so changing Workers never changes any table.
 	Workers int
+
+	// Telemetry is injected into every Sidewinder cell run over this
+	// workload (see Options.Telemetry).
+	Telemetry telemetry.Set
 }
 
 // GenerateWorkload produces all traces for the options. Each trace derives
@@ -168,6 +179,7 @@ func GenerateWorkload(o Options) (*Workload, error) {
 		Audio:     traces[len(robotConfigs) : len(robotConfigs)+len(audioEnvs)],
 		Human:     traces[len(robotConfigs)+len(audioEnvs):],
 		Workers:   o.Workers,
+		Telemetry: o.Telemetry,
 	}, nil
 }
 
@@ -223,6 +235,6 @@ func meanPrecision(results []*sim.Result) float64 {
 func runAll(workers int, s sim.Strategy, traces []*sensor.Trace, app *apps.App) ([]*sim.Result, error) {
 	var b runBatch
 	h := b.add(s, traces, app)
-	b.run(workers)
+	b.run(workers, telemetry.Set{})
 	return h.results()
 }

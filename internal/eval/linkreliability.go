@@ -64,7 +64,12 @@ func LinkReliability(w *Workload) (*LinkReliabilityResult, error) {
 	}
 	outcomes, err := parallel.Map(w.Workers, len(cells), func(i int) (*sim.LossyLinkResult, error) {
 		c := cells[i]
-		cfg := sim.LossyLinkConfig{Fault: linkFaultFor(c.rate, 0x51DE+int64(i))}
+		cfg := sim.LossyLinkConfig{
+			Fault:     linkFaultFor(c.rate, 0x51DE+int64(i)),
+			Telemetry: w.Telemetry,
+			TraceLabel: fmt.Sprintf("link[rate=%.0f%%,arq=%t]/%s/",
+				c.rate*100, c.arq, tr.Name),
+		}
 		if c.arq {
 			cfg.ARQ = &link.ARQConfig{}
 		}

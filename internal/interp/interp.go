@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"sidewinder/internal/core"
+	"sidewinder/internal/telemetry"
 )
 
 // Value is one emission flowing over a pipeline edge: a scalar or a vector
@@ -73,6 +74,12 @@ type Machine struct {
 	work    core.CostEstimate
 	wakes   []WakeEvent
 	chanSeq map[core.SensorChannel]int64
+
+	// stageStats, when non-nil, holds one pre-interned telemetry handle
+	// per node (parallel to nodes), so the delivery loop attributes work
+	// per stage kind with plain field arithmetic — no map lookups, no
+	// allocation, nothing when telemetry is disabled.
+	stageStats []*telemetry.StageStat
 }
 
 // New builds a machine for the plan. The plan must come from
@@ -109,6 +116,21 @@ func New(plan *core.Plan) (*Machine, error) {
 // Plan returns the machine's bound plan.
 func (m *Machine) Plan() *core.Plan { return m.plan }
 
+// SetProfile attaches a telemetry profile: subsequent execution is
+// attributed per stage kind into the profile's StageStats. The handles are
+// interned once here, keeping PushSample at 0 allocs/op. A nil profile
+// detaches instrumentation.
+func (m *Machine) SetProfile(p *telemetry.InterpProfile) {
+	if p == nil {
+		m.stageStats = nil
+		return
+	}
+	m.stageStats = make([]*telemetry.StageStat, len(m.plan.Nodes))
+	for i := range m.plan.Nodes {
+		m.stageStats[i] = p.Stage(string(m.plan.Nodes[i].Kind))
+	}
+}
+
 // Channels returns the sensor channels the machine consumes.
 func (m *Machine) Channels() []core.SensorChannel { return m.plan.Channels }
 
@@ -130,6 +152,9 @@ func (m *Machine) deliver(tg target, v Value) {
 	node := &m.plan.Nodes[tg.node]
 	m.work = m.work.Add(node.Cost)
 	out, ok := m.nodes[tg.node].Push(tg.port, v)
+	if m.stageStats != nil {
+		m.stageStats[tg.node].Record(node.Cost.FloatOps, node.Cost.IntOps, ok)
+	}
 	if !ok {
 		return
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sidewinder/internal/core"
+	"sidewinder/internal/telemetry"
 )
 
 // This file implements the paper's §7 future-work extension: "When
@@ -27,6 +28,8 @@ type TaggedWake struct {
 type mergedNode struct {
 	inst instance
 	cost core.CostEstimate
+	// kind is the algorithm kind, kept for per-stage telemetry.
+	kind core.AlgorithmKind
 	// outPlans lists the plans for which this node feeds OUT.
 	outPlans []int
 	// planID is the node's ID within its first contributing plan, kept
@@ -47,6 +50,12 @@ type Merged struct {
 	// sharedOps is the per-second work eliminated by sharing, for
 	// reporting.
 	sharedNodes int
+
+	// stageStats, when non-nil, attributes executed work per stage kind
+	// (one pre-interned handle per merged node; see Machine.SetProfile).
+	// Work on a shared node is recorded once — the profile sees the
+	// deduplicated execution the hub actually pays for.
+	stageStats []*telemetry.StageStat
 }
 
 // signature returns the canonical identity of a plan node: algorithm,
@@ -97,7 +106,7 @@ func NewMerged(plans ...*core.Plan) (*Merged, error) {
 					return nil, fmt.Errorf("interp: plan %d node %d (%s): %w", pi, n.ID, n.Kind, err)
 				}
 				idx = len(m.nodes)
-				m.nodes = append(m.nodes, mergedNode{inst: inst, cost: n.Cost, planID: n.ID})
+				m.nodes = append(m.nodes, mergedNode{inst: inst, cost: n.Cost, kind: n.Kind, planID: n.ID})
 				bySig[sig] = idx
 				// Wire inputs: they are already merged (topological
 				// order within the plan guarantees presence).
@@ -119,6 +128,20 @@ func NewMerged(plans ...*core.Plan) (*Merged, error) {
 		m.nodes[outIdx].outPlans = append(m.nodes[outIdx].outPlans, pi)
 	}
 	return m, nil
+}
+
+// SetProfile attaches a telemetry profile: subsequent execution is
+// attributed per stage kind, counting each shared node's work once. A nil
+// profile detaches instrumentation.
+func (m *Merged) SetProfile(p *telemetry.InterpProfile) {
+	if p == nil {
+		m.stageStats = nil
+		return
+	}
+	m.stageStats = make([]*telemetry.StageStat, len(m.nodes))
+	for i := range m.nodes {
+		m.stageStats[i] = p.Stage(string(m.nodes[i].kind))
+	}
 }
 
 // SharedNodes reports how many plan nodes were deduplicated away.
@@ -155,6 +178,9 @@ func (m *Merged) deliver(tg target, v Value) {
 	node := &m.nodes[tg.node]
 	m.work = m.work.Add(node.cost)
 	out, ok := node.inst.Push(tg.port, v)
+	if m.stageStats != nil {
+		m.stageStats[tg.node].Record(node.cost.FloatOps, node.cost.IntOps, ok)
+	}
 	if !ok {
 		return
 	}

@@ -19,7 +19,11 @@ package link
 // dead and handed to the application through TakeDead, keeping the retry
 // budget bounded.
 
-import "fmt"
+import (
+	"fmt"
+
+	"sidewinder/internal/telemetry"
+)
 
 // ARQConfig tunes the stop-and-wait reliability layer. Zero fields take
 // the defaults noted on each.
@@ -87,6 +91,21 @@ type ARQ struct {
 	delivered []Frame // decoded inbound frames awaiting Receive
 	dead      []Frame // reliable frames abandoned after MaxRetries
 	stats     ARQStats
+
+	// Telemetry handles, nil (no-op) until SetTelemetry attaches them.
+	cRetransmits *telemetry.Counter
+	cDead        *telemetry.Counter
+	trace        *telemetry.Stream
+}
+
+// SetTelemetry attaches metric counters (named <prefix>.arq_retransmits,
+// <prefix>.arq_dead_frames) and an optional trace stream that receives
+// frame.retransmit / frame.dead instants. Either argument may be nil. The
+// underlying endpoint is instrumented separately via Endpoint.SetTelemetry.
+func (a *ARQ) SetTelemetry(reg *telemetry.Registry, prefix string, trace *telemetry.Stream) {
+	a.cRetransmits = reg.Counter(prefix + ".arq_retransmits")
+	a.cDead = reg.Counter(prefix + ".arq_dead_frames")
+	a.trace = trace
 }
 
 // NewARQ wraps an endpoint in the stop-and-wait reliability layer. Both
@@ -169,6 +188,8 @@ func (a *ARQ) Tick() {
 	}
 	if a.out.retries >= a.cfg.MaxRetries {
 		a.stats.Dead++
+		a.cDead.Inc()
+		a.trace.Instant1("frame.dead", "link", "seq", float64(a.out.seq))
 		a.dead = append(a.dead, a.out.frame)
 		a.out = nil
 		a.transmitNext()
@@ -178,6 +199,8 @@ func (a *ARQ) Tick() {
 	a.out.timeout = min(a.out.timeout*2, a.cfg.MaxTimeoutTicks)
 	a.out.ticksLeft = a.out.timeout
 	a.stats.Retransmits++
+	a.cRetransmits.Inc()
+	a.trace.Instant2("frame.retransmit", "link", "seq", float64(a.out.seq), "retry", float64(a.out.retries))
 	a.stats.OverheadBytes += a.transmit(a.out.frame, a.out.seq)
 }
 

@@ -22,6 +22,8 @@ package link
 import (
 	"errors"
 	"fmt"
+
+	"sidewinder/internal/telemetry"
 )
 
 // MsgType identifies a frame's purpose in the manager-hub protocol.
@@ -274,6 +276,24 @@ type Endpoint struct {
 	sentBytes int
 	busySec   float64
 	faults    *injector
+
+	// Telemetry handles, interned once by SetTelemetry. All nil (no-op)
+	// until attached, so the transmit path costs one branch per handle
+	// when telemetry is disabled.
+	cTxFrames  *telemetry.Counter
+	cTxBytes   *telemetry.Counter
+	cTxDropped *telemetry.Counter
+	trace      *telemetry.Stream
+}
+
+// SetTelemetry attaches metric counters (named <prefix>.tx_frames,
+// <prefix>.tx_bytes, <prefix>.tx_dropped_frames) and an optional trace
+// stream to this endpoint's transmit path. Either argument may be nil.
+func (e *Endpoint) SetTelemetry(reg *telemetry.Registry, prefix string, trace *telemetry.Stream) {
+	e.cTxFrames = reg.Counter(prefix + ".tx_frames")
+	e.cTxBytes = reg.Counter(prefix + ".tx_bytes")
+	e.cTxDropped = reg.Counter(prefix + ".tx_dropped_frames")
+	e.trace = trace
 }
 
 // Pipe creates a connected full-duplex link at the given baud rate
@@ -323,12 +343,20 @@ func (e *Endpoint) Send(f Frame) error {
 	wire := Encode(f)
 	e.sentBytes += len(wire)
 	e.busySec += float64(len(wire)*10) / float64(e.baud)
+	e.cTxFrames.Inc()
+	e.cTxBytes.Add(int64(len(wire)))
+	e.trace.Instant1("frame.send", "link", "msg_type", float64(f.Type))
 	if e.faults == nil {
 		e.deliver(wire)
 		return nil
 	}
+	droppedBefore := e.faults.stats.FramesDropped
 	for _, chunk := range e.faults.transmit(wire) {
 		e.deliver(chunk)
+	}
+	if d := e.faults.stats.FramesDropped - droppedBefore; d > 0 {
+		e.cTxDropped.Add(int64(d))
+		e.trace.Instant1("frame.drop", "link", "msg_type", float64(f.Type))
 	}
 	return nil
 }

@@ -9,6 +9,7 @@ import (
 	"sidewinder/internal/interp"
 	"sidewinder/internal/ir"
 	"sidewinder/internal/link"
+	"sidewinder/internal/telemetry"
 )
 
 // condState is one loaded wake-up condition on the hub. plan is the
@@ -55,6 +56,36 @@ type HubNode struct {
 	wakesSent int
 	dropped   int
 	dead      int
+
+	// Telemetry handles, nil (no-op) until SetTelemetry attaches them.
+	// profile survives rebuild(): every new merged machine re-attaches it,
+	// so per-stage attribution spans condition loads and removals.
+	profile    *telemetry.InterpProfile
+	cWakesSent *telemetry.Counter
+	cDropped   *telemetry.Counter
+	cDead      *telemetry.Counter
+	trace      *telemetry.Stream
+}
+
+// SetTelemetry attaches hub-side telemetry: counters (hub.wake_frames_sent,
+// hub.rx_dropped_frames, hub.dead_frames), a per-stage interpreter profile
+// that survives condition-set rebuilds, and a trace stream for wake.sent /
+// config.push instants. Any argument may be nil.
+func (h *HubNode) SetTelemetry(reg *telemetry.Registry, profile *telemetry.InterpProfile, trace *telemetry.Stream) {
+	h.cWakesSent = reg.Counter("hub.wake_frames_sent")
+	h.cDropped = reg.Counter("hub.rx_dropped_frames")
+	h.cDead = reg.Counter("hub.dead_frames")
+	h.profile = profile
+	h.trace = trace
+	if h.merged != nil {
+		h.merged.SetProfile(profile)
+	}
+}
+
+// dropFrame accounts one discarded inbound frame.
+func (h *HubNode) dropFrame() {
+	h.dropped++
+	h.cDropped.Inc()
 }
 
 // ring is a fixed-capacity sample buffer.
@@ -129,7 +160,10 @@ func (h *HubNode) Service() error {
 	if td, ok := h.ep.(interface{ TakeDead() []link.Frame }); ok {
 		// A dead wake/data frame cannot be un-fired; count it so tests
 		// and experiments can see undelivered events.
-		h.dead += len(td.TakeDead())
+		if n := len(td.TakeDead()); n > 0 {
+			h.dead += n
+			h.cDead.Add(int64(n))
+		}
 	}
 	for {
 		f, ok := h.ep.Receive()
@@ -144,7 +178,7 @@ func (h *HubNode) Service() error {
 		case link.MsgRemove:
 			id, err := decodeRemove(f.Payload)
 			if err != nil {
-				h.dropped++
+				h.dropFrame()
 				continue
 			}
 			delete(h.conds, id)
@@ -154,7 +188,7 @@ func (h *HubNode) Service() error {
 		case link.MsgFeedback:
 			id, falsePositive, err := decodeFeedback(f.Payload)
 			if err != nil {
-				h.dropped++
+				h.dropFrame()
 				continue
 			}
 			if c, ok := h.conds[id]; ok {
@@ -169,7 +203,7 @@ func (h *HubNode) Service() error {
 				return err
 			}
 		default:
-			h.dropped++
+			h.dropFrame()
 		}
 	}
 }
@@ -182,7 +216,7 @@ func (h *HubNode) handlePush(payload []byte) error {
 	if err != nil {
 		// Too mangled even to address a MsgConfigError reply; the
 		// manager recovers by timeout + Repush.
-		h.dropped++
+		h.dropFrame()
 		return nil
 	}
 	fail := func(cause error) error {
@@ -245,6 +279,7 @@ func (h *HubNode) rebuild() error {
 	if err != nil {
 		return err
 	}
+	merged.SetProfile(h.profile)
 	h.merged = merged
 	h.mergedIDs = ids
 	h.device = dev
@@ -280,6 +315,8 @@ func (h *HubNode) Feed(ch core.SensorChannel, v float64) error {
 			return err
 		}
 		h.wakesSent++
+		h.cWakesSent.Inc()
+		h.trace.Instant2("wake.sent", "hub", "cond", float64(c.id), "value", wake.Value)
 	}
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"sidewinder/internal/core"
 	"sidewinder/internal/ir"
 	"sidewinder/internal/link"
+	"sidewinder/internal/telemetry"
 )
 
 // Event is delivered to a SensorEventListener when its wake-up condition
@@ -53,6 +54,26 @@ type Manager struct {
 	// dropped counts inbound frames discarded as undecodable or of an
 	// unknown type — line noise or a peer bug, never fatal to the loop.
 	dropped int
+
+	// Telemetry handles, nil (no-op) until SetTelemetry attaches them.
+	cWakes   *telemetry.Counter
+	cDropped *telemetry.Counter
+	trace    *telemetry.Stream
+}
+
+// SetTelemetry attaches phone-side telemetry: counters
+// (phone.wakes_delivered, phone.rx_dropped_frames) and a trace stream for
+// wake.delivered instants. Any argument may be nil.
+func (m *Manager) SetTelemetry(reg *telemetry.Registry, trace *telemetry.Stream) {
+	m.cWakes = reg.Counter("phone.wakes_delivered")
+	m.cDropped = reg.Counter("phone.rx_dropped_frames")
+	m.trace = trace
+}
+
+// dropFrame accounts one discarded inbound frame.
+func (m *Manager) dropFrame() {
+	m.dropped++
+	m.cDropped.Inc()
 }
 
 // New builds a manager on one end of the link — a raw *link.Endpoint or
@@ -154,7 +175,7 @@ func (m *Manager) Service() error {
 		case link.MsgConfigAck:
 			id, device, err := decodeIDText(f.Payload)
 			if err != nil {
-				m.dropped++
+				m.dropFrame()
 				continue
 			}
 			if st := m.pushes[id]; st != nil {
@@ -164,7 +185,7 @@ func (m *Manager) Service() error {
 		case link.MsgConfigError:
 			id, msg, err := decodeIDText(f.Payload)
 			if err != nil {
-				m.dropped++
+				m.dropFrame()
 				continue
 			}
 			if st := m.pushes[id]; st != nil {
@@ -174,7 +195,7 @@ func (m *Manager) Service() error {
 		case link.MsgData:
 			id, ch, samples, err := decodeData(f.Payload)
 			if err != nil {
-				m.dropped++
+				m.dropFrame()
 				continue
 			}
 			if m.pendingData[id] == nil {
@@ -184,7 +205,7 @@ func (m *Manager) Service() error {
 		case link.MsgWake:
 			id, value, sampleIdx, err := decodeWake(f.Payload)
 			if err != nil {
-				m.dropped++
+				m.dropFrame()
 				continue
 			}
 			st := m.pushes[id]
@@ -193,11 +214,13 @@ func (m *Manager) Service() error {
 			}
 			ev := Event{CondID: id, Value: value, SampleIndex: sampleIdx, Data: m.pendingData[id]}
 			delete(m.pendingData, id)
+			m.cWakes.Inc()
+			m.trace.Instant2("wake.delivered", "phone", "cond", float64(id), "value", value)
 			st.listener.OnSensorEvent(ev)
 		case link.MsgPong:
 			// liveness reply; nothing to do
 		default:
-			m.dropped++
+			m.dropFrame()
 		}
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"sidewinder/internal/core"
 	"sidewinder/internal/hub"
 	"sidewinder/internal/link"
+	"sidewinder/internal/telemetry"
 )
 
 // Testbed wires a Manager and a HubNode over a simulated UART and pumps
@@ -21,7 +22,23 @@ type Testbed struct {
 
 	phoneRaw, hubRaw   *link.Endpoint
 	phonePort, hubPort link.Port
+
+	// Trace streams created when the config carries telemetry (all nil
+	// otherwise). Strategies reuse phoneStream for power-state instants so
+	// one track carries the whole phone timeline.
+	phoneStream, hubStream, wireStream *telemetry.Stream
+	profile                            *telemetry.InterpProfile
 }
+
+// Streams returns the testbed's trace streams (phone, hub, wire) — nil
+// when the testbed was built without telemetry.
+func (t *Testbed) Streams() (phone, hub, wire *telemetry.Stream) {
+	return t.phoneStream, t.hubStream, t.wireStream
+}
+
+// Profile returns the hub interpreter's per-stage profile (nil without
+// telemetry).
+func (t *Testbed) Profile() *telemetry.InterpProfile { return t.profile }
 
 // TestbedConfig tunes the testbed; zero values take defaults.
 type TestbedConfig struct {
@@ -41,6 +58,21 @@ type TestbedConfig struct {
 	// reliability layer so config pushes and wake events survive the
 	// injected faults. nil runs raw frames (the legacy behavior).
 	ARQ *link.ARQConfig
+
+	// Telemetry, when enabled, instruments the whole assembly: link
+	// counters and frame events, manager/hub counters and wake events,
+	// and a per-stage interpreter profile on the hub. The zero Set
+	// disables everything at zero hot-path cost.
+	Telemetry telemetry.Set
+
+	// Clock stamps trace events with simulated time. Required only when
+	// Telemetry carries a tracer; the driving loop (strategy, experiment)
+	// advances it.
+	Clock *telemetry.Clock
+
+	// TraceLabel prefixes the trace stream names ("phone", "hub", "wire")
+	// so parallel evaluation cells stay distinguishable in one trace.
+	TraceLabel string
 }
 
 // NewTestbed builds the full phone+hub assembly.
@@ -77,14 +109,32 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Testbed{
+	t := &Testbed{
 		Manager:   m,
 		Hub:       h,
 		phoneRaw:  phoneEnd,
 		hubRaw:    hubEnd,
 		phonePort: phonePort,
 		hubPort:   hubPort,
-	}, nil
+	}
+	if cfg.Telemetry.Enabled() {
+		reg := cfg.Telemetry.Metrics
+		t.phoneStream = cfg.Telemetry.Tracer.Stream(cfg.TraceLabel+"phone", cfg.Clock)
+		t.hubStream = cfg.Telemetry.Tracer.Stream(cfg.TraceLabel+"hub", cfg.Clock)
+		t.wireStream = cfg.Telemetry.Tracer.Stream(cfg.TraceLabel+"wire", cfg.Clock)
+		t.profile = telemetry.NewInterpProfile()
+		phoneEnd.SetTelemetry(reg, "link.phone", t.wireStream)
+		hubEnd.SetTelemetry(reg, "link.hub", t.wireStream)
+		if pa, ok := phonePort.(*link.ARQ); ok {
+			pa.SetTelemetry(reg, "link.phone", t.wireStream)
+		}
+		if ha, ok := hubPort.(*link.ARQ); ok {
+			ha.SetTelemetry(reg, "link.hub", t.wireStream)
+		}
+		m.SetTelemetry(reg, t.phoneStream)
+		h.SetTelemetry(reg, t.profile, t.hubStream)
+	}
+	return t, nil
 }
 
 // Push pushes a wake-up condition end to end and returns its ID and the

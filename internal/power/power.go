@@ -90,6 +90,24 @@ type Phone struct {
 	transitionLeft float64 // seconds remaining in the active transition
 	dwell          [numStates]float64
 	wakeUps        int
+	// transitionHook, when set, observes every state change. The power
+	// model stays telemetry-agnostic: tracing layers attach a hook instead
+	// of this package importing them.
+	transitionHook func(from, to State)
+}
+
+// SetTransitionHook registers a callback invoked on every state change,
+// with the state being left and the state being entered. A nil hook
+// detaches. The hook fires after the machine has switched state, so
+// Phone.State() inside the hook reports the new state.
+func (p *Phone) SetTransitionHook(fn func(from, to State)) { p.transitionHook = fn }
+
+func (p *Phone) transition(to State) {
+	from := p.state
+	p.state = to
+	if p.transitionHook != nil {
+		p.transitionHook(from, to)
+	}
 }
 
 // NewPhone returns a phone that starts asleep.
@@ -120,7 +138,7 @@ func (p *Phone) WakeUps() int { return p.wakeUps }
 func (p *Phone) RequestWake() bool {
 	switch p.state {
 	case Asleep, FallingAsleep:
-		p.state = WakingUp
+		p.transition(WakingUp)
 		p.transitionLeft = p.profile.TransitionSeconds
 		p.wakeUps++
 		return true
@@ -136,7 +154,7 @@ func (p *Phone) RequestSleep() bool {
 	if p.state != Awake {
 		return false
 	}
-	p.state = FallingAsleep
+	p.transition(FallingAsleep)
 	p.transitionLeft = p.profile.TransitionSeconds
 	return true
 }
@@ -158,9 +176,9 @@ func (p *Phone) Advance(dt float64) {
 			p.dwell[p.state] += p.transitionLeft
 			dt -= p.transitionLeft
 			if p.state == WakingUp {
-				p.state = Awake
+				p.transition(Awake)
 			} else {
-				p.state = Asleep
+				p.transition(Asleep)
 			}
 			p.transitionLeft = 0
 		}
@@ -177,6 +195,13 @@ func (p *Phone) TotalSeconds() float64 {
 		t += d
 	}
 	return t
+}
+
+// StateEnergyMJ returns the energy spent dwelling in state s, in
+// millijoules. Summing over all states gives EnergyMJ exactly, which is
+// the conservation property the telemetry ledger is tested against.
+func (p *Phone) StateEnergyMJ(s State) float64 {
+	return p.dwell[s] * p.profile.DrawMW(s)
 }
 
 // EnergyMJ returns the total phone energy in millijoules.

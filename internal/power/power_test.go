@@ -250,3 +250,65 @@ func TestBatteryLifeHours(t *testing.T) {
 		t.Error("zero draw should be infinite")
 	}
 }
+
+func TestTransitionHookObservesFullCycle(t *testing.T) {
+	p := NewPhone(Nexus4())
+	type tr struct{ from, to State }
+	var seen []tr
+	p.SetTransitionHook(func(from, to State) {
+		seen = append(seen, tr{from, to})
+		if p.State() != to {
+			t.Errorf("hook fired before state switch: State()=%v, to=%v", p.State(), to)
+		}
+	})
+
+	p.Advance(5)
+	p.RequestWake()
+	p.Advance(2) // completes the 1 s wake transition
+	p.RequestSleep()
+	p.Advance(2) // completes the 1 s sleep transition
+
+	want := []tr{
+		{Asleep, WakingUp},
+		{WakingUp, Awake},
+		{Awake, FallingAsleep},
+		{FallingAsleep, Asleep},
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("hook saw %d transitions %v, want %d", len(seen), seen, len(want))
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Errorf("transition %d: got %v -> %v, want %v -> %v",
+				i, seen[i].from, seen[i].to, want[i].from, want[i].to)
+		}
+	}
+
+	// Detaching stops observation.
+	p.SetTransitionHook(nil)
+	p.RequestWake()
+	p.Advance(2)
+	if len(seen) != len(want) {
+		t.Errorf("detached hook still fired: %d events", len(seen))
+	}
+}
+
+func TestStateEnergySumsToTotal(t *testing.T) {
+	p := NewPhone(Nexus4())
+	p.Advance(10)
+	p.RequestWake()
+	p.Advance(3.5)
+	p.RequestSleep()
+	p.Advance(7.25)
+
+	var sum float64
+	for s := State(0); int(s) < numStates; s++ {
+		sum += p.StateEnergyMJ(s)
+	}
+	if diff := math.Abs(sum - p.EnergyMJ()); diff > 1e-9 {
+		t.Fatalf("per-state energies sum to %g, EnergyMJ()=%g (diff %g)", sum, p.EnergyMJ(), diff)
+	}
+	if got := p.StateEnergyMJ(Asleep); math.Abs(got-16.25*9.7) > 1e-9 {
+		t.Errorf("asleep energy = %g, want %g", got, 16.25*9.7)
+	}
+}

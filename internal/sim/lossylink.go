@@ -7,7 +7,9 @@ import (
 	"sidewinder/internal/apps"
 	"sidewinder/internal/link"
 	"sidewinder/internal/manager"
+	"sidewinder/internal/power"
 	"sidewinder/internal/sensor"
+	"sidewinder/internal/telemetry"
 )
 
 // LossyLinkConfig parameterizes a replay of one application's wake-up
@@ -25,20 +27,41 @@ type LossyLinkConfig struct {
 	// small ring keeps data frames short, which is also what a real
 	// memory-starved hub would do).
 	BufSamples int
+
+	// Telemetry, when enabled, instruments the whole assembly: link and
+	// ARQ counters, frame/wake trace events, phone state transitions, and
+	// an energy ledger attributing phone, hub and wire (first-transmission
+	// vs retransmission) energy. The zero Set changes nothing.
+	Telemetry telemetry.Set
+	// TraceLabel prefixes the run's trace stream names.
+	TraceLabel string
 }
 
 // LossyLinkResult reports delivery and energy outcomes of one replay.
 type LossyLinkResult struct {
-	HubWakes       int     // wake frames the hub handed to the link
-	DeliveredWakes int     // wake events that reached the listener
-	DuplicateWakes int     // events delivered more than once (must be 0)
+	HubWakes        int     // wake frames the hub handed to the link
+	DeliveredWakes  int     // wake events that reached the listener
+	DuplicateWakes  int     // events delivered more than once (must be 0)
 	DeliveredRecall float64 // DeliveredWakes / HubWakes (1 when no wakes)
-	PushAttempts   int     // config pushes needed to load the condition
-	Stats          manager.LinkStats
-	LinkBusySec    float64 // wire occupancy including retransmissions
-	LinkEnergyMJ   float64 // LinkBusySec × link.UARTActiveMW
-	LinkAvgMW      float64 // link energy averaged over the trace duration
+	PushAttempts    int     // config pushes needed to load the condition
+	Stats           manager.LinkStats
+	LinkBusySec     float64 // wire occupancy including retransmissions
+	LinkEnergyMJ    float64 // LinkBusySec × link.UARTActiveMW
+	LinkAvgMW       float64 // link energy averaged over the trace duration
+
+	// Phone-side accounting: delivered wake events drive a Nexus 4 power
+	// state machine (wake on delivery, sleep after an idle hold), so the
+	// replay also yields the phone energy the surviving wake-ups cost.
+	PhoneEnergyMJ float64
+	PhoneWakeUps  int
+	// HubEnergyMJ is the hub device's constant draw over the trace.
+	HubEnergyMJ float64
 }
+
+// lossyLinkBaud is the testbed's default serial rate, used to price ARQ
+// overhead bytes when splitting wire energy into first-transmission and
+// retransmission components.
+const lossyLinkBaud = 115200
 
 // maxPushAttempts bounds config-push retries over a raw lossy wire; the
 // ARQ path virtually always succeeds on the first attempt.
@@ -54,14 +77,27 @@ func LossyLinkRun(tr *sensor.Trace, app *apps.App, cfg LossyLinkConfig) (*LossyL
 		bufSamples = 32
 	}
 	fault := cfg.Fault
+	clk := &telemetry.Clock{}
 	bed, err := manager.NewTestbed(manager.TestbedConfig{
 		BufSamples: bufSamples,
 		Fault:      &fault,
 		ARQ:        cfg.ARQ,
+		Telemetry:  cfg.Telemetry,
+		Clock:      clk,
+		TraceLabel: cfg.TraceLabel,
 	})
 	if err != nil {
 		return nil, err
 	}
+
+	// The phone rides along as a passive observer: delivered wake events
+	// wake it, an idle hold puts it back to sleep. It never touches the
+	// wire, so delivery results are identical with or without it.
+	ph := power.NewPhone(power.Nexus4())
+	phoneStream, _, _ := bed.Streams()
+	tracePhoneTransitions(ph, phoneStream)
+	lastDelivery := -1
+	curSample := 0
 
 	res := &LossyLinkResult{}
 	seen := make(map[int64]int)
@@ -71,6 +107,8 @@ func LossyLinkRun(tr *sensor.Trace, app *apps.App, cfg LossyLinkConfig) (*LossyL
 		if seen[e.SampleIndex] > 1 {
 			res.DuplicateWakes++
 		}
+		lastDelivery = curSample
+		ph.RequestWake()
 	}))
 	if err != nil {
 		return nil, err
@@ -108,7 +146,10 @@ func LossyLinkRun(tr *sensor.Trace, app *apps.App, cfg LossyLinkConfig) (*LossyL
 		channels[i] = tr.Channels[ch]
 	}
 	n := tr.Len()
+	dt := 1 / tr.RateHz
+	hold := int(swIdleHoldSec * tr.RateHz)
 	for s := 0; s < n; s++ {
+		curSample = s
 		for i, ch := range app.Channels {
 			if s >= len(channels[i]) {
 				continue
@@ -117,6 +158,11 @@ func LossyLinkRun(tr *sensor.Trace, app *apps.App, cfg LossyLinkConfig) (*LossyL
 				return nil, err
 			}
 		}
+		if ph.UsableAwake() && lastDelivery >= 0 && s-lastDelivery > hold {
+			ph.RequestSleep()
+		}
+		ph.Advance(dt)
+		clk.SetSec(float64(s+1) * dt)
 	}
 	if err := bed.Pump(); err != nil {
 		return nil, err
@@ -132,6 +178,33 @@ func LossyLinkRun(tr *sensor.Trace, app *apps.App, cfg LossyLinkConfig) (*LossyL
 	res.DeliveredRecall = 1
 	if res.HubWakes > 0 {
 		res.DeliveredRecall = float64(res.DeliveredWakes) / float64(res.HubWakes)
+	}
+
+	res.PhoneEnergyMJ = ph.EnergyMJ()
+	res.PhoneWakeUps = ph.WakeUps()
+	dur := ph.TotalSeconds()
+	dev, placed := bed.Hub.Device()
+	if placed {
+		res.HubEnergyMJ = dev.ActivePowerMW * dur
+	}
+
+	if cfg.Telemetry.Enabled() {
+		led := cfg.Telemetry.LedgerSink()
+		depositPhoneEnergy(led, ph)
+		if placed {
+			depositHubEnergy(led, dev, dur, bed.Profile())
+		}
+		// Split wire energy: ARQ overhead bytes (retransmitted frames plus
+		// all ack traffic) price the retransmission component; the rest is
+		// first-transmission occupancy. The two sum to LinkEnergyMJ.
+		overhead := res.Stats.PhoneARQ.OverheadBytes + res.Stats.HubARQ.OverheadBytes
+		retransMJ := float64(overhead*10) / lossyLinkBaud * link.UARTActiveMW
+		led.AddEnergyMJ(telemetry.LinkRetransmit, retransMJ)
+		led.AddEnergyMJ(telemetry.LinkWire, res.LinkEnergyMJ-retransMJ)
+		_, hubStream, _ := bed.Streams()
+		if placed {
+			emitStageSpans(hubStream, bed.Profile(), dev)
+		}
 	}
 	return res, nil
 }

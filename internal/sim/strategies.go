@@ -10,6 +10,7 @@ import (
 	"sidewinder/internal/interp"
 	"sidewinder/internal/power"
 	"sidewinder/internal/sensor"
+	"sidewinder/internal/telemetry"
 )
 
 // Configuration constants shared by the strategies (paper §4.2).
@@ -27,17 +28,21 @@ const (
 
 // ---------------------------------------------------------------- helpers
 
-// clock tracks simulated time against a phone state machine.
+// clock tracks simulated time against a phone state machine. When a
+// telemetry clock is attached, simulated time is mirrored into it so
+// trace streams stamp events at the right position on the timeline.
 type clock struct {
 	ph   *power.Phone
 	t    float64 // seconds since trace start
 	rate float64
 	n    int // trace length in samples
+	tclk *telemetry.Clock
 }
 
 func (c *clock) advance(dt float64) {
 	c.ph.Advance(dt)
 	c.t += dt
+	c.tclk.SetSec(c.t)
 }
 
 // sampleAt converts a time to a clamped sample index.
@@ -386,6 +391,14 @@ type Sidewinder struct {
 	Catalog *core.Catalog
 	// Devices defaults to hub.Devices().
 	Devices []hub.Device
+
+	// Telemetry, when enabled, attributes the run's energy to the ledger,
+	// profiles the hub interpreter per stage, and traces wake events and
+	// phone state transitions. The zero Set changes nothing.
+	Telemetry telemetry.Set
+	// TraceLabel prefixes the run's trace stream names so parallel
+	// evaluation cells stay distinguishable in one trace.
+	TraceLabel string
 }
 
 // Name implements Strategy.
@@ -420,6 +433,17 @@ func (s Sidewinder) Run(tr *sensor.Trace, app *apps.App) (*Result, error) {
 	preBuffer := int(app.PreBufferSec * tr.RateHz)
 	hold := int(swIdleHoldSec * tr.RateHz)
 
+	var phoneStream, hubStream *telemetry.Stream
+	var profile *telemetry.InterpProfile
+	if s.Telemetry.Enabled() {
+		c.tclk = &telemetry.Clock{}
+		phoneStream = s.Telemetry.Tracer.Stream(s.TraceLabel+"phone", c.tclk)
+		hubStream = s.Telemetry.Tracer.Stream(s.TraceLabel+"hub", c.tclk)
+		tracePhoneTransitions(ph, phoneStream)
+		profile = telemetry.NewInterpProfile()
+		m.SetProfile(profile)
+	}
+
 	channels := make([][]float64, 0, len(plan.Channels))
 	chNames := make([]core.SensorChannel, 0, len(plan.Channels))
 	for _, ch := range plan.Channels {
@@ -444,6 +468,7 @@ func (s Sidewinder) Run(tr *sensor.Trace, app *apps.App) (*Result, error) {
 		}
 		if fired {
 			lastFire = i
+			hubStream.Instant1("wake.sent", "hub", "sample", float64(i))
 			if ph.State() == power.Asleep || ph.State() == power.FallingAsleep {
 				ph.RequestWake()
 				openStart = i - preBuffer
@@ -461,6 +486,13 @@ func (s Sidewinder) Run(tr *sensor.Trace, app *apps.App) (*Result, error) {
 	}
 	if openStart >= 0 {
 		intervals = append(intervals, Interval{openStart, tr.Len()})
+	}
+
+	if s.Telemetry.Enabled() {
+		led := s.Telemetry.LedgerSink()
+		depositPhoneEnergy(led, ph)
+		depositHubEnergy(led, dev, ph.TotalSeconds(), profile)
+		emitStageSpans(hubStream, profile, dev)
 	}
 
 	res := finish(s.Name(), tr, app, ph, dev.ActivePowerMW, intervals, nil)

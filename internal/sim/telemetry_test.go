@@ -1,0 +1,192 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"sidewinder/internal/apps"
+	"sidewinder/internal/link"
+	"sidewinder/internal/telemetry"
+)
+
+// TestSidewinderLedgerConservation: the ledger's per-component totals must
+// sum to the run's aggregate energy — the same number the power report
+// computes from average draw × duration.
+func TestSidewinderLedgerConservation(t *testing.T) {
+	tr := robotTrace(t, 0.5)
+	led := telemetry.NewLedger()
+	s := Sidewinder{Telemetry: telemetry.Set{Ledger: led}}
+	res, err := s.Run(tr, apps.Steps())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dur := res.Power.AsleepSec + res.Power.WakingSec + res.Power.AwakeSec + res.Power.SleepingSec
+	want := res.Power.TotalAvgMW * dur
+	got := led.TotalMJ()
+	if diff := math.Abs(got - want); diff > 1e-9*math.Max(1, want) {
+		t.Fatalf("ledger total %.12g mJ != run aggregate %.12g mJ (diff %g)", got, want, diff)
+	}
+
+	// Phone components sum to the phone's share; hub.device carries the rest.
+	var phone float64
+	for _, c := range []telemetry.Component{
+		telemetry.PhoneAsleep, telemetry.PhoneWaking,
+		telemetry.PhoneAwake, telemetry.PhoneFallingAsleep,
+	} {
+		phone += led.EnergyMJ(c)
+	}
+	if diff := math.Abs(phone - res.Power.PhoneAvgMW*dur); diff > 1e-9*math.Max(1, phone) {
+		t.Errorf("phone components sum to %.12g, report says %.12g", phone, res.Power.PhoneAvgMW*dur)
+	}
+	if hubMJ := led.EnergyMJ(telemetry.HubDevice); hubMJ <= 0 {
+		t.Error("hub.device component is empty")
+	}
+	if led.TotalCycles() <= 0 {
+		t.Error("no hub cycles attributed to stages")
+	}
+}
+
+// TestSidewinderTelemetryDoesNotChangeResults: the instrumented run must be
+// observationally identical to the bare run.
+func TestSidewinderTelemetryDoesNotChangeResults(t *testing.T) {
+	tr := robotTrace(t, 0.5)
+	bare, err := Sidewinder{}.Run(tr, apps.Steps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	instr, err := Sidewinder{Telemetry: telemetry.Set{
+		Metrics: telemetry.NewRegistry(),
+		Ledger:  telemetry.NewLedger(),
+		Tracer:  telemetry.NewTracer(),
+	}}.Run(tr, apps.Steps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.Power != instr.Power {
+		t.Errorf("telemetry changed the power report:\nbare  %+v\ninstr %+v", bare.Power, instr.Power)
+	}
+	if bare.Recall != instr.Recall || bare.Precision != instr.Precision {
+		t.Errorf("telemetry changed detection metrics")
+	}
+}
+
+// traceDoc mirrors the Chrome trace_event JSON Object Format for
+// schema-checking exported traces.
+type traceDoc struct {
+	TraceEvents []map[string]any `json:"traceEvents"`
+	DisplayUnit string           `json:"displayTimeUnit"`
+}
+
+// TestLossyLinkLedgerAndTrace is the acceptance test for the lossy-link
+// path: the ledger's components sum to the run's aggregate energy within
+// 1e-9, and the exported trace is schema-valid Chrome trace_event JSON
+// containing wake, retransmission, and phone-state-transition events.
+func TestLossyLinkLedgerAndTrace(t *testing.T) {
+	tr := lossyTrace(t)
+	set := telemetry.Set{
+		Metrics: telemetry.NewRegistry(),
+		Ledger:  telemetry.NewLedger(),
+		Tracer:  telemetry.NewTracer(),
+	}
+	fault := link.FaultConfig{
+		Seed:         41,
+		DropProb:     0.05,
+		BitFlipProb:  0.0003,
+		TruncateProb: 0.01,
+		DelayProb:    0.02,
+		DelayTicks:   2,
+	}
+	res, err := LossyLinkRun(tr, apps.Steps(), LossyLinkConfig{
+		Fault: fault, ARQ: &link.ARQConfig{}, Telemetry: set,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HubWakes == 0 || res.PhoneWakeUps == 0 {
+		t.Fatalf("run produced no wakes (hub %d, phone %d); test is vacuous", res.HubWakes, res.PhoneWakeUps)
+	}
+
+	// Ledger conservation.
+	aggregate := res.PhoneEnergyMJ + res.HubEnergyMJ + res.LinkEnergyMJ
+	if diff := math.Abs(set.Ledger.TotalMJ() - aggregate); diff > 1e-9*math.Max(1, aggregate) {
+		t.Errorf("ledger total %.12g != aggregate %.12g (diff %g)", set.Ledger.TotalMJ(), aggregate, diff)
+	}
+	wire := set.Ledger.EnergyMJ(telemetry.LinkWire)
+	retr := set.Ledger.EnergyMJ(telemetry.LinkRetransmit)
+	if retr <= 0 {
+		t.Error("faulty ARQ run attributed no retransmission energy")
+	}
+	if diff := math.Abs(wire + retr - res.LinkEnergyMJ); diff > 1e-9 {
+		t.Errorf("wire %.12g + retransmit %.12g != link energy %.12g", wire, retr, res.LinkEnergyMJ)
+	}
+
+	// Metrics: the shared registry saw link traffic and retransmits.
+	if v := set.Metrics.Counter("link.phone.tx_frames").Value(); v <= 0 {
+		t.Error("link.phone.tx_frames counter is zero")
+	}
+	retrCount := set.Metrics.Counter("link.phone.arq_retransmits").Value() +
+		set.Metrics.Counter("link.hub.arq_retransmits").Value()
+	if retrCount <= 0 {
+		t.Error("arq_retransmits counters are zero on a faulty wire")
+	}
+
+	// Trace: valid Chrome trace_event JSON with the required events.
+	var buf bytes.Buffer
+	if err := set.Tracer.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayUnit)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	names := make(map[string]int)
+	for i, ev := range doc.TraceEvents {
+		for _, key := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := ev[key]; !ok {
+				t.Fatalf("event %d missing required key %q: %v", i, key, ev)
+			}
+		}
+		name, _ := ev["name"].(string)
+		names[name]++
+	}
+	for _, want := range []string{"wake.sent", "wake.delivered", "frame.retransmit", "phone.state", "frame.send"} {
+		if names[want] == 0 {
+			t.Errorf("trace contains no %q events (have %v)", want, names)
+		}
+	}
+}
+
+// TestLossyLinkTelemetryDoesNotChangeDelivery: wiring telemetry through the
+// assembly must leave delivery outcomes bit-identical.
+func TestLossyLinkTelemetryDoesNotChangeDelivery(t *testing.T) {
+	tr := lossyTrace(t)
+	fault := link.FaultConfig{Seed: 41, DropProb: 0.05, TruncateProb: 0.01}
+	bare, err := LossyLinkRun(tr, apps.Steps(), LossyLinkConfig{Fault: fault, ARQ: &link.ARQConfig{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	instr, err := LossyLinkRun(tr, apps.Steps(), LossyLinkConfig{
+		Fault: fault, ARQ: &link.ARQConfig{},
+		Telemetry: telemetry.Set{
+			Metrics: telemetry.NewRegistry(),
+			Ledger:  telemetry.NewLedger(),
+			Tracer:  telemetry.NewTracer(),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.HubWakes != instr.HubWakes || bare.DeliveredWakes != instr.DeliveredWakes ||
+		bare.Stats != instr.Stats {
+		t.Errorf("telemetry changed delivery:\nbare  %+v\ninstr %+v", bare, instr)
+	}
+}

@@ -1,0 +1,105 @@
+package telemetry
+
+import "testing"
+
+// The disabled-path benchmarks pin the cost of instrumentation when
+// telemetry is off: every handle is nil and every call must be a
+// zero-allocation early return. `make bench-telemetry` runs these plus the
+// instrumented interpreter benchmarks in internal/interp.
+
+func BenchmarkDisabledCounterInc(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkDisabledHistogramObserve(b *testing.B) {
+	var h *Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i))
+	}
+}
+
+func BenchmarkDisabledStageRecord(b *testing.B) {
+	var s *StageStat
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Record(10, 2, i&1 == 0)
+	}
+}
+
+func BenchmarkDisabledStreamInstant(b *testing.B) {
+	var s *Stream
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Instant1("wake", "hub", "value", float64(i))
+	}
+}
+
+func BenchmarkEnabledCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkEnabledHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench", []float64{1, 10, 100, 1000})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i % 2000))
+	}
+}
+
+func BenchmarkEnabledStageRecord(b *testing.B) {
+	s := NewInterpProfile().Stage("window")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Record(10, 2, i&1 == 0)
+	}
+}
+
+// TestDisabledPathAllocs enforces the 0 allocs/op contract directly, so a
+// regression fails tests rather than only showing in benchmark output.
+func TestDisabledPathAllocs(t *testing.T) {
+	var c *Counter
+	var h *Histogram
+	var s *StageStat
+	var st *Stream
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(2)
+		h.Observe(3)
+		s.Record(1, 1, true)
+		st.Instant("a", "b")
+		st.Instant1("a", "b", "k", 1)
+		st.Span("a", "b", 0, 1)
+	})
+	if allocs != 0 {
+		t.Errorf("disabled telemetry allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestEnabledHotPathAllocs enforces that the metric handles themselves are
+// allocation-free even when live — they must be safe inside the
+// interpreter inner loop and the parallel evaluation pool.
+func TestEnabledHotPathAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	h := r.Histogram("h", []float64{1, 10, 100})
+	g := r.Gauge("g")
+	s := NewInterpProfile().Stage("window")
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Add(0.5)
+		h.Observe(42)
+		s.Record(10, 2, true)
+	})
+	if allocs != 0 {
+		t.Errorf("enabled metric handles allocate %.1f allocs/op, want 0", allocs)
+	}
+}

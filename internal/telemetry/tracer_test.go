@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// chromeTrace mirrors the exported document for schema checking.
+type chromeTrace struct {
+	TraceEvents []map[string]any `json:"traceEvents"`
+}
+
+func TestTracerChromeSchema(t *testing.T) {
+	tr := NewTracer()
+	var clk Clock
+	phone := tr.Stream("phone", &clk)
+	hub := tr.Stream("hub", &clk)
+
+	clk.SetSec(1.5)
+	phone.InstantStr("phone.state", "power", "to", "waking-up")
+	hub.Instant1("wake.sent", "hub", "value", 3.25)
+	hub.Span("stage window", "interp", 1.0, 0.25)
+	phone.Counter("pending", 2)
+
+	var out strings.Builder
+	if err := tr.WriteJSON(&out); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeTrace
+	if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	// 2 thread_name metadata + 4 events.
+	if len(doc.TraceEvents) != 6 {
+		t.Fatalf("got %d events, want 6", len(doc.TraceEvents))
+	}
+	for i, e := range doc.TraceEvents {
+		for _, key := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := e[key]; !ok {
+				t.Errorf("event %d missing required key %q: %v", i, key, e)
+			}
+		}
+	}
+	// The instant carries the simulated timestamp in microseconds.
+	var sawWake bool
+	for _, e := range doc.TraceEvents {
+		if e["name"] == "wake.sent" {
+			sawWake = true
+			if ts := e["ts"].(float64); ts != 1.5e6 {
+				t.Errorf("wake ts = %g us, want 1.5e6", ts)
+			}
+			if e["ph"] != "i" {
+				t.Errorf("wake ph = %v, want i", e["ph"])
+			}
+		}
+		if e["name"] == "stage window" {
+			if e["ph"] != "X" {
+				t.Errorf("span ph = %v, want X", e["ph"])
+			}
+			if dur := e["dur"].(float64); dur != 0.25e6 {
+				t.Errorf("span dur = %g us, want 0.25e6", dur)
+			}
+		}
+	}
+	if !sawWake {
+		t.Error("trace missing wake.sent instant")
+	}
+}
+
+func TestTracerStreamsGetDistinctTIDs(t *testing.T) {
+	tr := NewTracer()
+	var clk Clock
+	a := tr.Stream("a", &clk)
+	b := tr.Stream("b", &clk)
+	if a.tid == b.tid {
+		t.Errorf("streams share tid %d", a.tid)
+	}
+}
+
+func TestTracerEventCap(t *testing.T) {
+	tr := NewTracer()
+	tr.SetMaxEvents(4)
+	var clk Clock
+	s := tr.Stream("s", &clk) // 1 metadata event
+	for i := 0; i < 10; i++ {
+		s.Instant("e", "c")
+	}
+	if got := tr.Events(); got != 4 {
+		t.Errorf("buffered %d events, want cap 4", got)
+	}
+	if got := tr.Dropped(); got != 7 {
+		t.Errorf("dropped %d events, want 7", got)
+	}
+}
+
+func TestEmptyTracerExportsValidDocument(t *testing.T) {
+	var out strings.Builder
+	var tr *Tracer
+	if err := tr.WriteJSON(&out); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeTrace
+	if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.TraceEvents == nil || len(doc.TraceEvents) != 0 {
+		t.Errorf("nil tracer must export an empty traceEvents array, got %v", doc.TraceEvents)
+	}
+}
+
+func TestClock(t *testing.T) {
+	var c Clock
+	c.SetSec(2)
+	if c.NowUS() != 2e6 || c.NowSec() != 2 {
+		t.Errorf("clock = %g us / %g s", c.NowUS(), c.NowSec())
+	}
+	var nilC *Clock
+	nilC.SetSec(5)
+	if nilC.NowUS() != 0 || nilC.NowSec() != 0 {
+		t.Error("nil clock must read zero")
+	}
+}
