@@ -1,16 +1,16 @@
 # Tier-1 gate: everything must build, vet clean, and pass the full test
 # suite under the race detector (the parallel evaluation harness fans
 # simulation cells across goroutines, so -race is part of the contract).
-# `make fuzz` runs the native fuzz targets (link deframer, IR parser) for
-# a short fixed budget on top of their committed corpora; run it before
-# shipping protocol or parser changes.
+# `make fuzz` runs the native fuzz targets (link deframer, IR parser,
+# heartbeat codec) for a short fixed budget on top of their committed
+# corpora; run it before shipping protocol or parser changes.
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: verify build vet test race bench bench-telemetry cover fuzz
+.PHONY: verify build vet staticcheck test race bench bench-telemetry cover fuzz
 
-verify: build vet race
+verify: build vet staticcheck race
 	@echo "verify clean — consider 'make fuzz' (FUZZTIME=$(FUZZTIME) per target) for parser/framing changes"
 
 build:
@@ -18,6 +18,15 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck runs when the binary is on PATH (CI installs it) and is a
+# no-op otherwise, so `make verify` works on a bare toolchain.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -45,3 +54,4 @@ cover:
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeFrame$$' -fuzztime $(FUZZTIME) ./internal/link
 	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/ir
+	$(GO) test -run '^$$' -fuzz '^FuzzHeartbeat$$' -fuzztime $(FUZZTIME) ./internal/resilience

@@ -8,7 +8,16 @@
 // Usage:
 //
 //	hubemu -ir condition.ir -trace run.swtr [-device MSP430|LM4F120] [-v]
-//	       [-metrics FILE] [-traceout FILE]
+//	       [-metrics FILE] [-traceout FILE] [-crash-profile SPEC]
+//
+// -crash-profile injects hub failures during the replay, the firmware
+// analogue of yanking the MCU's power mid-run. SPEC is comma-separated
+// key=value pairs: mtbf=TICKS (mean ticks between crashes, required),
+// down=TICKS (mean outage length), max=TICKS (outage cap), seed=N, and
+// kind=reset|hang|brownout to force one failure kind (default: equal
+// mix). Ticks are trace samples. While down the hub drops its input;
+// a state-losing crash (reset/brownout) additionally wipes the
+// interpreter, so buffered window state is lost across the reboot.
 //
 // -metrics writes replay telemetry (wake counters, per-stage interpreter
 // work, the device's energy ledger) to FILE — JSON when FILE ends in
@@ -30,6 +39,7 @@ import (
 	"sidewinder/internal/hub"
 	"sidewinder/internal/interp"
 	"sidewinder/internal/ir"
+	"sidewinder/internal/resilience"
 	"sidewinder/internal/sensor"
 	"sidewinder/internal/telemetry"
 )
@@ -41,17 +51,23 @@ func main() {
 	verbose := flag.Bool("v", false, "print every wake event")
 	metricsFile := flag.String("metrics", "", "write wake counters and the energy ledger to this file (.json for JSON)")
 	traceOutFile := flag.String("traceout", "", "write a Chrome trace_event JSON trace to this file (open in Perfetto)")
+	crashSpec := flag.String("crash-profile", "",
+		`inject hub crashes: "mtbf=3000,down=250,seed=1[,max=N][,kind=reset|hang|brownout]" (ticks = samples)`)
 	flag.Parse()
 
-	if err := run(*irPath, *tracePath, *deviceName, *verbose, *metricsFile, *traceOutFile); err != nil {
+	if err := run(*irPath, *tracePath, *deviceName, *verbose, *metricsFile, *traceOutFile, *crashSpec); err != nil {
 		fmt.Fprintln(os.Stderr, "hubemu:", err)
 		os.Exit(1)
 	}
 }
 
-func run(irPath, tracePath, deviceName string, verbose bool, metricsFile, traceOutFile string) error {
+func run(irPath, tracePath, deviceName string, verbose bool, metricsFile, traceOutFile, crashSpec string) error {
 	if irPath == "" || tracePath == "" {
 		return fmt.Errorf("-ir and -trace are required")
+	}
+	crashProfile, err := parseCrashProfile(crashSpec)
+	if err != nil {
+		return err
 	}
 	irText, err := os.ReadFile(irPath)
 	if err != nil {
@@ -121,10 +137,31 @@ func run(irPath, tracePath, deviceName string, verbose bool, metricsFile, traceO
 		}
 	}
 
-	wakes := 0
+	inj, err := resilience.NewCrashInjector(crashProfile)
+	if err != nil {
+		return err
+	}
+
+	wakes, samplesLost, stateWipes := 0, 0, 0
 	n := tr.Len()
 	for i := 0; i < n; i++ {
 		clk.SetSec(float64(i) / tr.RateHz)
+		if ct := inj.Tick(); ct.Onset && ct.Kind.LosesState() {
+			// A reset or brownout reboots the MCU: the interpreter's
+			// buffered window state does not survive. The work meter does —
+			// cycles already spent were really spent.
+			machine.Reset()
+			stateWipes++
+			if verbose {
+				fmt.Printf("crash (%s) at sample %d: interpreter state wiped\n", ct.Kind, i)
+			}
+		} else if verbose && ct.Onset {
+			fmt.Printf("crash (%s) at sample %d\n", ct.Kind, i)
+		}
+		if inj.Down() {
+			samplesLost += len(channels)
+			continue
+		}
 		for _, ch := range channels {
 			for _, w := range machine.PushSample(ch, tr.Channels[ch][i]) {
 				wakes++
@@ -146,6 +183,11 @@ func run(irPath, tracePath, deviceName string, verbose bool, metricsFile, traceO
 	fmt.Printf("wake-ups: %d (%.2f per minute)\n", wakes, float64(wakes)/(seconds/60))
 	fmt.Printf("interpreter work: %.0f float ops, %.0f int ops (%.2f%% of %s cycle budget)\n",
 		work.FloatOps, work.IntOps, cycles/seconds/(dev.ClockHz*dev.MaxUtilization)*100, dev.Name)
+	if crashProfile.Enabled() {
+		st := inj.Stats()
+		fmt.Printf("crashes: %d (%d reset, %d hang, %d brownout); down %d of %d samples; %d samples dropped; %d state wipes\n",
+			st.Crashes, st.Resets, st.Hangs, st.Brownouts, st.DownTicks, n, samplesLost, stateWipes)
+	}
 
 	if set.Enabled() {
 		if led := set.LedgerSink(); led != nil {
@@ -222,6 +264,53 @@ func writeTelemetry(set telemetry.Set, metricsFile, traceFile string) error {
 		}
 	}
 	return nil
+}
+
+// parseCrashProfile parses the -crash-profile spec: comma-separated
+// key=value pairs with keys mtbf, down, max, seed and kind. An empty spec
+// yields a disabled profile (and a nil, no-op injector).
+func parseCrashProfile(spec string) (resilience.CrashProfile, error) {
+	var p resilience.CrashProfile
+	if spec == "" {
+		return p, nil
+	}
+	for _, field := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return p, fmt.Errorf("-crash-profile: %q is not key=value", field)
+		}
+		var err error
+		switch key {
+		case "mtbf":
+			_, err = fmt.Sscanf(val, "%g", &p.MTBFTicks)
+		case "down":
+			_, err = fmt.Sscanf(val, "%g", &p.MeanDownTicks)
+		case "max":
+			_, err = fmt.Sscanf(val, "%d", &p.MaxDownTicks)
+		case "seed":
+			_, err = fmt.Sscanf(val, "%d", &p.Seed)
+		case "kind":
+			switch val {
+			case "reset":
+				p.ResetWeight = 1
+			case "hang":
+				p.HangWeight = 1
+			case "brownout":
+				p.BrownoutWeight = 1
+			default:
+				return p, fmt.Errorf("-crash-profile: unknown kind %q (reset, hang or brownout)", val)
+			}
+		default:
+			return p, fmt.Errorf("-crash-profile: unknown key %q (mtbf, down, max, seed, kind)", key)
+		}
+		if err != nil {
+			return p, fmt.Errorf("-crash-profile: bad value for %s: %q", key, val)
+		}
+	}
+	if !p.Enabled() {
+		return p, fmt.Errorf("-crash-profile: mtbf must be set and positive")
+	}
+	return p, p.Validate()
 }
 
 func pickDevice(name string, plan *core.Plan) (hub.Device, error) {

@@ -44,11 +44,11 @@ func TestReplayEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	tracePath := writeTrace(t, dir)
-	if err := run(irPath, tracePath, "", false, "", ""); err != nil {
+	if err := run(irPath, tracePath, "", false, "", "", ""); err != nil {
 		t.Fatalf("replay: %v", err)
 	}
 	// Forcing the LM4F120 works; verbose path also exercised.
-	if err := run(irPath, tracePath, "LM4F120", true, "", ""); err != nil {
+	if err := run(irPath, tracePath, "LM4F120", true, "", "", ""); err != nil {
 		t.Fatalf("forced device: %v", err)
 	}
 }
@@ -59,13 +59,13 @@ func TestReplayErrors(t *testing.T) {
 	os.WriteFile(irPath, []byte(stepsIR), 0o644)
 	tracePath := writeTrace(t, dir)
 
-	if err := run("", tracePath, "", false, "", ""); err == nil {
+	if err := run("", tracePath, "", false, "", "", ""); err == nil {
 		t.Error("missing -ir should fail")
 	}
-	if err := run(irPath, "", "", false, "", ""); err == nil {
+	if err := run(irPath, "", "", false, "", "", ""); err == nil {
 		t.Error("missing -trace should fail")
 	}
-	if err := run(irPath, tracePath, "Z80", false, "", ""); err == nil {
+	if err := run(irPath, tracePath, "Z80", false, "", "", ""); err == nil {
 		t.Error("unknown device should fail")
 	}
 
@@ -73,7 +73,7 @@ func TestReplayErrors(t *testing.T) {
 	audioIR := "MIC -> window(id=1, params={64, 0, rectangular});\n1 -> stat(id=2, params={rms});\n2 -> minThreshold(id=3, params={0.5, 1});\n3 -> OUT;\n"
 	audioPath := filepath.Join(dir, "audio.ir")
 	os.WriteFile(audioPath, []byte(audioIR), 0o644)
-	if err := run(audioPath, tracePath, "", false, "", ""); err == nil {
+	if err := run(audioPath, tracePath, "", false, "", "", ""); err == nil {
 		t.Error("missing channel should fail")
 	}
 
@@ -88,10 +88,48 @@ func TestReplayErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	if err := run(irPath, jsonPath, "", false, "", ""); err != nil {
+	if err := run(irPath, jsonPath, "", false, "", "", ""); err != nil {
 		t.Errorf("json trace: %v", err)
 	}
 	_ = sensor.Event{} // keep the import for clarity of the test's domain
+}
+
+// TestReplayCrashProfile exercises -crash-profile: a valid spec replays
+// with crashes reported, malformed specs are rejected, and the parser
+// maps every key onto the profile.
+func TestReplayCrashProfile(t *testing.T) {
+	dir := t.TempDir()
+	irPath := filepath.Join(dir, "steps.ir")
+	if err := os.WriteFile(irPath, []byte(stepsIR), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tracePath := writeTrace(t, dir)
+
+	if err := run(irPath, tracePath, "", true, "", "", "mtbf=500,down=100,seed=1,kind=reset"); err != nil {
+		t.Fatalf("crash replay: %v", err)
+	}
+
+	p, err := parseCrashProfile("mtbf=3000, down=40, max=200, seed=2, kind=brownout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MTBFTicks != 3000 || p.MeanDownTicks != 40 || p.MaxDownTicks != 200 ||
+		p.Seed != 2 || p.BrownoutWeight != 1 || p.ResetWeight != 0 {
+		t.Errorf("parsed profile %+v", p)
+	}
+
+	for _, bad := range []string{
+		"down=40",          // mtbf missing
+		"mtbf=0",           // disabled
+		"mtbf",             // not key=value
+		"mtbf=x",           // bad number
+		"mtbf=10,kind=ebs", // unknown kind
+		"mtbf=10,foo=1",    // unknown key
+	} {
+		if _, err := parseCrashProfile(bad); err == nil {
+			t.Errorf("spec %q should be rejected", bad)
+		}
+	}
 }
 
 // TestReplayTelemetryFiles exercises -metrics/-traceout: the replay must
@@ -108,7 +146,7 @@ func TestReplayTelemetryFiles(t *testing.T) {
 	metricsFile := filepath.Join(dir, "metrics.json")
 	traceFile := filepath.Join(dir, "trace.json")
 
-	if err := run(irPath, tracePath, "", false, metricsFile, traceFile); err != nil {
+	if err := run(irPath, tracePath, "", false, metricsFile, traceFile, ""); err != nil {
 		t.Fatal(err)
 	}
 

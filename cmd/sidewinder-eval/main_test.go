@@ -150,6 +150,41 @@ func TestRunAllGolden(t *testing.T) {
 	}
 }
 
+// TestRunCrashGolden pins the crash-resilience sweep at a small workload
+// scale. The experiment is opt-in (excluded from "all"), so it carries
+// its own golden; the all_small golden proves the crash subsystem left
+// every other table byte-identical.
+func TestRunCrashGolden(t *testing.T) {
+	opts := eval.Options{
+		Seed:             1,
+		RobotRunDuration: 2 * time.Minute,
+		AudioDuration:    time.Minute,
+		HumanDuration:    4 * time.Minute,
+		SleepIntervals:   []float64{2, 10, 30},
+	}
+	var out strings.Builder
+	if err := run(&out, io.Discard, "crash", opts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Crash resilience") {
+		t.Fatalf("missing crash table:\n%s", out.String())
+	}
+	golden := filepath.Join("testdata", "crash_small.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(out.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create): %v", err)
+	}
+	if got := out.String(); got != string(want) {
+		t.Errorf("output differs from %s (run with -update if the change is intended)\ngot:\n%s\nwant:\n%s",
+			golden, got, want)
+	}
+}
+
 func TestRunSmallFigure6(t *testing.T) {
 	// The cheapest workload-bearing experiment, as an end-to-end check
 	// of the command path.

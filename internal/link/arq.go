@@ -82,12 +82,17 @@ type outstanding struct {
 // bypasses the protocol, and Tick drives timeouts — callers must tick
 // regularly (the manager and hub node do so once per Service pass).
 type ARQ struct {
-	ep        *Endpoint
-	cfg       ARQConfig
-	sendq     []Frame // reliable frames not yet transmitted
-	out       *outstanding
-	nextSeq   byte
-	expect    byte
+	ep      *Endpoint
+	cfg     ARQConfig
+	sendq   []Frame // reliable frames not yet transmitted
+	out     *outstanding
+	nextSeq byte
+	expect  byte
+	// expectAny makes the receiver adopt the next data frame's sequence
+	// number instead of demanding `expect`. It is set by Reboot (this
+	// side lost its receive state) and Resync (the peer lost its send
+	// state), so the two sides can re-converge after a crash.
+	expectAny bool
 	delivered []Frame // decoded inbound frames awaiting Receive
 	dead      []Frame // reliable frames abandoned after MaxRetries
 	stats     ARQStats
@@ -226,14 +231,55 @@ func (a *ARQ) transmitNext() {
 }
 
 // transmit wraps a frame in the ARQ data envelope and puts it on the
-// wire, returning the wire size for overhead accounting.
+// wire, returning the wire size for overhead accounting. Send pre-checks
+// the payload bound, so the wrapped frame always encodes.
 func (a *ARQ) transmit(f Frame, seq byte) int {
 	payload := make([]byte, 0, len(f.Payload)+2)
 	payload = append(payload, seq, byte(f.Type))
 	payload = append(payload, f.Payload...)
 	wrapped := Frame{Type: MsgArqData, Payload: payload}
-	a.ep.Send(wrapped)
-	return len(Encode(wrapped))
+	if err := a.ep.Send(wrapped); err != nil {
+		return 0
+	}
+	wire, err := Encode(wrapped)
+	if err != nil {
+		return 0
+	}
+	return len(wire)
+}
+
+// Reboot models this side's CPU losing power: the send queue, the
+// outstanding frame, undelivered inbound frames and all sequence state
+// are gone. The transmitter restarts at sequence 0 and the receiver
+// adopts whatever sequence number arrives next, so a rebooted hub can
+// resume talking to a phone that kept its counters. Session statistics
+// survive — they describe traffic that really happened.
+func (a *ARQ) Reboot() {
+	a.sendq = nil
+	a.out = nil
+	a.delivered = nil
+	a.dead = nil
+	a.nextSeq = 0
+	a.expect = 0
+	a.expectAny = true
+	a.ep.Reboot()
+}
+
+// Resync makes the receiver adopt the peer's next sequence number instead
+// of the one continuity expects. The manager calls it when the supervisor
+// detects a hub reboot: the hub's transmitter restarted at sequence 0, and
+// without adoption every post-reboot frame would be suppressed (and acked)
+// as a duplicate.
+func (a *ARQ) Resync() { a.expectAny = true }
+
+// Blackhole discards all inbound traffic — wire frames and already
+// decoded deliveries — without acknowledging any of it, returning the
+// count. A crashed hub is silent: acking while dead would hide the crash
+// from the peer's retransmission logic.
+func (a *ARQ) Blackhole() int {
+	n := len(a.delivered)
+	a.delivered = nil
+	return n + a.ep.Blackhole()
 }
 
 // drain consumes the raw endpoint's inbox: data frames are acked and
@@ -257,7 +303,13 @@ func (a *ARQ) drain() {
 			ack := Frame{Type: MsgArqAck, Payload: []byte{seq}}
 			a.ep.Send(ack)
 			a.stats.AcksSent++
-			a.stats.OverheadBytes += len(Encode(ack))
+			if wire, err := Encode(ack); err == nil {
+				a.stats.OverheadBytes += len(wire)
+			}
+			if a.expectAny {
+				a.expect = seq
+				a.expectAny = false
+			}
 			if seq != a.expect {
 				a.stats.DupsDropped++
 				continue

@@ -103,6 +103,10 @@ func newInjector(cfg FaultConfig) *injector {
 // heldCount reports how many transmissions are waiting out delay jitter.
 func (in *injector) heldCount() int { return len(in.held) }
 
+// dropHeld forgets every delayed transmission (the owning endpoint's CPU
+// rebooted; its UART buffer is gone).
+func (in *injector) dropHeld() { in.held = nil }
+
 // transmit runs one frame's wire bytes through the fault lottery and
 // returns the chunks to deliver now (the surviving frame, if not delayed,
 // followed by any previously held frames whose jitter just elapsed —

@@ -270,8 +270,8 @@ func TestDecoderErrorClassification(t *testing.T) {
 }
 
 func TestDecoderContinuesPastDamagedFrame(t *testing.T) {
-	good := Encode(Frame{Type: MsgPing})
-	bad := Encode(Frame{Type: MsgData, Payload: []byte{1, 2, 3}})
+	good := mustEncode(t, Frame{Type: MsgPing})
+	bad := mustEncode(t, Frame{Type: MsgData, Payload: []byte{1, 2, 3}})
 	bad[4] ^= 0x10 // corrupt inside the body
 	var d Decoder
 	frames, err := d.Feed(append(append([]byte{}, bad...), good...))

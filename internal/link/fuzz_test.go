@@ -19,11 +19,11 @@ import (
 // explores beyond it for a fixed budget.
 func FuzzDecodeFrame(f *testing.F) {
 	stepsIR := "ACC_X -> movingAvg(id=1, params={3}); 1 -> window(id=2, params={25, 12, rectangular}); 2 -> stat(id=3, params={stddev}); 3 -> minThreshold(id=4, params={0.7, 1}); 4 -> OUT;\n"
-	push := Encode(Frame{Type: MsgConfigPush, Payload: append([]byte{0, 1}, []byte(stepsIR)...)})
-	ping := Encode(Frame{Type: MsgPing})
-	stuffed := Encode(Frame{Type: MsgData, Payload: []byte{flagByte, escapeByte, 0x00, flagByte}})
-	wake := Encode(Frame{Type: MsgWake, Payload: make([]byte, 18)})
-	arq := Encode(Frame{Type: MsgArqData, Payload: append([]byte{7, byte(MsgWake)}, make([]byte, 18)...)})
+	push := mustEncode(f, Frame{Type: MsgConfigPush, Payload: append([]byte{0, 1}, []byte(stepsIR)...)})
+	ping := mustEncode(f, Frame{Type: MsgPing})
+	stuffed := mustEncode(f, Frame{Type: MsgData, Payload: []byte{flagByte, escapeByte, 0x00, flagByte}})
+	wake := mustEncode(f, Frame{Type: MsgWake, Payload: make([]byte, 18)})
+	arq := mustEncode(f, Frame{Type: MsgArqData, Payload: append([]byte{7, byte(MsgWake)}, make([]byte, 18)...)})
 
 	f.Add(push)
 	f.Add(ping)
@@ -63,7 +63,7 @@ func FuzzDecodeFrame(f *testing.F) {
 
 		for i, fr := range frames {
 			var re Decoder
-			back, err := re.Feed(Encode(fr))
+			back, err := re.Feed(mustEncode(t, fr))
 			if err != nil {
 				t.Fatalf("frame %d does not re-encode cleanly: %v", i, err)
 			}

@@ -91,6 +91,9 @@ var (
 	// ErrLinkDown reports that the ARQ layer exhausted its bounded
 	// retransmissions without an acknowledgement.
 	ErrLinkDown = errors.New("link: delivery failed after bounded retransmissions")
+	// ErrPayloadTooLarge reports a frame whose payload exceeds the 16-bit
+	// length field — a caller bug surfaced as an error, never a panic.
+	ErrPayloadTooLarge = errors.New("link: payload too large")
 )
 
 // IsCorrupt reports whether a decode error indicates transient line damage
@@ -126,10 +129,11 @@ func crc16(data []byte) uint16 {
 }
 
 // Encode serializes a frame with byte stuffing and CRC. The wire format is
-// FLAG | stuffed(type, len16, payload, crc16) | FLAG.
-func Encode(f Frame) []byte {
+// FLAG | stuffed(type, len16, payload, crc16) | FLAG. A payload beyond the
+// 16-bit length field yields ErrPayloadTooLarge.
+func Encode(f Frame) ([]byte, error) {
 	if len(f.Payload) > 0xFFFF {
-		panic(fmt.Sprintf("link: payload too large: %d", len(f.Payload)))
+		return nil, fmt.Errorf("%w: %d bytes", ErrPayloadTooLarge, len(f.Payload))
 	}
 	raw := make([]byte, 0, len(f.Payload)+5)
 	raw = append(raw, byte(f.Type), byte(len(f.Payload)>>8), byte(len(f.Payload)))
@@ -147,7 +151,7 @@ func Encode(f Frame) []byte {
 		out = append(out, b)
 	}
 	out = append(out, flagByte)
-	return out
+	return out, nil
 }
 
 // Decoder is a streaming frame decoder: feed it wire bytes, collect frames.
@@ -338,9 +342,13 @@ func (e *Endpoint) FaultStats() FaultStats {
 // time at 10 wire bits per byte (8N1 UART). Wire damage is the receiver's
 // problem, exactly as on a real UART: a frame the peer cannot decode is
 // counted in the peer's RxCorrupt/RxMalformed tallies and never enters its
-// inbox; Send itself only fails for local configuration errors.
+// inbox; Send itself only fails for local errors such as an unencodable
+// frame (ErrPayloadTooLarge).
 func (e *Endpoint) Send(f Frame) error {
-	wire := Encode(f)
+	wire, err := Encode(f)
+	if err != nil {
+		return err
+	}
 	e.sentBytes += len(wire)
 	e.busySec += float64(len(wire)*10) / float64(e.baud)
 	e.cTxFrames.Inc()
@@ -413,3 +421,25 @@ func (e *Endpoint) RxCorrupt() int { return e.dec.Corrupt() }
 // RxMalformed returns how many inbound frames this endpoint rejected as
 // structurally malformed (CRC-valid but self-inconsistent).
 func (e *Endpoint) RxMalformed() int { return e.dec.Malformed() }
+
+// Blackhole discards every frame waiting in the inbox without processing
+// it, returning the count. It models a dead peer CPU: inbound bytes still
+// hit the UART, but nobody reads them. Wire and fault accounting already
+// happened on the sender's side and is unaffected.
+func (e *Endpoint) Blackhole() int {
+	n := len(e.inbox)
+	e.inbox = e.inbox[:0]
+	return n
+}
+
+// Reboot models this endpoint's CPU losing power: the receive inbox, any
+// half-decoded frame, and transmissions still held back by fault jitter
+// are all gone. Wire statistics (bytes, busy time, fault tallies) survive
+// — they describe what already happened on the line.
+func (e *Endpoint) Reboot() {
+	e.inbox = nil
+	e.dec.reset()
+	if e.faults != nil {
+		e.faults.dropHeld()
+	}
+}

@@ -2,6 +2,7 @@ package link
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -16,7 +17,7 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	}
 	var dec Decoder
 	for _, f := range frames {
-		got, err := dec.Feed(Encode(f))
+		got, err := dec.Feed(mustEncode(t, f))
 		if err != nil {
 			t.Fatalf("decode %v: %v", f.Type, err)
 		}
@@ -31,7 +32,7 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 
 func TestDecoderHandlesFragmentedInput(t *testing.T) {
 	f := Frame{Type: MsgData, Payload: []byte("hello hub")}
-	wire := Encode(f)
+	wire := mustEncode(t, f)
 	var dec Decoder
 	var got []Frame
 	for _, b := range wire { // one byte at a time
@@ -48,7 +49,7 @@ func TestDecoderHandlesFragmentedInput(t *testing.T) {
 
 func TestDecoderSkipsInterFrameNoise(t *testing.T) {
 	f := Frame{Type: MsgPong}
-	wire := append([]byte{0x00, 0x55, 0xAA}, Encode(f)...)
+	wire := append([]byte{0x00, 0x55, 0xAA}, mustEncode(t, f)...)
 	wire = append(wire, 0x11, 0x22)
 	var dec Decoder
 	got, err := dec.Feed(wire)
@@ -61,7 +62,7 @@ func TestDecoderSkipsInterFrameNoise(t *testing.T) {
 }
 
 func TestDecoderDetectsCorruption(t *testing.T) {
-	wire := Encode(Frame{Type: MsgData, Payload: []byte("payload")})
+	wire := mustEncode(t, Frame{Type: MsgData, Payload: []byte("payload")})
 	// Flip a payload byte (not a flag and not adjacent to escaping).
 	for i := 4; i < len(wire)-3; i++ {
 		if wire[i] != flagByte && wire[i] != escapeByte && wire[i]^0x01 != flagByte && wire[i]^0x01 != escapeByte {
@@ -74,14 +75,14 @@ func TestDecoderDetectsCorruption(t *testing.T) {
 		t.Fatal("corrupted frame decoded without error")
 	}
 	// The decoder recovers: a following clean frame decodes.
-	got, err := dec.Feed(Encode(Frame{Type: MsgPing}))
+	got, err := dec.Feed(mustEncode(t, Frame{Type: MsgPing}))
 	if err != nil || len(got) != 1 {
 		t.Fatalf("decoder did not recover: %v %v", got, err)
 	}
 }
 
 func TestBackToBackFrames(t *testing.T) {
-	wire := append(Encode(Frame{Type: MsgPing}), Encode(Frame{Type: MsgPong})...)
+	wire := append(mustEncode(t, Frame{Type: MsgPing}), mustEncode(t, Frame{Type: MsgPong})...)
 	var dec Decoder
 	got, err := dec.Feed(wire)
 	if err != nil {
@@ -98,8 +99,12 @@ func TestRoundTripProperty(t *testing.T) {
 		payload := make([]byte, int(n))
 		rng.Read(payload)
 		frame := Frame{Type: MsgType(typ), Payload: payload}
+		wire, encErr := Encode(frame)
+		if encErr != nil {
+			return false
+		}
 		var dec Decoder
-		got, err := dec.Feed(Encode(frame))
+		got, err := dec.Feed(wire)
 		if err != nil || len(got) != 1 {
 			return false
 		}
@@ -159,6 +164,48 @@ func TestPipeBidirectional(t *testing.T) {
 func TestPipeValidation(t *testing.T) {
 	if _, _, err := Pipe(0); err == nil {
 		t.Error("zero baud should fail")
+	}
+}
+
+// mustEncode is the test-side shim for the error-returning Encode: every
+// frame a test builds is encodable by construction.
+func mustEncode(tb testing.TB, f Frame) []byte {
+	tb.Helper()
+	wire, err := Encode(f)
+	if err != nil {
+		tb.Fatalf("Encode(%v): %v", f.Type, err)
+	}
+	return wire
+}
+
+// TestEncodeOversizedPayload pins the ErrPayloadTooLarge contract: a
+// payload beyond the 16-bit length field is an error on both the codec
+// and the endpoint send path, never a panic.
+func TestEncodeOversizedPayload(t *testing.T) {
+	huge := Frame{Type: MsgData, Payload: make([]byte, 0x10000)}
+	if _, err := Encode(huge); !errors.Is(err, ErrPayloadTooLarge) {
+		t.Fatalf("Encode oversized = %v, want ErrPayloadTooLarge", err)
+	}
+	a, b, err := Pipe(115200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(huge); !errors.Is(err, ErrPayloadTooLarge) {
+		t.Fatalf("Endpoint.Send oversized = %v, want ErrPayloadTooLarge", err)
+	}
+	if err := a.SendLossy(huge); !errors.Is(err, ErrPayloadTooLarge) {
+		t.Fatalf("Endpoint.SendLossy oversized = %v, want ErrPayloadTooLarge", err)
+	}
+	if b.Pending() != 0 {
+		t.Errorf("oversized frame reached the peer: %d pending", b.Pending())
+	}
+	if a.SentBytes() != 0 {
+		t.Errorf("oversized frame was accounted on the wire: %d bytes", a.SentBytes())
+	}
+	// Exactly at the bound still encodes.
+	max := Frame{Type: MsgData, Payload: make([]byte, 0xFFFF)}
+	if _, err := Encode(max); err != nil {
+		t.Fatalf("Encode 64KiB payload: %v", err)
 	}
 }
 

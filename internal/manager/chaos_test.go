@@ -6,6 +6,7 @@ import (
 
 	"sidewinder/internal/core"
 	"sidewinder/internal/link"
+	"sidewinder/internal/resilience"
 )
 
 // chaosProfiles are the fault regimes of the chaos matrix: each keeps
@@ -178,5 +179,124 @@ func TestChaosRawLinkLosesWakes(t *testing.T) {
 	if len(events) >= tb.Hub.WakesSent() {
 		t.Fatalf("raw link at 30%% drop lost nothing: %d of %d delivered",
 			len(events), tb.Hub.WakesSent())
+	}
+}
+
+// crashChaosScenarios are the hub-failure regimes of the crash chaos
+// matrix, layered on top of a lossy wire: a reset arriving while the
+// initial config push is still in flight, a hang landing in the middle of
+// wake/ack traffic, and a storm of back-to-back reboots.
+var crashChaosScenarios = []struct {
+	name    string
+	crashes []resilience.ScheduledCrash
+}{
+	{"reset-while-pushing", []resilience.ScheduledCrash{
+		{AtTick: 2, Kind: resilience.Reset, DownTicks: 30},
+	}},
+	{"hang-mid-ack", []resilience.ScheduledCrash{
+		{AtTick: 40, Kind: resilience.Hang, DownTicks: 50},
+	}},
+	{"reboot-storm", []resilience.ScheduledCrash{
+		{AtTick: 100, Kind: resilience.Reset, DownTicks: 20},
+		{AtTick: 160, Kind: resilience.Brownout, DownTicks: 30},
+		{AtTick: 230, Kind: resilience.Reset, DownTicks: 15},
+	}},
+}
+
+// TestCrashChaosMatrix runs every crash scenario over a moderately lossy
+// wire and asserts the supervised stack converges: the supervisor ends
+// Up, the condition set survives (re-provisioned as needed), post-recovery
+// wakes reach the listener, and no duplicate or corrupted event ever
+// surfaces. Wakes fired immediately before a reset may legitimately die
+// with the hub's link buffers, so delivery completeness is asserted only
+// for the post-recovery traffic.
+func TestCrashChaosMatrix(t *testing.T) {
+	for _, sc := range crashChaosScenarios {
+		for _, seed := range []int64{1, 2, 3} {
+			t.Run(fmt.Sprintf("%s/seed%d", sc.name, seed), func(t *testing.T) {
+				tb, err := NewTestbed(TestbedConfig{
+					BufSamples: 32,
+					Fault: &link.FaultConfig{
+						Seed: seed, DropProb: 0.02, BitFlipProb: 0.0002,
+						TruncateProb: 0.01, DelayProb: 0.02, DelayTicks: 2,
+					},
+					ARQ:           &link.ARQConfig{},
+					CrashSchedule: sc.crashes,
+					Supervisor: &resilience.SupervisorConfig{
+						PingIntervalTicks: 4, TimeoutTicks: 4, MissBudget: 2,
+						ProbeBackoffTicks: 4, MaxProbeBackoffTicks: 16,
+					},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				var events []Event
+				seen := make(map[int64]bool)
+				id, err := tb.Manager.Push(significantMotion(), ListenerFunc(func(e Event) {
+					events = append(events, e)
+					if seen[e.SampleIndex] {
+						t.Errorf("duplicate wake for sample %d", e.SampleIndex)
+					}
+					seen[e.SampleIndex] = true
+				}))
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				// Service through every scheduled crash plus recovery
+				// slack, the way a deployment lives: no waiting for
+				// quiescence, the hub may be dead for many passes.
+				for i := 0; i < 600; i++ {
+					if err := tb.Hub.Service(); err != nil {
+						t.Fatalf("hub service: %v", err)
+					}
+					if err := tb.Manager.Service(); err != nil {
+						t.Fatalf("manager service: %v", err)
+					}
+				}
+
+				sup := tb.Manager.Supervisor()
+				if sup.State() != resilience.Up {
+					t.Fatalf("supervisor did not converge: state %v, stats %+v",
+						sup.State(), sup.Stats())
+				}
+				if tb.Hub.Loaded() != 1 {
+					t.Fatalf("hub has %d conditions, want 1", tb.Hub.Loaded())
+				}
+				if _, ready, serr := tb.Manager.Status(id); serr != nil || !ready {
+					t.Fatalf("condition not ready after storm: ready=%v err=%v", ready, serr)
+				}
+
+				// Post-recovery traffic must be complete: every wake the
+				// hub fires from here on is delivered exactly once.
+				sentBefore, deliveredBefore := tb.Hub.WakesSent(), len(events)
+				for i := 0; i < 60; i++ {
+					for _, ch := range []core.SensorChannel{core.AccelX, core.AccelY, core.AccelZ} {
+						if err := tb.Feed(ch, 18); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				if err := tb.Pump(); err != nil {
+					t.Fatal(err)
+				}
+				sent := tb.Hub.WakesSent() - sentBefore
+				delivered := len(events) - deliveredBefore
+				if sent == 0 {
+					t.Fatal("no wakes fired after recovery")
+				}
+				if delivered != sent {
+					t.Fatalf("post-recovery delivery incomplete: %d of %d", delivered, sent)
+				}
+				for _, ev := range events {
+					if ev.CondID != id {
+						t.Fatalf("corrupted cond id %d delivered", ev.CondID)
+					}
+					if ev.Value < 15 {
+						t.Fatalf("corrupted value %g delivered", ev.Value)
+					}
+				}
+			})
+		}
 	}
 }

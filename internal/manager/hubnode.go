@@ -9,6 +9,7 @@ import (
 	"sidewinder/internal/interp"
 	"sidewinder/internal/ir"
 	"sidewinder/internal/link"
+	"sidewinder/internal/resilience"
 	"sidewinder/internal/telemetry"
 )
 
@@ -56,6 +57,15 @@ type HubNode struct {
 	wakesSent int
 	dropped   int
 	dead      int
+
+	// crash is the optional fault injector (nil = immortal hub). epoch is
+	// the boot counter echoed in heartbeat pongs; a state-losing crash
+	// bumps it, so the manager's supervisor can tell a rebooted hub from
+	// one that merely went quiet. samplesLost counts sensor samples that
+	// arrived while the hub was down.
+	crash       *resilience.CrashInjector
+	epoch       uint32
+	samplesLost int
 
 	// Telemetry handles, nil (no-op) until SetTelemetry attaches them.
 	// profile survives rebuild(): every new merged machine re-attaches it,
@@ -140,7 +150,43 @@ func NewHubNode(ep link.Port, cat *core.Catalog, devices []hub.Device, bufSample
 		rings:   make(map[core.SensorChannel]*ring),
 		counts:  make(map[core.SensorChannel]int64),
 		bufSize: bufSamples,
+		epoch:   1,
 	}, nil
+}
+
+// SetCrash installs a crash injector (nil clears it). Each Service pass
+// ticks the injector; on a state-losing onset the hub drops every loaded
+// condition, its sample buffers and its link state, and comes back with
+// the next boot epoch — exactly what a real microcontroller reset does.
+func (h *HubNode) SetCrash(c *resilience.CrashInjector) { h.crash = c }
+
+// Epoch returns the hub's current boot epoch (1 at first boot).
+func (h *HubNode) Epoch() uint32 { return h.epoch }
+
+// Crashed reports whether the hub is currently down.
+func (h *HubNode) Crashed() bool { return h.crash.Down() }
+
+// SamplesLost returns how many sensor samples arrived while the hub was
+// crashed (the detection-window exposure fallback sensing cannot cover).
+func (h *HubNode) SamplesLost() int { return h.samplesLost }
+
+// reboot wipes the pipeline the way a CPU reset does: pushed conditions,
+// merged machine, sample rings and counts all vanish, the boot epoch
+// advances, and the link layer (if it supports Reboot) loses its buffers
+// and sequence state.
+func (h *HubNode) reboot() {
+	h.conds = make(map[uint16]*condState)
+	h.merged = nil
+	h.mergedIDs = nil
+	h.rings = make(map[core.SensorChannel]*ring)
+	h.counts = make(map[core.SensorChannel]int64)
+	h.placed = false
+	h.device = hub.Device{}
+	h.epoch++
+	if rb, ok := h.ep.(interface{ Reboot() }); ok {
+		rb.Reboot()
+	}
+	h.trace.Instant1("hub.reboot", "hub", "epoch", float64(h.epoch))
 }
 
 // Device returns the currently selected microcontroller (zero Device and
@@ -155,7 +201,22 @@ func (h *HubNode) Loaded() int { return len(h.conds) }
 // decode is counted (DroppedFrames) and skipped — line noise and peer
 // bugs must not kill the hub loop. Only internal failures (a broken
 // rebuild) are returned.
+//
+// With a crash injector installed, each pass first advances the fault
+// clock. A crashed hub is a silent one: it neither ticks its link (the
+// CPU is stopped, so no retransmission timers run) nor acknowledges
+// inbound traffic — whatever arrives is discarded unacked, exactly as a
+// dead UART would overrun.
 func (h *HubNode) Service() error {
+	if tr := h.crash.Tick(); tr.Onset && tr.Kind.LosesState() {
+		h.reboot()
+	}
+	if h.crash.Down() {
+		if bh, ok := h.ep.(interface{ Blackhole() int }); ok {
+			bh.Blackhole()
+		}
+		return nil
+	}
 	h.ep.Tick()
 	if td, ok := h.ep.(interface{ TakeDead() []link.Frame }); ok {
 		// A dead wake/data frame cannot be un-fired; count it so tests
@@ -199,7 +260,20 @@ func (h *HubNode) Service() error {
 				}
 			}
 		case link.MsgPing:
-			if err := h.ep.SendLossy(link.Frame{Type: link.MsgPong}); err != nil {
+			// A heartbeat ping gets its sequence echoed along with this
+			// hub's boot epoch; a legacy empty ping gets the legacy empty
+			// pong. Pongs ride outside the ARQ — liveness probes must not
+			// queue behind a retransmission backlog.
+			var pong link.Frame
+			if hb, err := resilience.DecodeHeartbeat(f.Payload); err == nil {
+				pong = link.Frame{Type: link.MsgPong, Payload: resilience.Heartbeat{Seq: hb.Seq, Epoch: h.epoch}.Encode()}
+			} else if len(f.Payload) == 0 {
+				pong = link.Frame{Type: link.MsgPong}
+			} else {
+				h.dropFrame()
+				continue
+			}
+			if err := h.ep.SendLossy(pong); err != nil {
 				return err
 			}
 		default:
@@ -290,6 +364,12 @@ func (h *HubNode) rebuild() error {
 // Feed delivers one raw sensor sample to the merged condition set.
 // Satisfied conditions emit a data buffer followed by a wake frame.
 func (h *HubNode) Feed(ch core.SensorChannel, v float64) error {
+	if h.crash.Down() {
+		// A crashed hub samples nothing; the event, if any, is gone
+		// unless phone-side fallback sensing covers the window.
+		h.samplesLost++
+		return nil
+	}
 	if r := h.rings[ch]; r != nil {
 		r.push(v)
 	}

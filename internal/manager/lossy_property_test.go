@@ -29,7 +29,10 @@ func TestCorruptedFrameNeverDecodesAsOriginal(t *testing.T) {
 		}
 		irText := ir.CompileToText(plan)
 		orig := link.Frame{Type: link.MsgConfigPush, Payload: encodeConfigPush(uint16(i+1), irText)}
-		wire := link.Encode(orig)
+		wire, err := link.Encode(orig)
+		if err != nil {
+			t.Fatalf("pipeline %d: encoding push frame: %v", i, err)
+		}
 
 		mutated := append([]byte(nil), wire...)
 		pos := rng.Intn(len(mutated))

@@ -1,11 +1,14 @@
 package manager
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 
 	"sidewinder/internal/core"
 	"sidewinder/internal/ir"
 	"sidewinder/internal/link"
+	"sidewinder/internal/resilience"
 	"sidewinder/internal/telemetry"
 )
 
@@ -55,10 +58,29 @@ type Manager struct {
 	// unknown type — line noise or a peer bug, never fatal to the loop.
 	dropped int
 
+	// sup is the optional liveness supervisor (nil = trust the hub
+	// blindly, the pre-supervision behavior). reprovisioning is true
+	// while a post-crash re-push of the condition set is being settled.
+	sup            *resilience.Supervisor
+	reprovisioning bool
+	reprov         ReprovisionStats
+
 	// Telemetry handles, nil (no-op) until SetTelemetry attaches them.
 	cWakes   *telemetry.Counter
 	cDropped *telemetry.Counter
 	trace    *telemetry.Stream
+}
+
+// ReprovisionStats accounts the wire cost of post-crash recovery.
+type ReprovisionStats struct {
+	// Passes counts re-provisioning rounds started (one per recovery,
+	// plus one per hub re-death mid-recovery).
+	Passes int
+	// Frames and Bytes count the config pushes re-sent and their encoded
+	// wire size, excluding the ARQ envelope and any retransmissions
+	// (those are already in the link layer's overhead accounting).
+	Frames int
+	Bytes  int
 }
 
 // SetTelemetry attaches phone-side telemetry: counters
@@ -75,6 +97,19 @@ func (m *Manager) dropFrame() {
 	m.dropped++
 	m.cDropped.Inc()
 }
+
+// AttachSupervisor installs the hub liveness watchdog. Service then
+// drives it: inbound traffic counts as evidence of life, the supervisor's
+// pings go out as heartbeat-carrying MsgPing frames, and when it declares
+// the hub recovered the manager re-pushes every registered condition
+// before reporting the hub Up again. Pass nil to detach.
+func (m *Manager) AttachSupervisor(s *resilience.Supervisor) { m.sup = s }
+
+// Supervisor returns the attached watchdog (nil when unsupervised).
+func (m *Manager) Supervisor() *resilience.Supervisor { return m.sup }
+
+// ReprovisionStats returns the recovery wire-cost tally.
+func (m *Manager) ReprovisionStats() ReprovisionStats { return m.reprov }
 
 // New builds a manager on one end of the link — a raw *link.Endpoint or
 // a *link.ARQ for reliable delivery over a lossy wire. A nil catalog uses
@@ -169,7 +204,12 @@ func (m *Manager) Service() error {
 	for {
 		f, ok := m.ep.Receive()
 		if !ok {
-			return nil
+			break
+		}
+		// Any decodable inbound frame is evidence the hub is alive; pongs
+		// carry richer evidence and report through ObservePong instead.
+		if f.Type != link.MsgPong {
+			m.sup.ObserveTraffic()
 		}
 		switch f.Type {
 		case link.MsgConfigAck:
@@ -218,11 +258,113 @@ func (m *Manager) Service() error {
 			m.trace.Instant2("wake.delivered", "phone", "cond", float64(id), "value", value)
 			st.listener.OnSensorEvent(ev)
 		case link.MsgPong:
-			// liveness reply; nothing to do
+			hb, err := resilience.DecodeHeartbeat(f.Payload)
+			m.sup.ObservePong(hb, err == nil)
 		default:
 			m.dropFrame()
 		}
 	}
+	return m.superviseTick()
+}
+
+// superviseTick advances the liveness watchdog one Service pass: sends
+// any probe it asks for, starts a re-provisioning round when it latches
+// one, and settles an in-flight round. A no-op without a supervisor.
+func (m *Manager) superviseTick() error {
+	if m.sup == nil {
+		return nil
+	}
+	if act := m.sup.Tick(); act.Ping {
+		// Probes bypass the ARQ: a queue of retransmissions to a dead hub
+		// must not delay (or reorder) liveness traffic, and a lost ping is
+		// just one more miss.
+		hb := resilience.Heartbeat{Seq: act.Seq}
+		if err := m.ep.SendLossy(link.Frame{Type: link.MsgPing, Payload: hb.Encode()}); err != nil {
+			return err
+		}
+	}
+	if m.sup.TakeReprovision() {
+		if err := m.reprovisionAll(); err != nil {
+			return err
+		}
+	}
+	if m.reprovisioning && m.sup.State() == resilience.Recovering {
+		if err := m.settleReprovision(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// reprovisionAll re-pushes every registered condition after a hub crash.
+// The hub's transmitter restarted at sequence zero, so the receive side
+// must resynchronize first or every post-reboot frame would be suppressed
+// as a duplicate. Pushes go out in ID order — deterministic recovery
+// traffic for reproducible experiments.
+func (m *Manager) reprovisionAll() error {
+	if rs, ok := m.ep.(interface{ Resync() }); ok {
+		rs.Resync()
+	}
+	m.reprov.Passes++
+	m.trace.Instant1("supervisor.reprovision", "supervisor", "conds", float64(len(m.pushes)))
+	if len(m.pushes) == 0 {
+		m.sup.ObserveReprovisioned()
+		m.reprovisioning = false
+		return nil
+	}
+	m.reprovisioning = true
+	ids := make([]uint16, 0, len(m.pushes))
+	for id := range m.pushes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if err := m.Repush(id); err != nil {
+			return err
+		}
+		m.accountReprovision(id)
+	}
+	return nil
+}
+
+// accountReprovision tallies one re-sent config push.
+func (m *Manager) accountReprovision(id uint16) {
+	st := m.pushes[id]
+	if st == nil {
+		return
+	}
+	m.reprov.Frames++
+	f := link.Frame{Type: link.MsgConfigPush, Payload: encodeConfigPush(id, st.irText)}
+	if wire, err := link.Encode(f); err == nil {
+		m.reprov.Bytes += len(wire)
+	}
+}
+
+// settleReprovision checks whether the recovery round has completed:
+// every condition acked (or definitively rejected) by the hub. A push the
+// link abandoned is re-armed — but only while the supervisor still
+// believes the hub is Recovering; once it drops back to Down, re-pushing
+// would just burn the retry budget against a silent peer.
+func (m *Manager) settleReprovision() error {
+	settled := true
+	for id, st := range m.pushes {
+		if !st.acked {
+			settled = false
+			continue
+		}
+		if st.err != nil && errors.Is(st.err, link.ErrLinkDown) {
+			if err := m.Repush(id); err != nil {
+				return err
+			}
+			m.accountReprovision(id)
+			settled = false
+		}
+	}
+	if settled {
+		m.sup.ObserveReprovisioned()
+		m.reprovisioning = false
+	}
+	return nil
 }
 
 // reapDead settles frames the ARQ layer abandoned after exhausting its

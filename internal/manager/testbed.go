@@ -7,6 +7,7 @@ import (
 	"sidewinder/internal/core"
 	"sidewinder/internal/hub"
 	"sidewinder/internal/link"
+	"sidewinder/internal/resilience"
 	"sidewinder/internal/telemetry"
 )
 
@@ -59,6 +60,23 @@ type TestbedConfig struct {
 	// injected faults. nil runs raw frames (the legacy behavior).
 	ARQ *link.ARQConfig
 
+	// Crash, when non-nil and enabled, installs a randomized crash
+	// injector on the hub: each Hub.Service pass may begin or end an
+	// outage. nil (or a disabled profile) leaves the hub immortal —
+	// byte-identical to the pre-crash-model behavior.
+	Crash *resilience.CrashProfile
+
+	// CrashSchedule, when non-empty, installs a scripted injector firing
+	// exactly these outages (tick = Hub.Service pass). Takes precedence
+	// over Crash; meant for tests that need a crash at a precise moment.
+	CrashSchedule []resilience.ScheduledCrash
+
+	// Supervisor, when non-nil, attaches the hub liveness watchdog to the
+	// manager: heartbeat probing, down detection, and automatic
+	// re-provisioning on recovery. nil trusts the hub blindly (the legacy
+	// behavior).
+	Supervisor *resilience.SupervisorConfig
+
 	// Telemetry, when enabled, instruments the whole assembly: link
 	// counters and frame events, manager/hub counters and wake events,
 	// and a per-stage interpreter profile on the hub. The zero Set
@@ -109,6 +127,18 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 	if err != nil {
 		return nil, err
 	}
+	if len(cfg.CrashSchedule) > 0 {
+		h.SetCrash(resilience.NewScheduledCrashInjector(cfg.CrashSchedule))
+	} else if cfg.Crash != nil {
+		inj, err := resilience.NewCrashInjector(*cfg.Crash)
+		if err != nil {
+			return nil, err
+		}
+		h.SetCrash(inj)
+	}
+	if cfg.Supervisor != nil {
+		m.AttachSupervisor(resilience.NewSupervisor(*cfg.Supervisor))
+	}
 	t := &Testbed{
 		Manager:   m,
 		Hub:       h,
@@ -133,6 +163,7 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 		}
 		m.SetTelemetry(reg, t.phoneStream)
 		h.SetTelemetry(reg, t.profile, t.hubStream)
+		m.Supervisor().SetTelemetry(reg, t.phoneStream)
 	}
 	return t, nil
 }
@@ -231,10 +262,16 @@ func (t *Testbed) Pump() error {
 }
 
 // quiet reports that no frame is pending, in flight, or delayed in either
-// direction.
+// direction. A crashed hub is silent, not busy: its link state is frozen
+// (a hung CPU ticks nothing), so only the phone side can go quiet —
+// otherwise a frame caught in flight by the crash would keep the pump
+// spinning for the whole outage.
 func (t *Testbed) quiet() bool {
-	return t.phonePort.Idle() && t.hubPort.Idle() &&
-		t.phonePort.Pending() == 0 && t.hubPort.Pending() == 0
+	phoneQuiet := t.phonePort.Idle() && t.phonePort.Pending() == 0
+	if t.Hub.Crashed() {
+		return phoneQuiet
+	}
+	return phoneQuiet && t.hubPort.Idle() && t.hubPort.Pending() == 0
 }
 
 // LinkStats aggregates both directions' wire accounting, fault tallies,

@@ -1,0 +1,282 @@
+package resilience
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// CrashKind classifies a hub failure by what it destroys.
+type CrashKind int
+
+const (
+	// Reset is a hard reset: the hub loses all pipeline state — pushed
+	// conditions, merged machines, sample rings — plus its link buffers,
+	// and comes back with a fresh boot epoch.
+	Reset CrashKind = iota
+	// Hang is a transient lockup (a wedged interrupt handler, a stuck
+	// peripheral): the hub stops servicing frames and samples for a
+	// bounded window but resumes with its pipeline state intact and the
+	// same boot epoch. In-flight UART buffers are still lost.
+	Hang
+	// Brownout is a power sag deep enough to reboot the microcontroller:
+	// behaviorally a Reset, tallied separately because its rate tracks
+	// the power supply rather than the firmware.
+	Brownout
+)
+
+// String returns the crash kind's report name.
+func (k CrashKind) String() string {
+	switch k {
+	case Reset:
+		return "reset"
+	case Hang:
+		return "hang"
+	case Brownout:
+		return "brownout"
+	default:
+		return fmt.Sprintf("crash-kind(%d)", int(k))
+	}
+}
+
+// LosesState reports whether this failure wipes the hub's pipeline state
+// (pushed conditions, interpreter state) and bumps the boot epoch.
+func (k CrashKind) LosesState() bool { return k != Hang }
+
+// CrashProfile parameterizes the deterministic crash injector. The zero
+// value disables crashes entirely — the hub is as immortal as it was
+// before this package existed, and every existing output stays
+// byte-identical. Ticks are hub Service passes, the same clock the ARQ
+// layer runs on.
+type CrashProfile struct {
+	// Seed initializes the injector's private PRNG; a given profile
+	// replays the exact same crash schedule on every run.
+	Seed int64
+	// MTBFTicks is the mean number of ticks between crash onsets
+	// (exponentially distributed). 0 disables the injector.
+	MTBFTicks float64
+	// MeanDownTicks is the mean outage length (exponential, at least 1
+	// tick; default 20).
+	MeanDownTicks float64
+	// MaxDownTicks caps a single outage (default 10 × MeanDownTicks).
+	MaxDownTicks int
+	// ResetWeight, HangWeight and BrownoutWeight set the relative
+	// frequency of each crash kind. All zero means equal weights.
+	ResetWeight, HangWeight, BrownoutWeight float64
+}
+
+// Validate checks the profile's parameters.
+func (p CrashProfile) Validate() error {
+	if p.MTBFTicks < 0 {
+		return fmt.Errorf("resilience: MTBFTicks must be >= 0, got %g", p.MTBFTicks)
+	}
+	if p.MeanDownTicks < 0 {
+		return fmt.Errorf("resilience: MeanDownTicks must be >= 0, got %g", p.MeanDownTicks)
+	}
+	if p.MaxDownTicks < 0 {
+		return fmt.Errorf("resilience: MaxDownTicks must be >= 0, got %d", p.MaxDownTicks)
+	}
+	for _, w := range []struct {
+		name string
+		v    float64
+	}{{"ResetWeight", p.ResetWeight}, {"HangWeight", p.HangWeight}, {"BrownoutWeight", p.BrownoutWeight}} {
+		if w.v < 0 {
+			return fmt.Errorf("resilience: %s must be >= 0, got %g", w.name, w.v)
+		}
+	}
+	return nil
+}
+
+// Enabled reports whether this profile can ever fire a crash.
+func (p CrashProfile) Enabled() bool { return p.MTBFTicks > 0 }
+
+// Transition reports what the injector did on one tick.
+type Transition struct {
+	// Onset is true on the tick a crash begins; Kind is then valid.
+	Onset bool
+	// Recovered is true on the tick the hub comes back up; Kind is the
+	// kind of the outage that just ended.
+	Recovered bool
+	// Kind of the crash beginning or ending.
+	Kind CrashKind
+}
+
+// CrashStats tallies one injector's activity.
+type CrashStats struct {
+	Crashes   int // total onsets
+	Resets    int
+	Hangs     int
+	Brownouts int
+	DownTicks int // ticks spent down, cumulative
+}
+
+// ScheduledCrash is one precisely timed outage for NewScheduledCrashInjector.
+type ScheduledCrash struct {
+	AtTick    int // tick of onset (0 = first tick)
+	Kind      CrashKind
+	DownTicks int // outage length; minimum 1
+}
+
+// CrashInjector decides, tick by tick, whether the hub is alive. It is
+// either randomized (NewCrashInjector, exponential MTBF and outage
+// lengths from a private seeded PRNG) or scripted
+// (NewScheduledCrashInjector, for tests that need a crash at an exact
+// moment). All methods are nil-safe: a nil injector is a hub that never
+// crashes.
+type CrashInjector struct {
+	profile CrashProfile
+	rng     *rand.Rand
+
+	scheduled []ScheduledCrash // scripted mode when non-nil
+	schedIdx  int
+
+	tick      int
+	down      bool
+	kind      CrashKind
+	upAt      int // tick at which the current outage ends
+	nextOnset int // tick of the next crash (randomized mode)
+	stats     CrashStats
+}
+
+// NewCrashInjector builds a randomized injector from a profile. A
+// disabled profile (MTBFTicks == 0) yields a nil injector, which every
+// consumer treats as "no crashes".
+func NewCrashInjector(p CrashProfile) (*CrashInjector, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if !p.Enabled() {
+		return nil, nil
+	}
+	if p.MeanDownTicks <= 0 {
+		p.MeanDownTicks = 20
+	}
+	if p.MaxDownTicks <= 0 {
+		p.MaxDownTicks = int(10 * p.MeanDownTicks)
+	}
+	if p.ResetWeight == 0 && p.HangWeight == 0 && p.BrownoutWeight == 0 {
+		p.ResetWeight, p.HangWeight, p.BrownoutWeight = 1, 1, 1
+	}
+	c := &CrashInjector{profile: p, rng: rand.New(rand.NewSource(p.Seed))}
+	c.nextOnset = c.tick + c.drawGap()
+	return c, nil
+}
+
+// NewScheduledCrashInjector builds a scripted injector that fires exactly
+// the given outages, in AtTick order. Overlapping entries are coalesced:
+// an onset scheduled while an outage is still running is skipped.
+func NewScheduledCrashInjector(crashes []ScheduledCrash) *CrashInjector {
+	sched := make([]ScheduledCrash, len(crashes))
+	copy(sched, crashes)
+	for i := range sched {
+		if sched[i].DownTicks < 1 {
+			sched[i].DownTicks = 1
+		}
+	}
+	return &CrashInjector{scheduled: sched}
+}
+
+// drawGap samples the ticks until the next onset (at least 1).
+func (c *CrashInjector) drawGap() int {
+	return 1 + int(c.rng.ExpFloat64()*c.profile.MTBFTicks)
+}
+
+// drawDown samples an outage length in [1, MaxDownTicks].
+func (c *CrashInjector) drawDown() int {
+	n := 1 + int(c.rng.ExpFloat64()*c.profile.MeanDownTicks)
+	if n > c.profile.MaxDownTicks {
+		n = c.profile.MaxDownTicks
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// drawKind picks a crash kind by profile weight.
+func (c *CrashInjector) drawKind() CrashKind {
+	total := c.profile.ResetWeight + c.profile.HangWeight + c.profile.BrownoutWeight
+	r := c.rng.Float64() * total
+	if r < c.profile.ResetWeight {
+		return Reset
+	}
+	if r < c.profile.ResetWeight+c.profile.HangWeight {
+		return Hang
+	}
+	return Brownout
+}
+
+// Tick advances the injector by one hub service pass and reports any
+// crash onset or recovery happening on this tick. On the onset tick the
+// hub is already down; on the recovery tick it is already back up (the
+// outage covered exactly DownTicks service passes in between). Nil-safe.
+func (c *CrashInjector) Tick() Transition {
+	if c == nil {
+		return Transition{}
+	}
+	t := c.tick
+	c.tick++
+	if c.down {
+		if t >= c.upAt {
+			c.down = false
+			return Transition{Recovered: true, Kind: c.kind}
+		}
+		c.stats.DownTicks++
+		return Transition{}
+	}
+	if c.scheduled != nil {
+		for c.schedIdx < len(c.scheduled) && c.scheduled[c.schedIdx].AtTick < t {
+			c.schedIdx++ // fell inside an earlier outage; skip
+		}
+		if c.schedIdx < len(c.scheduled) && c.scheduled[c.schedIdx].AtTick == t {
+			s := c.scheduled[c.schedIdx]
+			c.schedIdx++
+			return c.onset(t, s.Kind, s.DownTicks)
+		}
+		return Transition{}
+	}
+	if t >= c.nextOnset {
+		kind := c.drawKind()
+		down := c.drawDown()
+		tr := c.onset(t, kind, down)
+		c.nextOnset = c.upAt + c.drawGap()
+		return tr
+	}
+	return Transition{}
+}
+
+// onset starts an outage covering ticks [t, t+downTicks).
+func (c *CrashInjector) onset(t int, kind CrashKind, downTicks int) Transition {
+	c.down = true
+	c.kind = kind
+	c.upAt = t + downTicks
+	c.stats.Crashes++
+	c.stats.DownTicks++
+	switch kind {
+	case Reset:
+		c.stats.Resets++
+	case Hang:
+		c.stats.Hangs++
+	case Brownout:
+		c.stats.Brownouts++
+	}
+	return Transition{Onset: true, Kind: kind}
+}
+
+// Down reports whether the hub is currently crashed. Nil-safe.
+func (c *CrashInjector) Down() bool { return c != nil && c.down }
+
+// Kind returns the kind of the current (or most recent) outage. Nil-safe.
+func (c *CrashInjector) Kind() CrashKind {
+	if c == nil {
+		return Reset
+	}
+	return c.kind
+}
+
+// Stats returns the injector's tally so far. Nil-safe.
+func (c *CrashInjector) Stats() CrashStats {
+	if c == nil {
+		return CrashStats{}
+	}
+	return c.stats
+}

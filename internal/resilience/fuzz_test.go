@@ -1,0 +1,32 @@
+package resilience
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzHeartbeat throws arbitrary payloads at the heartbeat decoder: no
+// input may panic, only exact-size payloads may decode, and every decoded
+// heartbeat must re-encode to the identical bytes.
+func FuzzHeartbeat(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add(Heartbeat{Seq: 1, Epoch: 1}.Encode())
+	f.Add(Heartbeat{Seq: 0xDEADBEEF, Epoch: 0x01020304}.Encode())
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		hb, err := DecodeHeartbeat(data)
+		if err != nil {
+			if len(data) == HeartbeatSize {
+				t.Fatalf("exact-size payload rejected: % x", data)
+			}
+			return
+		}
+		if len(data) != HeartbeatSize {
+			t.Fatalf("decoded %d-byte payload", len(data))
+		}
+		if !bytes.Equal(hb.Encode(), data) {
+			t.Fatalf("re-encode mismatch: % x -> %+v -> % x", data, hb, hb.Encode())
+		}
+	})
+}

@@ -1,0 +1,377 @@
+package sim
+
+// Crash-resilience replay: the full manager/link/hub stack with a fault
+// model on the HUB rather than the wire. The hub crashes (hard reset,
+// transient hang, brownout reboot) under a deterministic seeded injector;
+// the manager's supervisor detects the outage via heartbeats, probes with
+// capped backoff, and re-provisions every condition on reconnect, while
+// the phone degrades to fallback sensing so events occurring during the
+// outage are caught rather than structurally lost.
+//
+// Wake accounting runs against an oracle interpreter — the same wake-up
+// condition replayed continuously outside the failing stack — and every
+// oracle wake is attributed to exactly one window of the timeline:
+//
+//   hub window        supervisor believes the hub is up, and it is
+//   fallback window   supervisor is in Down/Recovering: fallback sensing
+//                     (always-awake or duty-cycle) covers the event
+//   detection window  the hub is dead but the supervisor has not noticed
+//                     yet — the exposure bounded by the miss budget
+//   structural loss   the hub is "up" with no conditions loaded: the wake
+//                     is gone and nothing even knows. This is the
+//                     unsupervised failure mode; with a supervisor it
+//                     must be zero.
+
+import (
+	"errors"
+	"fmt"
+
+	"sidewinder/internal/apps"
+	"sidewinder/internal/interp"
+	"sidewinder/internal/link"
+	"sidewinder/internal/manager"
+	"sidewinder/internal/power"
+	"sidewinder/internal/resilience"
+	"sidewinder/internal/sensor"
+	"sidewinder/internal/telemetry"
+)
+
+// FallbackMode selects what the phone does while the supervisor believes
+// the hub is down.
+type FallbackMode int
+
+const (
+	// FallbackAlwaysAwake keeps the main processor awake for the whole
+	// outage: every event is caught immediately, at the awake draw.
+	FallbackAlwaysAwake FallbackMode = iota
+	// FallbackDutyCycle runs the duty-cycling schedule instead: cheaper,
+	// and events are still caught — sensor data buffers across the sleep
+	// interval (batching-style) and is examined on the next waking — at
+	// the cost of detection latency.
+	FallbackDutyCycle
+)
+
+// String returns the mode's report name.
+func (m FallbackMode) String() string {
+	switch m {
+	case FallbackAlwaysAwake:
+		return "always-awake"
+	case FallbackDutyCycle:
+		return "duty-cycle"
+	default:
+		return fmt.Sprintf("fallback(%d)", int(m))
+	}
+}
+
+// CrashRunConfig parameterizes one crash-resilience replay.
+type CrashRunConfig struct {
+	// Crash is the hub failure regime. A disabled profile (zero MTBF)
+	// replays an immortal hub — the baseline.
+	Crash resilience.CrashProfile
+	// Supervisor, when non-nil, enables the manager-side watchdog with
+	// this configuration. nil replays the unsupervised stack, which is
+	// how structural loss becomes visible.
+	Supervisor *resilience.SupervisorConfig
+	// Fallback selects the phone's degraded sensing mode during detected
+	// outages. Only meaningful with a supervisor.
+	Fallback FallbackMode
+	// FallbackSleepSec is the duty-cycle fallback's sleep interval
+	// (default 10 s).
+	FallbackSleepSec float64
+	// ARQ protects the wire (default: enabled with zero config — the
+	// supervised protocol assumes reliable config pushes).
+	ARQ *link.ARQConfig
+	// BufSamples is the hub's per-channel raw-data ring (default 32).
+	BufSamples int
+
+	// Telemetry, when enabled, instruments the run: supervisor counters
+	// and state instants, crash/recovery events, outage spans, and an
+	// energy ledger with the fallback draw as its own component.
+	Telemetry telemetry.Set
+	// TraceLabel prefixes the run's trace stream names.
+	TraceLabel string
+}
+
+// CrashResult reports wake attribution, resilience accounting and energy
+// for one replay.
+type CrashResult struct {
+	// OracleWakes is the total the condition fires when replayed outside
+	// the failing stack; the four windows below partition it exactly.
+	OracleWakes           int
+	HubWindowWakes        int
+	FallbackWakes         int
+	DetectionWindowWakes  int
+	StructurallyLostWakes int
+
+	HubWakes       int // wake frames the live hub handed to the link
+	DeliveredWakes int // wake events that reached the listener
+	PushAttempts   int
+
+	Crash               resilience.CrashStats
+	Supervisor          resilience.SupervisorStats
+	Reprovision         manager.ReprovisionStats
+	DetectionLatencySec float64 // mean time from hub death to Down
+	HubUpSec            float64 // hub alive time (its energy base)
+	FallbackSec         float64 // time spent in fallback sensing
+
+	PhoneEnergyMJ    float64 // supervised-normal phone machine energy
+	FallbackEnergyMJ float64 // extra draw of fallback sensing windows
+	HubEnergyMJ      float64 // hub draw over its alive time only
+	LinkEnergyMJ     float64 // wire occupancy including reprovisioning
+	TotalMJ          float64
+	TotalAvgMW       float64
+
+	Stats manager.LinkStats
+}
+
+// fallbackAvgMW prices one second of fallback sensing.
+func fallbackAvgMW(mode FallbackMode, sleepSec float64, p power.Profile) float64 {
+	switch mode {
+	case FallbackDutyCycle:
+		// One duty period: wake transition, 4 s collecting, sleep
+		// transition, then the sleep interval.
+		period := 2*p.TransitionSeconds + dutyAwakeSec + sleepSec
+		energy := p.TransitionSeconds*(p.WakeTransitionMW+p.SleepTransition) +
+			dutyAwakeSec*p.AwakeMW + sleepSec*p.AsleepMW
+		return energy / period
+	default:
+		return p.AwakeMW
+	}
+}
+
+// CrashRun replays an application's wake-up condition through the full
+// stack while the hub crashes on the injector's schedule, and measures
+// what the supervision subsystem saves: wake attribution across the
+// timeline windows, detection latency, re-provisioning cost, and the
+// energy split between normal operation and fallback sensing.
+//
+// The clock convention is one Service pass per side per trace sample, so
+// supervisor and injector ticks are samples and latencies convert to
+// seconds by dividing by the trace rate.
+func CrashRun(tr *sensor.Trace, app *apps.App, cfg CrashRunConfig) (*CrashResult, error) {
+	bufSamples := cfg.BufSamples
+	if bufSamples <= 0 {
+		bufSamples = 32
+	}
+	arq := cfg.ARQ
+	if arq == nil {
+		arq = &link.ARQConfig{}
+	}
+	sleepSec := cfg.FallbackSleepSec
+	if sleepSec <= 0 {
+		sleepSec = 10
+	}
+	clk := &telemetry.Clock{}
+	bed, err := manager.NewTestbed(manager.TestbedConfig{
+		BufSamples: bufSamples,
+		ARQ:        arq,
+		Supervisor: cfg.Supervisor,
+		Telemetry:  cfg.Telemetry,
+		Clock:      clk,
+		TraceLabel: cfg.TraceLabel,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// The oracle interpreter replays the same condition continuously,
+	// outside the failing stack: its wakes are what SHOULD happen.
+	plan, err := app.Wake.Validate(bed.Manager.Catalog())
+	if err != nil {
+		return nil, err
+	}
+	oracle, err := interp.New(plan)
+	if err != nil {
+		return nil, err
+	}
+
+	profile := power.Nexus4()
+	ph := power.NewPhone(profile)
+	phoneStream, _, _ := bed.Streams()
+	tracePhoneTransitions(ph, phoneStream)
+
+	res := &CrashResult{}
+	lastDelivery := -1
+	curSample := 0
+	id, err := bed.Manager.Push(app.Wake, manager.ListenerFunc(func(e manager.Event) {
+		res.DeliveredWakes++
+		lastDelivery = curSample
+		ph.RequestWake()
+	}))
+	if err != nil {
+		return nil, err
+	}
+	loaded := false
+	for attempt := 0; attempt < maxPushAttempts; attempt++ {
+		res.PushAttempts++
+		if err := bed.Pump(); err != nil {
+			return nil, err
+		}
+		_, ready, serr := bed.Manager.Status(id)
+		if ready && serr == nil {
+			loaded = true
+			break
+		}
+		if ready && serr != nil && !errors.Is(serr, link.ErrLinkDown) {
+			return nil, serr
+		}
+		if err := bed.Manager.Repush(id); err != nil {
+			return nil, err
+		}
+	}
+	if !loaded {
+		return nil, fmt.Errorf("sim: condition never loaded after %d push attempts", maxPushAttempts)
+	}
+
+	// Install the injector only after initial provisioning: the sweep
+	// measures steady-state resilience, and crash-during-push is covered
+	// by the scheduled-injector chaos tests.
+	inj, err := resilience.NewCrashInjector(cfg.Crash)
+	if err != nil {
+		return nil, err
+	}
+	bed.Hub.SetCrash(inj)
+	sup := bed.Manager.Supervisor()
+
+	channels := make([][]float64, len(app.Channels))
+	for i, ch := range app.Channels {
+		samples, ok := tr.Channels[ch]
+		if !ok {
+			return nil, fmt.Errorf("sim: trace %q lacks channel %s required by %s", tr.Name, ch, app.Name)
+		}
+		channels[i] = samples
+	}
+
+	fbMW := fallbackAvgMW(cfg.Fallback, sleepSec, profile)
+	n := tr.Len()
+	dt := 1 / tr.RateHz
+	hold := int(swIdleHoldSec * tr.RateHz)
+
+	// Outage span tracing: one span per contiguous non-Up stretch.
+	spanState := resilience.Up
+	spanStart := 0.0
+	emitSpan := func(endSec float64) {
+		if spanState != resilience.Up && phoneStream != nil {
+			phoneStream.Span("supervisor."+spanState.String(), "supervisor", spanStart, endSec-spanStart)
+		}
+	}
+
+	for s := 0; s < n; s++ {
+		curSample = s
+		nowSec := float64(s) * dt
+
+		// One service pass per side per sample: the supervisor's tick IS
+		// the sample clock.
+		if err := bed.Hub.Service(); err != nil {
+			return nil, err
+		}
+		if err := bed.Manager.Service(); err != nil {
+			return nil, err
+		}
+
+		state := sup.State()
+		if state != spanState {
+			emitSpan(nowSec)
+			spanState, spanStart = state, nowSec
+		}
+		fallbackNow := state == resilience.Down || state == resilience.Recovering
+
+		// Feed the live hub (it drops samples internally while down) and
+		// the oracle, attributing the oracle's wakes to this sample's
+		// window.
+		fired := false
+		for i, ch := range app.Channels {
+			if s >= len(channels[i]) {
+				continue
+			}
+			if err := bed.Hub.Feed(ch, channels[i][s]); err != nil {
+				return nil, err
+			}
+			if len(oracle.PushSample(ch, channels[i][s])) > 0 {
+				fired = true
+			}
+		}
+		if fired {
+			res.OracleWakes++
+			switch {
+			case fallbackNow:
+				res.FallbackWakes++
+			case inj.Down():
+				res.DetectionWindowWakes++
+			case bed.Hub.Loaded() == 0:
+				// The hub is back up with empty state and the supervisor
+				// has not noticed yet. Supervised, the exposure is
+				// bounded — the next heartbeat's epoch reveals the
+				// reboot — so it counts as detection latency.
+				// Unsupervised, nothing will ever notice: the wake is
+				// structurally lost.
+				if cfg.Supervisor != nil {
+					res.DetectionWindowWakes++
+				} else {
+					res.StructurallyLostWakes++
+				}
+			default:
+				res.HubWindowWakes++
+			}
+		}
+
+		if !inj.Down() {
+			res.HubUpSec += dt
+		}
+		if fallbackNow {
+			// The main processor runs the fallback schedule instead of
+			// its normal machine: bill the window separately and leave
+			// the machine frozen so nothing is double-counted.
+			res.FallbackSec += dt
+			res.FallbackEnergyMJ += fbMW * dt
+		} else {
+			if ph.UsableAwake() && lastDelivery >= 0 && s-lastDelivery > hold {
+				ph.RequestSleep()
+			}
+			ph.Advance(dt)
+		}
+		clk.SetSec(float64(s+1) * dt)
+	}
+	emitSpan(float64(n) * dt)
+	if err := bed.Pump(); err != nil {
+		return nil, err
+	}
+
+	res.HubWakes = bed.Hub.WakesSent()
+	res.Crash = inj.Stats()
+	res.Supervisor = sup.Stats()
+	res.Reprovision = bed.Manager.ReprovisionStats()
+	if tr.RateHz > 0 {
+		res.DetectionLatencySec = res.Supervisor.MeanDetectionTicks() / tr.RateHz
+	}
+
+	res.Stats = bed.LinkStats()
+	res.LinkEnergyMJ = res.Stats.BusySeconds * link.UARTActiveMW
+	res.PhoneEnergyMJ = ph.EnergyMJ()
+	dev, placed := bed.Hub.Device()
+	if placed {
+		res.HubEnergyMJ = dev.ActivePowerMW * res.HubUpSec
+	}
+	res.TotalMJ = res.PhoneEnergyMJ + res.FallbackEnergyMJ + res.HubEnergyMJ + res.LinkEnergyMJ
+	if dur := tr.Duration().Seconds(); dur > 0 {
+		res.TotalAvgMW = res.TotalMJ / dur
+	}
+
+	if cfg.Telemetry.Enabled() {
+		led := cfg.Telemetry.LedgerSink()
+		depositPhoneEnergy(led, ph)
+		led.AddEnergyMJ(telemetry.PhoneFallback, res.FallbackEnergyMJ)
+		if placed {
+			depositHubEnergy(led, dev, res.HubUpSec, bed.Profile())
+		}
+		overhead := res.Stats.PhoneARQ.OverheadBytes + res.Stats.HubARQ.OverheadBytes
+		retransMJ := float64(overhead*10) / lossyLinkBaud * link.UARTActiveMW
+		led.AddEnergyMJ(telemetry.LinkRetransmit, retransMJ)
+		led.AddEnergyMJ(telemetry.LinkWire, res.LinkEnergyMJ-retransMJ)
+		_, hubStream, _ := bed.Streams()
+		if placed {
+			emitStageSpans(hubStream, bed.Profile(), dev)
+		}
+	}
+	return res, nil
+}

@@ -30,6 +30,9 @@ const (
 	// LinkRetransmit is the ARQ overhead: retransmitted frames plus all
 	// acknowledgement traffic.
 	LinkRetransmit
+	// PhoneFallback is the extra main-processor draw of phone-side
+	// fallback sensing while the supervisor believes the hub is down.
+	PhoneFallback
 	numComponents int = iota
 )
 
@@ -50,6 +53,8 @@ func (c Component) String() string {
 		return "link.wire"
 	case LinkRetransmit:
 		return "link.retransmit"
+	case PhoneFallback:
+		return "phone.fallback"
 	default:
 		return fmt.Sprintf("component(%d)", int(c))
 	}
