@@ -7,8 +7,15 @@
 
 GO ?= go
 FUZZTIME ?= 10s
+# COVER_FLOOR is the minimum total statement coverage `make cover-check`
+# accepts, in percent. CI fails below it; raise it as coverage grows.
+COVER_FLOOR ?= 82.0
+# BENCH_PKGS are the packages whose benchmarks carry allocs/op contracts
+# (hot paths that must not regress).
+BENCH_PKGS = . ./internal/interp ./internal/telemetry
 
-.PHONY: verify build vet staticcheck test race bench bench-telemetry cover fuzz
+.PHONY: verify build vet staticcheck test race bench bench-telemetry \
+	bench-baseline bench-check cover cover-check fuzz
 
 verify: build vet staticcheck race
 	@echo "verify clean — consider 'make fuzz' (FUZZTIME=$(FUZZTIME) per target) for parser/framing changes"
@@ -19,13 +26,19 @@ build:
 vet:
 	$(GO) vet ./...
 
-# staticcheck runs when the binary is on PATH (CI installs it) and is a
-# no-op otherwise, so `make verify` works on a bare toolchain.
+# staticcheck runs when the binary is on PATH (CI installs it); on a bare
+# toolchain `make verify` still passes but says so LOUDLY — a silent skip
+# once hid real staticcheck findings until CI caught them.
 staticcheck:
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
-		echo "staticcheck not installed; skipping (CI runs it)"; \
+		echo "============================================================"; \
+		echo "WARNING: staticcheck SKIPPED — binary not on PATH."; \
+		echo "This verify run is INCOMPLETE; CI will run staticcheck and"; \
+		echo "may fail where this pass did not. Install it with:"; \
+		echo "  go install honnef.co/go/tools/cmd/staticcheck@latest"; \
+		echo "============================================================"; \
 	fi
 
 test:
@@ -44,12 +57,29 @@ bench-telemetry:
 	$(GO) test -run '^$$' -bench . -benchmem ./internal/telemetry
 	$(GO) test -run '^$$' -bench 'BenchmarkPushSample' -benchmem ./internal/interp
 
+# bench-baseline regenerates the committed allocs/op baseline. Run it on
+# any machine — the regression gate compares only allocs/op, which is
+# deterministic, never timings.
+bench-baseline:
+	$(GO) test -run '^$$' -bench . -benchmem $(BENCH_PKGS) | tee docs/bench/baseline.txt
+
+# bench-check reruns the benchmarks and fails on any allocs/op regression
+# against docs/bench/baseline.txt (CI's bench-regression gate).
+bench-check:
+	$(GO) test -run '^$$' -bench . -benchmem $(BENCH_PKGS) | tee bench-current.txt
+	scripts/check_bench_allocs.sh docs/bench/baseline.txt bench-current.txt
+
 # cover writes an aggregate coverage profile and prints the per-package
 # summary; open coverage.html for the annotated source view.
 cover:
 	$(GO) test -coverprofile=coverage.out -covermode=atomic ./...
 	$(GO) tool cover -func=coverage.out | tail -1
 	$(GO) tool cover -html=coverage.out -o coverage.html
+
+# cover-check enforces the coverage floor on an existing coverage.out
+# (CI's coverage gate; run `make cover` first).
+cover-check:
+	scripts/check_coverage.sh coverage.out $(COVER_FLOOR)
 
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeFrame$$' -fuzztime $(FUZZTIME) ./internal/link

@@ -48,7 +48,7 @@ func main() {
 	irPath := flag.String("ir", "", "intermediate-language program file (required)")
 	tracePath := flag.String("trace", "", "trace file, binary or .json (required)")
 	deviceName := flag.String("device", "", "force a device (MSP430 or LM4F120); default: auto-select")
-	verbose := flag.Bool("v", false, "print every wake event")
+	verbose := flag.Bool("v", false, "print every wake event and the per-stage static demand breakdown")
 	metricsFile := flag.String("metrics", "", "write wake counters and the energy ledger to this file (.json for JSON)")
 	traceOutFile := flag.String("traceout", "", "write a Chrome trace_event JSON trace to this file (open in Perfetto)")
 	crashSpec := flag.String("crash-profile", "",
@@ -99,6 +99,9 @@ func run(irPath, tracePath, deviceName string, verbose bool, metricsFile, traceO
 	}
 	fmt.Printf("condition %q: %d nodes on %s (%.2f%% cycle budget)\n",
 		plan.Name, len(plan.Nodes), dev.Name, dev.Utilization(plan)/dev.MaxUtilization*100)
+	if verbose {
+		printStaticDemand(plan, dev)
+	}
 
 	machine, err := interp.New(plan)
 	if err != nil {
@@ -209,6 +212,24 @@ func run(irPath, tracePath, deviceName string, verbose bool, metricsFile, traceO
 		}
 	}
 	return nil
+}
+
+// printStaticDemand reports the condition's per-stage static demand — the
+// numbers the capacity scheduler admits against — as cycles on the chosen
+// device and resident window memory.
+func printStaticDemand(plan *core.Plan, dev hub.Device) {
+	stages := interp.MergedDemandByStage(plan)
+	fmt.Println("static demand by stage (admission-controller view):")
+	var totalCycles float64
+	var totalMem int
+	for _, sd := range stages {
+		cycles := sd.FloatOpsPerSec*dev.CyclesPerFloatOp + sd.IntOpsPerSec*dev.CyclesPerIntOp
+		totalCycles += cycles
+		totalMem += sd.MemoryBytes
+		fmt.Printf("  %-16s x%d  %10.0f cycles/s  %6d B\n", sd.Kind, sd.Nodes, cycles, sd.MemoryBytes)
+	}
+	fmt.Printf("  %-16s     %10.0f cycles/s  %6d B  (budget %.0f cycles/s, %d B)\n",
+		"total", totalCycles, totalMem, dev.ClockHz*dev.MaxUtilization, dev.RAMBytes)
 }
 
 // writeTelemetry exports the collected sinks: the metrics file carries the

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	sidewinder-eval [-experiment table1|table2|fig5|fig6|fig7|savings|battery|ablations|link|crash|all]
+//	sidewinder-eval [-experiment table1|table2|fig5|fig6|fig7|savings|battery|ablations|link|crash|fleet|all]
 //	                [-seed N] [-robot-min M] [-audio-min M] [-human-min M]
 //	                [-workers N] [-speedup] [-cpuprofile FILE]
 //	                [-metrics FILE] [-trace FILE]
@@ -107,12 +107,12 @@ func main() {
 }
 
 // experimentNames are the valid -experiment values, in presentation order.
-// "crash" is not part of "all": the paper's tables assume an immortal hub,
-// and keeping the failure sweep opt-in keeps "all" output stable for
-// existing consumers.
+// "crash" and "fleet" are not part of "all": the paper's tables assume an
+// immortal single-tenant hub, and keeping the failure and capacity sweeps
+// opt-in keeps "all" output stable for existing consumers.
 var experimentNames = []string{
 	"table1", "table2", "fig5", "fig6", "fig7",
-	"savings", "battery", "ablations", "link", "crash", "all",
+	"savings", "battery", "ablations", "link", "crash", "fleet", "all",
 }
 
 func validExperiment(name string) bool {
@@ -322,6 +322,14 @@ func run(out, progress io.Writer, experiment string, opts eval.Options) error {
 			return err
 		}
 		fmt.Fprintln(out, cr.Table.Render())
+	}
+	// Opt-in only, like "crash".
+	if experiment == "fleet" {
+		fc, err := eval.FleetCapacity(opts, w)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, fc.Table.Render())
 	}
 	return nil
 }

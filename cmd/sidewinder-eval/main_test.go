@@ -185,6 +185,67 @@ func TestRunCrashGolden(t *testing.T) {
 	}
 }
 
+// TestRunFleetGolden pins the fleet capacity sweep at a small workload
+// scale. Opt-in like "crash", so it carries its own golden file.
+func TestRunFleetGolden(t *testing.T) {
+	opts := eval.Options{
+		Seed:             1,
+		RobotRunDuration: 2 * time.Minute,
+		AudioDuration:    time.Minute,
+		HumanDuration:    4 * time.Minute,
+		SleepIntervals:   []float64{2, 10, 30},
+	}
+	var out strings.Builder
+	if err := run(&out, io.Discard, "fleet", opts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Fleet capacity") {
+		t.Fatalf("missing fleet table:\n%s", out.String())
+	}
+	golden := filepath.Join("testdata", "fleet_small.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(out.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create): %v", err)
+	}
+	if got := out.String(); got != string(want) {
+		t.Errorf("output differs from %s (run with -update if the change is intended)\ngot:\n%s\nwant:\n%s",
+			golden, got, want)
+	}
+}
+
+// TestRunFleetWorkerInvariance reruns the fleet sweep serially and with a
+// large pool: the determinism contract demands byte-identical output.
+// (The golden test pins the bytes; this one pins the worker independence
+// explicitly, since fleet cells draw from per-cell seeded RNGs.)
+func TestRunFleetWorkerInvariance(t *testing.T) {
+	base := eval.Options{
+		Seed:             1,
+		RobotRunDuration: time.Minute,
+		AudioDuration:    30 * time.Second,
+		HumanDuration:    time.Minute,
+		SleepIntervals:   []float64{2, 10},
+	}
+	render := func(workers int) string {
+		t.Helper()
+		opts := base
+		opts.Workers = workers
+		var out strings.Builder
+		if err := run(&out, io.Discard, "fleet", opts); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	serial, wide := render(1), render(8)
+	if serial != wide {
+		t.Errorf("fleet output depends on worker count:\n1 worker:\n%s\n8 workers:\n%s", serial, wide)
+	}
+}
+
 func TestRunSmallFigure6(t *testing.T) {
 	// The cheapest workload-bearing experiment, as an end-to-end check
 	// of the command path.

@@ -2,6 +2,7 @@ package interp
 
 import (
 	"fmt"
+	"sort"
 
 	"sidewinder/internal/core"
 	"sidewinder/internal/telemetry"
@@ -232,4 +233,107 @@ func MergedDemand(plans ...*core.Plan) (floatOpsPerSec, intOpsPerSec float64, me
 		}
 	}
 	return floatOpsPerSec, intOpsPerSec, memoryBytes
+}
+
+// DemandAccumulator computes merged demand incrementally: Marginal prices
+// a plan against everything already committed (shared nodes cost zero),
+// and Commit adds it. An admission controller trying plans one at a time
+// pays O(plan nodes) per step instead of re-merging the whole set.
+type DemandAccumulator struct {
+	seen           map[string]bool
+	floatOpsPerSec float64
+	intOpsPerSec   float64
+	memoryBytes    int
+}
+
+// NewDemandAccumulator returns an empty accumulator.
+func NewDemandAccumulator() *DemandAccumulator {
+	return &DemandAccumulator{seen: make(map[string]bool)}
+}
+
+// Marginal returns the additional demand the plan would add on top of the
+// committed set, without committing it.
+func (a *DemandAccumulator) Marginal(plan *core.Plan) (floatOpsPerSec, intOpsPerSec float64, memoryBytes int) {
+	memo := make(map[int]string, len(plan.Nodes))
+	for i := range plan.Nodes {
+		n := &plan.Nodes[i]
+		if a.seen[signature(plan, n.ID, memo)] {
+			continue
+		}
+		floatOpsPerSec += n.Cost.FloatOps * n.Rate
+		intOpsPerSec += n.Cost.IntOps * n.Rate
+		memoryBytes += n.Memory
+	}
+	return floatOpsPerSec, intOpsPerSec, memoryBytes
+}
+
+// Commit adds the plan to the committed set and returns the accumulated
+// totals, which always equal MergedDemand over every committed plan.
+func (a *DemandAccumulator) Commit(plan *core.Plan) (floatOpsPerSec, intOpsPerSec float64, memoryBytes int) {
+	memo := make(map[int]string, len(plan.Nodes))
+	for i := range plan.Nodes {
+		n := &plan.Nodes[i]
+		sig := signature(plan, n.ID, memo)
+		if a.seen[sig] {
+			continue
+		}
+		a.seen[sig] = true
+		a.floatOpsPerSec += n.Cost.FloatOps * n.Rate
+		a.intOpsPerSec += n.Cost.IntOps * n.Rate
+		a.memoryBytes += n.Memory
+	}
+	return a.floatOpsPerSec, a.intOpsPerSec, a.memoryBytes
+}
+
+// Total returns the committed set's merged demand.
+func (a *DemandAccumulator) Total() (floatOpsPerSec, intOpsPerSec float64, memoryBytes int) {
+	return a.floatOpsPerSec, a.intOpsPerSec, a.memoryBytes
+}
+
+// StageDemand is the deduplicated static demand attributed to one
+// algorithm kind across a merged plan set.
+type StageDemand struct {
+	Kind core.AlgorithmKind
+	// Nodes counts the distinct merged instances of this kind (shared
+	// prefixes count once, exactly as the merged machine executes them).
+	Nodes          int
+	FloatOpsPerSec float64
+	IntOpsPerSec   float64
+	MemoryBytes    int
+}
+
+// MergedDemandByStage breaks MergedDemand down by algorithm kind: the same
+// deduplication, attributed per stage so schedulers and reports can show
+// where a condition set's budget goes. Stages are kind-sorted, and the
+// per-stage columns sum to exactly what MergedDemand returns for the same
+// plans.
+func MergedDemandByStage(plans ...*core.Plan) []StageDemand {
+	seen := make(map[string]bool)
+	byKind := make(map[core.AlgorithmKind]*StageDemand)
+	for _, plan := range plans {
+		memo := make(map[int]string, len(plan.Nodes))
+		for i := range plan.Nodes {
+			n := &plan.Nodes[i]
+			sig := signature(plan, n.ID, memo)
+			if seen[sig] {
+				continue
+			}
+			seen[sig] = true
+			sd := byKind[n.Kind]
+			if sd == nil {
+				sd = &StageDemand{Kind: n.Kind}
+				byKind[n.Kind] = sd
+			}
+			sd.Nodes++
+			sd.FloatOpsPerSec += n.Cost.FloatOps * n.Rate
+			sd.IntOpsPerSec += n.Cost.IntOps * n.Rate
+			sd.MemoryBytes += n.Memory
+		}
+	}
+	out := make([]StageDemand, 0, len(byKind))
+	for _, sd := range byKind {
+		out = append(out, *sd)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Kind < out[j].Kind })
+	return out
 }

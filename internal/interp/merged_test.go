@@ -208,3 +208,77 @@ func TestMergedDistinctParamsNotShared(t *testing.T) {
 		t.Errorf("NodeCount = %d, want 6", m.NodeCount())
 	}
 }
+
+func TestMergedDemandByStageSumsToTotal(t *testing.T) {
+	pa, pb := twoWindowPlans(t)
+	wantF, wantI, wantMem := MergedDemand(pa, pb)
+	stages := MergedDemandByStage(pa, pb)
+	if len(stages) == 0 {
+		t.Fatal("no stage demand reported")
+	}
+	var gotF, gotI float64
+	var gotMem, nodes int
+	for i, sd := range stages {
+		if i > 0 && !(stages[i-1].Kind < sd.Kind) {
+			t.Errorf("stages not kind-sorted: %q before %q", stages[i-1].Kind, sd.Kind)
+		}
+		gotF += sd.FloatOpsPerSec
+		gotI += sd.IntOpsPerSec
+		gotMem += sd.MemoryBytes
+		nodes += sd.Nodes
+	}
+	if gotF != wantF || gotI != wantI || gotMem != wantMem {
+		t.Errorf("per-stage sums (%g, %g, %d) != MergedDemand (%g, %g, %d)",
+			gotF, gotI, gotMem, wantF, wantI, wantMem)
+	}
+	// 3 + 3 plan nodes with the window shared once -> 5 distinct instances.
+	if nodes != 5 {
+		t.Errorf("distinct nodes = %d, want 5", nodes)
+	}
+}
+
+func TestMergedDemandByStageDeduplicates(t *testing.T) {
+	pa, _ := twoWindowPlans(t)
+	once := MergedDemandByStage(pa)
+	twice := MergedDemandByStage(pa, pa)
+	if len(once) != len(twice) {
+		t.Fatalf("duplicate plan changed stage count: %d vs %d", len(once), len(twice))
+	}
+	for i := range once {
+		if once[i] != twice[i] {
+			t.Errorf("stage %q demand changed when the plan was listed twice:\nonce:  %+v\ntwice: %+v",
+				once[i].Kind, once[i], twice[i])
+		}
+	}
+}
+
+func TestDemandAccumulatorMatchesMergedDemand(t *testing.T) {
+	pa, pb := twoWindowPlans(t)
+	acc := NewDemandAccumulator()
+	mf, mi, mmem := acc.Marginal(pa)
+	wf, wi, wmem := MergedDemand(pa)
+	if mf != wf || mi != wi || mmem != wmem {
+		t.Errorf("first marginal (%g,%g,%d) != plan demand (%g,%g,%d)", mf, mi, mmem, wf, wi, wmem)
+	}
+	acc.Commit(pa)
+	// The second plan's marginal excludes the shared window prefix, so at
+	// least one resource column must come out strictly cheaper.
+	mf, mi, mmem = acc.Marginal(pb)
+	bf, bi, bmem := MergedDemand(pb)
+	if mf > bf || mi > bi || mmem > bmem {
+		t.Errorf("marginal (%g,%g,%d) exceeds standalone (%g,%g,%d)", mf, mi, mmem, bf, bi, bmem)
+	}
+	if mf == bf && mi == bi && mmem == bmem {
+		t.Errorf("marginal equals standalone — shared prefix not discounted")
+	}
+	f, i, mem := acc.Commit(pb)
+	wf, wi, wmem = MergedDemand(pa, pb)
+	if f != wf || i != wi || mem != wmem {
+		t.Errorf("accumulated (%g,%g,%d) != MergedDemand (%g,%g,%d)", f, i, mem, wf, wi, wmem)
+	}
+	// Committing a duplicate changes nothing.
+	f2, i2, mem2 := acc.Commit(pa)
+	if f2 != f || i2 != i || mem2 != mem {
+		t.Errorf("duplicate commit changed totals")
+	}
+}

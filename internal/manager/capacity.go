@@ -1,0 +1,139 @@
+package manager
+
+import (
+	"fmt"
+
+	"sidewinder/internal/core"
+	"sidewinder/internal/link"
+	"sidewinder/internal/sched"
+)
+
+// This file integrates the admission controller (package sched) into the
+// sensor manager. With a scheduler attached, Push decides placement
+// BEFORE any wire traffic: conditions the budget admits go to the hub as
+// before, while overload demotes the lowest-priority conditions to
+// phone-side duty-cycled fallback sensing instead of letting the hub
+// reject them. A demoted condition stays registered — its listener, IR
+// text and priority survive — so freed capacity (a Remove, or a cheaper
+// mix after sharing) promotes it back onto the hub automatically.
+//
+// Degraded conditions are invisible to the hub: they are never pushed,
+// never re-provisioned after a crash, and Status reports them placed on
+// sched.FallbackDeviceName. Their energy cost is modeled by package sim
+// and billed to the ledger's phone.fallback component.
+
+// AttachScheduler installs the hub capacity admission controller. Pass
+// nil to detach (subsequent pushes go straight to the hub, the legacy
+// behavior). Attach before the first Push: the scheduler only tracks
+// conditions pushed through it.
+func (m *Manager) AttachScheduler(s *sched.Scheduler) { m.sched = s }
+
+// Scheduler returns the attached admission controller (nil when
+// detached).
+func (m *Manager) Scheduler() *sched.Scheduler { return m.sched }
+
+// PushPriority validates and compiles the pipeline like Push, then runs
+// it through the admission controller. Higher priority wins the hub under
+// contention; equal priorities favor earlier pushes. The condition is
+// never rejected for capacity: on overload the lowest-priority condition
+// (possibly this one) degrades to phone-side fallback sensing. Without an
+// attached scheduler, priority is ignored and the push goes straight to
+// the hub.
+func (m *Manager) PushPriority(p *core.Pipeline, priority int, l Listener) (uint16, error) {
+	if m.sched == nil {
+		return m.Push(p, l)
+	}
+	if l == nil {
+		return 0, fmt.Errorf("manager: a wake-up condition needs a SensorEventListener")
+	}
+	plan, err := p.Validate(m.cat)
+	if err != nil {
+		return 0, err
+	}
+	id := m.nextID
+	m.nextID++
+	delta, err := m.sched.Add(id, plan, priority)
+	if err != nil {
+		return 0, err
+	}
+	st := &pushState{listener: l, irText: compileIR(plan)}
+	m.pushes[id] = st
+	if err := m.applyDelta(delta); err != nil {
+		return 0, err
+	}
+	if placement, _ := m.sched.Placement(id); placement == sched.PlacedFallback {
+		m.degrade(id)
+		return id, nil
+	}
+	if err := m.ep.Send(link.Frame{Type: link.MsgConfigPush, Payload: encodeConfigPush(id, st.irText)}); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// degrade marks a registered condition as running in phone-side fallback:
+// settled from the manager's point of view (no hub round-trip exists to
+// wait for), placed on the fallback pseudo-device.
+func (m *Manager) degrade(id uint16) {
+	st := m.pushes[id]
+	if st == nil || st.degraded {
+		return
+	}
+	st.degraded = true
+	st.acked = true
+	st.device = sched.FallbackDeviceName
+	st.err = nil
+	m.cDemoted.Inc()
+	m.trace.Instant1("sched.degrade", "scheduler", "cond", float64(id))
+}
+
+// applyDelta reconciles the hub against an admission recompute: demotions
+// unload their conditions from the hub first (freeing the capacity the
+// recompute assumed), then promotions push theirs.
+func (m *Manager) applyDelta(d sched.Delta) error {
+	for _, id := range d.Demoted {
+		st := m.pushes[id]
+		if st == nil || st.degraded {
+			continue
+		}
+		if err := m.ep.Send(link.Frame{Type: link.MsgRemove, Payload: encodeRemove(id)}); err != nil {
+			return err
+		}
+		m.degrade(id)
+	}
+	for _, id := range d.Promoted {
+		st := m.pushes[id]
+		if st == nil || !st.degraded {
+			continue
+		}
+		st.degraded = false
+		st.acked = false
+		st.device = ""
+		st.err = nil
+		m.cPromoted.Inc()
+		m.trace.Instant1("sched.promote", "scheduler", "cond", float64(id))
+		if err := m.ep.Send(link.Frame{Type: link.MsgConfigPush, Payload: encodeConfigPush(id, st.irText)}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// removeScheduled is Remove's scheduler-aware path: unregister from the
+// admission controller, unload from the hub only if the hub ever had the
+// condition, and promote whatever the freed capacity now admits.
+func (m *Manager) removeScheduled(id uint16) error {
+	st := m.pushes[id]
+	delta, err := m.sched.Remove(id)
+	if err != nil {
+		return err
+	}
+	if !st.degraded {
+		if err := m.ep.Send(link.Frame{Type: link.MsgRemove, Payload: encodeRemove(id)}); err != nil {
+			return err
+		}
+	}
+	delete(m.pushes, id)
+	delete(m.pendingData, id)
+	return m.applyDelta(delta)
+}

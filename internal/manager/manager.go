@@ -9,6 +9,7 @@ import (
 	"sidewinder/internal/ir"
 	"sidewinder/internal/link"
 	"sidewinder/internal/resilience"
+	"sidewinder/internal/sched"
 	"sidewinder/internal/telemetry"
 )
 
@@ -35,12 +36,16 @@ func (f ListenerFunc) OnSensorEvent(e Event) { f(e) }
 
 // pushState tracks an in-flight or settled condition push. irText keeps
 // the compiled program so a push whose delivery failed can be re-sent.
+// degraded marks a condition the admission controller demoted to
+// phone-side fallback sensing: it is not loaded on the hub and must never
+// be re-provisioned there.
 type pushState struct {
 	listener Listener
 	irText   string
 	acked    bool
 	device   string
 	err      error
+	degraded bool
 }
 
 // Manager is the phone-side SidewinderSensorManager (paper §3.1-3.3): it
@@ -65,10 +70,17 @@ type Manager struct {
 	reprovisioning bool
 	reprov         ReprovisionStats
 
+	// sched is the optional hub capacity admission controller (nil =
+	// push until the hub rejects, the pre-scheduler behavior). See
+	// capacity.go.
+	sched *sched.Scheduler
+
 	// Telemetry handles, nil (no-op) until SetTelemetry attaches them.
-	cWakes   *telemetry.Counter
-	cDropped *telemetry.Counter
-	trace    *telemetry.Stream
+	cWakes    *telemetry.Counter
+	cDropped  *telemetry.Counter
+	cDemoted  *telemetry.Counter
+	cPromoted *telemetry.Counter
+	trace     *telemetry.Stream
 }
 
 // ReprovisionStats accounts the wire cost of post-crash recovery.
@@ -84,11 +96,14 @@ type ReprovisionStats struct {
 }
 
 // SetTelemetry attaches phone-side telemetry: counters
-// (phone.wakes_delivered, phone.rx_dropped_frames) and a trace stream for
-// wake.delivered instants. Any argument may be nil.
+// (phone.wakes_delivered, phone.rx_dropped_frames, and the admission
+// controller's phone.sched_demotions/phone.sched_promotions) and a trace
+// stream for wake.delivered instants. Any argument may be nil.
 func (m *Manager) SetTelemetry(reg *telemetry.Registry, trace *telemetry.Stream) {
 	m.cWakes = reg.Counter("phone.wakes_delivered")
 	m.cDropped = reg.Counter("phone.rx_dropped_frames")
+	m.cDemoted = reg.Counter("phone.sched_demotions")
+	m.cPromoted = reg.Counter("phone.sched_promotions")
 	m.trace = trace
 }
 
@@ -133,8 +148,12 @@ func New(ep link.Port, cat *core.Catalog) (*Manager, error) {
 // Push validates and compiles the pipeline, registers the listener, and
 // sends the IR program to the hub. The returned ID identifies the
 // condition; call Service (or use Testbed) to collect the hub's response,
-// then Status to check placement.
+// then Status to check placement. With a scheduler attached this is a
+// default-priority PushPriority.
 func (m *Manager) Push(p *core.Pipeline, l Listener) (uint16, error) {
+	if m.sched != nil {
+		return m.PushPriority(p, 0, l)
+	}
 	if l == nil {
 		return 0, fmt.Errorf("manager: a wake-up condition needs a SensorEventListener")
 	}
@@ -144,13 +163,16 @@ func (m *Manager) Push(p *core.Pipeline, l Listener) (uint16, error) {
 	}
 	id := m.nextID
 	m.nextID++
-	irText := ir.CompileToText(plan)
+	irText := compileIR(plan)
 	if err := m.ep.Send(link.Frame{Type: link.MsgConfigPush, Payload: encodeConfigPush(id, irText)}); err != nil {
 		return 0, err
 	}
 	m.pushes[id] = &pushState{listener: l, irText: irText}
 	return id, nil
 }
+
+// compileIR compiles a validated plan to the intermediate language.
+func compileIR(plan *core.Plan) string { return ir.CompileToText(plan) }
 
 // Repush re-sends a condition whose earlier push was reported undelivered
 // (Status returned link.ErrLinkDown) or never answered, re-arming the
@@ -160,6 +182,11 @@ func (m *Manager) Repush(id uint16) error {
 	st, ok := m.pushes[id]
 	if !ok {
 		return fmt.Errorf("manager: unknown condition %d", id)
+	}
+	if st.degraded {
+		// A degraded condition lives on the phone, not the hub: there is
+		// nothing to re-send.
+		return nil
 	}
 	st.acked = false
 	st.err = nil
@@ -171,18 +198,29 @@ func (m *Manager) Repush(id uint16) error {
 // delivered data. The hub's tuner tightens or relaxes the condition's
 // final threshold accordingly.
 func (m *Manager) Feedback(id uint16, falsePositive bool) error {
-	if _, ok := m.pushes[id]; !ok {
+	st, ok := m.pushes[id]
+	if !ok {
 		return fmt.Errorf("manager: unknown condition %d", id)
+	}
+	if st.degraded {
+		// The hub does not run this condition, so there is no hub-side
+		// threshold to tune; the verdict is accepted and dropped.
+		return nil
 	}
 	// Fire-and-forget: a lost feedback hint only delays threshold tuning
 	// by one wake-up, so it is not worth retransmission traffic.
 	return m.ep.SendLossy(link.Frame{Type: link.MsgFeedback, Payload: encodeFeedback(id, falsePositive)})
 }
 
-// Remove unloads a condition from the hub and forgets its listener.
+// Remove unloads a condition from the hub and forgets its listener. With
+// a scheduler attached, the freed capacity may promote degraded
+// conditions back onto the hub.
 func (m *Manager) Remove(id uint16) error {
 	if _, ok := m.pushes[id]; !ok {
 		return fmt.Errorf("manager: unknown condition %d", id)
+	}
+	if m.sched != nil {
+		return m.removeScheduled(id)
 	}
 	if err := m.ep.Send(link.Frame{Type: link.MsgRemove, Payload: encodeRemove(id)}); err != nil {
 		return err
@@ -296,27 +334,32 @@ func (m *Manager) superviseTick() error {
 	return nil
 }
 
-// reprovisionAll re-pushes every registered condition after a hub crash.
-// The hub's transmitter restarted at sequence zero, so the receive side
-// must resynchronize first or every post-reboot frame would be suppressed
-// as a duplicate. Pushes go out in ID order — deterministic recovery
-// traffic for reproducible experiments.
+// reprovisionAll re-pushes every hub-resident condition after a hub
+// crash. Degraded conditions are skipped: they run on the phone, and
+// re-pushing them would silently override the admission decision. The
+// hub's transmitter restarted at sequence zero, so the receive side must
+// resynchronize first or every post-reboot frame would be suppressed as a
+// duplicate. Pushes go out in ID order — deterministic recovery traffic
+// for reproducible experiments.
 func (m *Manager) reprovisionAll() error {
 	if rs, ok := m.ep.(interface{ Resync() }); ok {
 		rs.Resync()
 	}
 	m.reprov.Passes++
-	m.trace.Instant1("supervisor.reprovision", "supervisor", "conds", float64(len(m.pushes)))
-	if len(m.pushes) == 0 {
+	ids := make([]uint16, 0, len(m.pushes))
+	for id, st := range m.pushes {
+		if st.degraded {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	m.trace.Instant1("supervisor.reprovision", "supervisor", "conds", float64(len(ids)))
+	if len(ids) == 0 {
 		m.sup.ObserveReprovisioned()
 		m.reprovisioning = false
 		return nil
 	}
 	m.reprovisioning = true
-	ids := make([]uint16, 0, len(m.pushes))
-	for id := range m.pushes {
-		ids = append(ids, id)
-	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
 		if err := m.Repush(id); err != nil {

@@ -1,0 +1,322 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"sidewinder/internal/apps"
+	"sidewinder/internal/core"
+	"sidewinder/internal/hub"
+	"sidewinder/internal/interp"
+	"sidewinder/internal/parallel"
+	"sidewinder/internal/power"
+	"sidewinder/internal/sched"
+	"sidewinder/internal/sensor"
+	"sidewinder/internal/telemetry"
+)
+
+// Fleet-scale capacity replay: a seeded population of N phones, each
+// running M concurrently registered applications against one hub. Every
+// phone draws its app mix, priorities and sensor trace from its own
+// deterministic RNG, runs the admission controller to place the mix on
+// the cheapest hub device that admits everything (falling back to the
+// most capable device plus phone-side degradation when none does), then
+// replays the admitted set on a shared merged interpreter while the
+// degraded remainder is billed as duty-cycled fallback sensing.
+//
+// The sweep is an analytic population model on top of the interpreter —
+// no wire replay — so a cell's cost is dominated by the trace length, and
+// cells fan out over the bounded worker pool. Cell RNGs are derived from
+// (Seed, cell index) alone and ledger deposits happen after the fan-out
+// in cell order, so results are byte-identical at any worker count.
+
+// FleetRunConfig parameterizes one fleet sweep.
+type FleetRunConfig struct {
+	// Devices is the population size N (required, > 0).
+	Devices int
+	// AppsPerDevice is the app mix size M per phone (required, > 0).
+	// Draws are with repetition; duplicate conditions share their whole
+	// chain on the hub and cost nothing extra.
+	AppsPerDevice int
+	// Seed derives every cell's RNG. Same seed, same population.
+	Seed int64
+	// Workers bounds the cell fan-out (<= 0: one per CPU).
+	Workers int
+
+	// Accel and Audio are the candidate single-modality traces a cell may
+	// draw. At least one list must be non-empty; a cell first draws its
+	// modality (from the non-empty lists), then a trace within it.
+	Accel []*sensor.Trace
+	Audio []*sensor.Trace
+
+	// FallbackSleepSec is the duty-cycle sleep interval billed to
+	// degraded conditions (default 10 s).
+	FallbackSleepSec float64
+
+	// Telemetry, when enabled, deposits every cell's energy split into
+	// the ledger (phone states, phone.fallback for degraded sensing, hub
+	// device draw) in cell order.
+	Telemetry telemetry.Set
+}
+
+// FleetCell reports one phone of the population.
+type FleetCell struct {
+	Device     string   // hub device the mix was placed on
+	Modality   string   // "accel" or "audio"
+	Trace      string   // trace the cell replayed
+	Apps       []string // drawn app names, in draw order
+	Priorities []int    // matching priorities (0 = lowest)
+
+	Admitted    int // conditions resident on the hub
+	Degraded    int // conditions demoted to phone fallback
+	SharedNodes int // pipeline nodes saved by cross-app sharing
+	CycleFrac   float64
+	RAMFrac     float64
+	Wakes       int
+
+	DurationSec      float64
+	PhoneEnergyMJ    float64
+	FallbackEnergyMJ float64
+	HubEnergyMJ      float64
+	TotalMJ          float64
+	AvgMW            float64
+}
+
+// FleetResult aggregates the population.
+type FleetResult struct {
+	Cells []FleetCell
+
+	Conditions int // N * M
+	Admitted   int
+	Degraded   int
+
+	MeanMW float64
+	P50MW  float64
+	P90MW  float64
+}
+
+// AdmissionRate is the fraction of registered conditions resident on hubs.
+func (r *FleetResult) AdmissionRate() float64 {
+	if r.Conditions == 0 {
+		return 0
+	}
+	return float64(r.Admitted) / float64(r.Conditions)
+}
+
+// DegradationRate is 1 - AdmissionRate.
+func (r *FleetResult) DegradationRate() float64 {
+	if r.Conditions == 0 {
+		return 0
+	}
+	return float64(r.Degraded) / float64(r.Conditions)
+}
+
+// fleetCellSeed spreads cell indices across the seed space (64-bit golden
+// ratio, truncated to keep the constant an int64).
+const fleetCellSeed = 0x2545F4914F6CDD1D
+
+// FleetRun sweeps the population and returns per-cell placements and the
+// aggregate admission/energy picture.
+func FleetRun(cfg FleetRunConfig) (*FleetResult, error) {
+	if cfg.Devices <= 0 {
+		return nil, fmt.Errorf("sim: fleet needs a positive population size")
+	}
+	if cfg.AppsPerDevice <= 0 {
+		return nil, fmt.Errorf("sim: fleet needs a positive app mix size")
+	}
+	if len(cfg.Accel) == 0 && len(cfg.Audio) == 0 {
+		return nil, fmt.Errorf("sim: fleet needs at least one candidate trace")
+	}
+	sleepSec := cfg.FallbackSleepSec
+	if sleepSec <= 0 {
+		sleepSec = 10
+	}
+
+	type cellOut struct {
+		cell FleetCell
+		ph   *power.Phone
+	}
+	outs, err := parallel.Map(cfg.Workers, cfg.Devices, func(i int) (cellOut, error) {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*fleetCellSeed))
+		cell, ph, err := fleetCell(cfg, rng, sleepSec)
+		return cellOut{cell, ph}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &FleetResult{Cells: make([]FleetCell, 0, len(outs))}
+	led := cfg.Telemetry.LedgerSink()
+	var totalMW []float64
+	for _, o := range outs {
+		res.Cells = append(res.Cells, o.cell)
+		res.Conditions += o.cell.Admitted + o.cell.Degraded
+		res.Admitted += o.cell.Admitted
+		res.Degraded += o.cell.Degraded
+		totalMW = append(totalMW, o.cell.AvgMW)
+		// Ledger deposits run here, in cell order, never inside the
+		// parallel fan: float accumulation order is part of the
+		// determinism contract.
+		depositPhoneEnergy(led, o.ph)
+		led.AddEnergyMJ(telemetry.PhoneFallback, o.cell.FallbackEnergyMJ)
+		led.AddEnergyMJ(telemetry.HubDevice, o.cell.HubEnergyMJ)
+	}
+	res.MeanMW = mean(totalMW)
+	res.P50MW = quantile(totalMW, 0.50)
+	res.P90MW = quantile(totalMW, 0.90)
+	return res, nil
+}
+
+// fleetCell draws and replays one phone of the population.
+func fleetCell(cfg FleetRunConfig, rng *rand.Rand, sleepSec float64) (FleetCell, *power.Phone, error) {
+	var cell FleetCell
+
+	// Draw the modality first: traces are single-modality, so the app mix
+	// must agree with the trace before either is chosen.
+	pool, traces := apps.AccelApps(), cfg.Accel
+	cell.Modality = "accel"
+	if len(cfg.Accel) == 0 || (len(cfg.Audio) > 0 && rng.Intn(2) == 1) {
+		pool, traces = apps.AudioApps(), cfg.Audio
+		cell.Modality = "audio"
+	}
+	tr := traces[rng.Intn(len(traces))]
+	cell.Trace = tr.Name
+
+	cat := core.DefaultCatalog()
+	plans := make([]*core.Plan, 0, cfg.AppsPerDevice)
+	for j := 0; j < cfg.AppsPerDevice; j++ {
+		app := pool[rng.Intn(len(pool))]
+		plan, err := app.Wake.Validate(cat)
+		if err != nil {
+			return cell, nil, fmt.Errorf("sim: fleet validating %s: %w", app.Name, err)
+		}
+		plans = append(plans, plan)
+		cell.Apps = append(cell.Apps, app.Name)
+		cell.Priorities = append(cell.Priorities, rng.Intn(3))
+	}
+
+	// Place the mix on the cheapest device that admits everything; when
+	// none does, the most capable device carries what fits and the rest
+	// degrades.
+	var s *sched.Scheduler
+	var dev hub.Device
+	for _, cand := range hub.Devices() {
+		cs := sched.New(cand)
+		for j, plan := range plans {
+			if _, err := cs.Add(uint16(j+1), plan, cell.Priorities[j]); err != nil {
+				return cell, nil, err
+			}
+		}
+		s, dev = cs, cand
+		if len(cs.FallbackSet()) == 0 {
+			break
+		}
+	}
+	cell.Device = dev.Name
+	cell.Admitted = len(s.HubSet())
+	cell.Degraded = len(s.FallbackSet())
+	cell.CycleFrac, cell.RAMFrac, cell.SharedNodes = s.Utilization()
+
+	profile := power.Nexus4()
+	ph := power.NewPhone(profile)
+	dt := 1 / tr.RateHz
+	cell.DurationSec = float64(tr.Len()) * dt
+
+	hubPlans := s.HubPlans()
+	if len(hubPlans) > 0 {
+		m, err := interp.NewMerged(hubPlans...)
+		if err != nil {
+			return cell, nil, err
+		}
+		// Union of the admitted plans' channels, in first-use order.
+		var chNames []core.SensorChannel
+		var channels [][]float64
+		seen := map[core.SensorChannel]bool{}
+		for _, plan := range hubPlans {
+			for _, ch := range plan.Channels {
+				if seen[ch] {
+					continue
+				}
+				seen[ch] = true
+				samples, ok := tr.Channels[ch]
+				if !ok {
+					return cell, nil, fmt.Errorf("sim: trace %q lacks channel %s", tr.Name, ch)
+				}
+				chNames = append(chNames, ch)
+				channels = append(channels, samples)
+			}
+		}
+
+		hold := int(swIdleHoldSec * tr.RateHz)
+		lastFire := -1
+		for i := 0; i < tr.Len(); i++ {
+			fired := false
+			for ci := range channels {
+				if len(m.PushSample(chNames[ci], channels[ci][i])) > 0 {
+					fired = true
+				}
+			}
+			if fired {
+				cell.Wakes++
+				lastFire = i
+				if ph.State() == power.Asleep || ph.State() == power.FallingAsleep {
+					ph.RequestWake()
+				}
+			}
+			if ph.State() == power.Awake && lastFire >= 0 && i-lastFire > hold {
+				ph.RequestSleep()
+			}
+			ph.Advance(dt)
+		}
+		cell.HubEnergyMJ = dev.ActivePowerMW * cell.DurationSec
+	} else {
+		// Nothing on the hub: the phone sleeps through the whole trace
+		// (fallback sensing is billed below) and the hub stays unpowered.
+		ph.Advance(cell.DurationSec)
+	}
+
+	if cell.Degraded > 0 {
+		// One duty-cycle schedule covers all degraded conditions on this
+		// phone: every wake window examines every degraded condition's
+		// buffered data. Billed as the draw ABOVE the asleep baseline the
+		// phone machine already accounts, so nothing is double-counted.
+		cell.FallbackEnergyMJ = (fallbackAvgMW(FallbackDutyCycle, sleepSec, profile) - profile.AsleepMW) * cell.DurationSec
+	}
+
+	cell.PhoneEnergyMJ = ph.EnergyMJ()
+	cell.TotalMJ = cell.PhoneEnergyMJ + cell.FallbackEnergyMJ + cell.HubEnergyMJ
+	if cell.DurationSec > 0 {
+		cell.AvgMW = cell.TotalMJ / cell.DurationSec
+	}
+	return cell, ph, nil
+}
+
+// mean of a sample (0 for empty).
+func mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range v {
+		sum += x
+	}
+	return sum / float64(len(v))
+}
+
+// quantile returns the nearest-rank q-quantile of a sample (0 for empty).
+func quantile(v []float64, q float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), v...)
+	sort.Float64s(sorted)
+	rank := int(q*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}

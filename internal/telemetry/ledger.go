@@ -31,7 +31,9 @@ const (
 	// acknowledgement traffic.
 	LinkRetransmit
 	// PhoneFallback is the extra main-processor draw of phone-side
-	// fallback sensing while the supervisor believes the hub is down.
+	// fallback sensing: while the supervisor believes the hub is down,
+	// and for conditions the admission controller degraded off an
+	// overloaded hub (steady-state overflow, not an outage).
 	PhoneFallback
 	numComponents int = iota
 )

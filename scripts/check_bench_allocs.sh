@@ -1,0 +1,72 @@
+#!/bin/sh
+# check_bench_allocs.sh BASELINE CURRENT
+#
+# Fails (exit 1) when any benchmark present in BASELINE either
+#   - is missing from CURRENT (a silently deleted contract), or
+#   - reports more allocs/op in CURRENT than in BASELINE.
+#
+# Only allocs/op is compared: it is deterministic across machines, unlike
+# timings, so the committed baseline gates regressions without a dedicated
+# benchmarking host. Benchmarks are matched by name with the -NCPU suffix
+# stripped. Improvements and new benchmarks are reported but never fail;
+# refresh the baseline with `make bench-baseline` to lock them in.
+set -eu
+
+if [ $# -ne 2 ]; then
+    echo "usage: $0 baseline.txt current.txt" >&2
+    exit 2
+fi
+baseline=$1
+current=$2
+for f in "$baseline" "$current"; do
+    if [ ! -f "$f" ]; then
+        echo "check_bench_allocs: no such file: $f" >&2
+        exit 2
+    fi
+done
+
+# Emit "name allocs" pairs from go test -bench -benchmem output.
+extract() {
+    awk '/^Benchmark/ && /allocs\/op/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)
+        print name, $(NF-1)
+    }' "$1"
+}
+
+extract "$baseline" | sort >"${current}.base.tmp"
+extract "$current" | sort >"${current}.cur.tmp"
+trap 'rm -f "${current}.base.tmp" "${current}.cur.tmp"' EXIT
+
+if [ ! -s "${current}.base.tmp" ]; then
+    echo "check_bench_allocs: baseline $baseline contains no benchmark lines" >&2
+    exit 2
+fi
+
+fail=0
+while read -r name base_allocs; do
+    cur_allocs=$(awk -v n="$name" '$1 == n { print $2 }' "${current}.cur.tmp")
+    if [ -z "$cur_allocs" ]; then
+        echo "FAIL: $name present in baseline but missing from current run"
+        fail=1
+        continue
+    fi
+    if [ "$cur_allocs" -gt "$base_allocs" ]; then
+        echo "FAIL: $name allocs/op regressed: $base_allocs -> $cur_allocs"
+        fail=1
+    elif [ "$cur_allocs" -lt "$base_allocs" ]; then
+        echo "note: $name improved: $base_allocs -> $cur_allocs allocs/op (refresh with 'make bench-baseline')"
+    fi
+done <"${current}.base.tmp"
+
+while read -r name cur_allocs; do
+    if ! awk -v n="$name" '$1 == n { found = 1 } END { exit !found }' "${current}.base.tmp"; then
+        echo "note: new benchmark $name ($cur_allocs allocs/op) not in baseline (add with 'make bench-baseline')"
+    fi
+done <"${current}.cur.tmp"
+
+if [ "$fail" -ne 0 ]; then
+    echo "allocs/op regression detected against $baseline" >&2
+    exit 1
+fi
+echo "allocs/op clean against $baseline"

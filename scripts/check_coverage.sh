@@ -1,0 +1,33 @@
+#!/bin/sh
+# check_coverage.sh PROFILE FLOOR
+#
+# Fails (exit 1) when the total statement coverage of the Go cover PROFILE
+# is below FLOOR percent. The floor lives in the Makefile (COVER_FLOOR) so
+# it is versioned next to the code it measures: raise it as coverage
+# grows, and a change that drops coverage below the recorded floor fails
+# CI instead of eroding the suite silently.
+set -eu
+
+if [ $# -ne 2 ]; then
+    echo "usage: $0 coverage.out floor_percent" >&2
+    exit 2
+fi
+profile=$1
+floor=$2
+if [ ! -f "$profile" ]; then
+    echo "check_coverage: no such profile: $profile (run 'make cover' first)" >&2
+    exit 2
+fi
+
+total=$(go tool cover -func="$profile" | awk 'END { sub(/%$/, "", $3); print $3 }')
+if [ -z "$total" ]; then
+    echo "check_coverage: could not read total coverage from $profile" >&2
+    exit 2
+fi
+
+echo "total statement coverage: ${total}% (floor: ${floor}%)"
+awk -v t="$total" -v f="$floor" 'BEGIN { exit !(t+0 < f+0) }' && {
+    echo "FAIL: coverage ${total}% is below the recorded floor ${floor}%" >&2
+    exit 1
+}
+echo "coverage floor holds"
