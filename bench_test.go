@@ -284,6 +284,88 @@ func BenchmarkMachinePushSample(b *testing.B) {
 	}
 }
 
+// BenchmarkPushBlock compares per-sample dispatch to block dispatch on the
+// FFT-heavy siren condition: both sub-benchmarks run the same 1024-sample
+// chunk through the interpreter per iteration, so the ns/op ratio is the
+// block path's dispatch win. Steady state must stay allocation-free.
+func BenchmarkPushBlock(b *testing.B) {
+	plan, err := apps.Sirens().Wake.Validate(core.DefaultCatalog())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ch := plan.Channels[0]
+	const chunk = 1024
+	src := make([]float64, chunk)
+	for i := range src {
+		src[i] = float64(i%7) * 0.01
+	}
+	b.Run("sample-loop", func(b *testing.B) {
+		m, err := interp.New(plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, v := range src {
+			m.PushSample(ch, v) // warm scratch buffers
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, v := range src {
+				m.PushSample(ch, v)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*chunk), "ns/sample")
+	})
+	b.Run("block", func(b *testing.B) {
+		m, err := interp.New(plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.PushBlock(ch, src) // warm scratch buffers
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.PushBlock(ch, src)
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*chunk), "ns/sample")
+	})
+}
+
+// BenchmarkFixedPoint compares the float64 and Q15 substrates on the
+// step-count accelerometer condition over the block path. Q15 models the
+// FPU-less MCU; on this host the interesting number is that it stays in the
+// same ballpark while remaining allocation-free.
+func BenchmarkFixedPoint(b *testing.B) {
+	plan, err := apps.Steps().Wake.Validate(core.DefaultCatalog())
+	if err != nil {
+		b.Fatal(err)
+	}
+	const chunk = 1024
+	src := make([]float64, chunk)
+	for i := range src {
+		src[i] = math.Sin(float64(i)/5)*3 + 9.81
+	}
+	for _, prec := range []interp.Precision{interp.Float64, interp.Q15} {
+		b.Run(prec.String(), func(b *testing.B) {
+			m, err := interp.NewPrecision(plan, prec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, ch := range plan.Channels {
+				m.PushBlock(ch, src) // warm scratch buffers
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, ch := range plan.Channels {
+					m.PushBlock(ch, src)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*chunk*len(plan.Channels)), "ns/sample")
+		})
+	}
+}
+
 func pushBench(b *testing.B, p *sidewinder.Pipeline) *sidewinder.Testbed {
 	b.Helper()
 	bed, err := sidewinder.NewTestbed(sidewinder.TestbedConfig{})

@@ -1,0 +1,132 @@
+package sidewinder_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"sidewinder/internal/apps"
+	"sidewinder/internal/core"
+	"sidewinder/internal/interp"
+	"sidewinder/internal/sensor"
+	"sidewinder/internal/tracegen"
+)
+
+// catWake is one wake at an absolute sample position, compared bit-exactly.
+type catWake struct {
+	At     int
+	NodeID int
+	Value  uint64
+	Seq    int64
+}
+
+// catalogTraces synthesizes one trace per modality for the catalog-wide
+// block-equivalence property test.
+func catalogTraces(t *testing.T) map[string]*sensor.Trace {
+	t.Helper()
+	robot, err := tracegen.Robot(tracegen.RobotConfig{
+		Seed: 5, Duration: 2 * time.Minute, IdleFraction: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	audio, err := tracegen.Audio(tracegen.NewAudioConfig(9, 30*time.Second, tracegen.CoffeeShopAudio))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*sensor.Trace{"accel": robot, "audio": audio}
+}
+
+// traceFor picks the modality trace matching an app's channels.
+func traceFor(traces map[string]*sensor.Trace, app *apps.App) *sensor.Trace {
+	for _, ch := range app.Channels {
+		if ch == core.Mic {
+			return traces["audio"]
+		}
+	}
+	return traces["accel"]
+}
+
+// TestCatalogBlockEquivalence is the catalog-wide property test: for every
+// application's wake-up condition, in both precisions, PushBlock produces
+// byte-identical wake sequences and work meters to a PushSample loop at
+// every chunking.
+func TestCatalogBlockEquivalence(t *testing.T) {
+	traces := catalogTraces(t)
+	cat := core.DefaultCatalog()
+
+	for _, app := range apps.All() {
+		plan, err := app.Wake.Validate(cat)
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		tr := traceFor(traces, app)
+		n := tr.Len()
+		channels := make([][]float64, len(plan.Channels))
+		for ci, ch := range plan.Channels {
+			samples, ok := tr.Channels[ch]
+			if !ok {
+				t.Fatalf("%s: trace lacks %s", app.Name, ch)
+			}
+			channels[ci] = samples
+		}
+
+		for _, prec := range []interp.Precision{interp.Float64, interp.Q15} {
+			ref, err := interp.NewPrecision(plan, prec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want []catWake
+			for i := 0; i < n; i++ {
+				for ci, ch := range plan.Channels {
+					for _, w := range ref.PushSample(ch, channels[ci][i]) {
+						want = append(want, catWake{i, w.NodeID, math.Float64bits(w.Value), w.Seq})
+					}
+				}
+			}
+
+			for _, chunk := range []int{64, 1024, n} {
+				m, err := interp.NewPrecision(plan, prec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var got []catWake
+				for base := 0; base < n; base += chunk {
+					end := base + chunk
+					if end > n {
+						end = n
+					}
+					// Per-chunk wakes from different channels re-merge by
+					// absolute offset (stable in channel order) to restore
+					// the per-sample interleave.
+					var pend []catWake
+					for ci, ch := range plan.Channels {
+						for _, w := range m.PushBlock(ch, channels[ci][base:end]) {
+							pend = append(pend, catWake{base + w.Off, w.NodeID, math.Float64bits(w.Value), w.Seq})
+						}
+					}
+					for i := 1; i < len(pend); i++ {
+						for j := i; j > 0 && pend[j].At < pend[j-1].At; j-- {
+							pend[j], pend[j-1] = pend[j-1], pend[j]
+						}
+					}
+					got = append(got, pend...)
+				}
+
+				label := app.Name + "/" + prec.String()
+				if len(got) != len(want) {
+					t.Fatalf("%s chunk %d: %d wakes, want %d", label, chunk, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s chunk %d: wake %d = %+v, want %+v", label, chunk, i, got[i], want[i])
+					}
+				}
+				if ref.Work() != m.Work() {
+					t.Fatalf("%s chunk %d: work meter diverged: %+v vs %+v",
+						label, chunk, ref.Work(), m.Work())
+				}
+			}
+		}
+	}
+}

@@ -53,19 +53,25 @@ func main() {
 	traceOutFile := flag.String("traceout", "", "write a Chrome trace_event JSON trace to this file (open in Perfetto)")
 	crashSpec := flag.String("crash-profile", "",
 		`inject hub crashes: "mtbf=3000,down=250,seed=1[,max=N][,kind=reset|hang|brownout]" (ticks = samples)`)
+	precision := flag.String("precision", "float64",
+		"interpreter numeric substrate: float64 or q15 (saturating fixed-point)")
 	flag.Parse()
 
-	if err := run(*irPath, *tracePath, *deviceName, *verbose, *metricsFile, *traceOutFile, *crashSpec); err != nil {
+	if err := run(*irPath, *tracePath, *deviceName, *verbose, *metricsFile, *traceOutFile, *crashSpec, *precision); err != nil {
 		fmt.Fprintln(os.Stderr, "hubemu:", err)
 		os.Exit(1)
 	}
 }
 
-func run(irPath, tracePath, deviceName string, verbose bool, metricsFile, traceOutFile, crashSpec string) error {
+func run(irPath, tracePath, deviceName string, verbose bool, metricsFile, traceOutFile, crashSpec, precision string) error {
 	if irPath == "" || tracePath == "" {
 		return fmt.Errorf("-ir and -trace are required")
 	}
 	crashProfile, err := parseCrashProfile(crashSpec)
+	if err != nil {
+		return err
+	}
+	prec, err := interp.ParsePrecision(precision)
 	if err != nil {
 		return err
 	}
@@ -103,9 +109,12 @@ func run(irPath, tracePath, deviceName string, verbose bool, metricsFile, traceO
 		printStaticDemand(plan, dev)
 	}
 
-	machine, err := interp.New(plan)
+	machine, err := interp.NewPrecision(plan, prec)
 	if err != nil {
 		return err
+	}
+	if prec != interp.Float64 {
+		fmt.Printf("precision: %s\n", prec)
 	}
 
 	// Opt-in telemetry: counters + ledger behind -metrics, execution trace
@@ -147,6 +156,40 @@ func run(irPath, tracePath, deviceName string, verbose bool, metricsFile, traceO
 
 	wakes, samplesLost, stateWipes := 0, 0, 0
 	n := tr.Len()
+
+	reportWake := func(i int, w interp.WakeEvent) {
+		wakes++
+		cWakes.Inc()
+		stream.Instant2("wake.sent", "hub", "node", float64(w.NodeID), "value", w.Value)
+		if verbose {
+			at := time.Duration(float64(i) / tr.RateHz * float64(time.Second))
+			fmt.Printf("wake #%d at %v (sample %d): node %d emitted %.4g\n",
+				wakes, at.Round(time.Millisecond), i, w.NodeID, w.Value)
+		}
+	}
+
+	// Single-channel replay with no fault injection takes the interpreter's
+	// block fast path; crash injection needs the per-sample loop so state
+	// wipes land mid-stream, and multi-channel replay needs the per-sample
+	// interleave.
+	if !crashProfile.Enabled() && len(channels) == 1 {
+		ch := channels[0]
+		samples := tr.Channels[ch]
+		const replayBlock = 4096
+		for base := 0; base < n; base += replayBlock {
+			end := base + replayBlock
+			if end > n {
+				end = n
+			}
+			for _, w := range machine.PushBlock(ch, samples[base:end]) {
+				clk.SetSec(float64(base+w.Off) / tr.RateHz)
+				reportWake(base+w.Off, w.WakeEvent)
+			}
+		}
+		return finishRun(tr, dev, machine, inj, crashProfile, set, stream, profile,
+			metricsFile, traceOutFile, wakes, samplesLost, stateWipes, n)
+	}
+
 	for i := 0; i < n; i++ {
 		clk.SetSec(float64(i) / tr.RateHz)
 		if ct := inj.Tick(); ct.Onset && ct.Kind.LosesState() {
@@ -167,18 +210,19 @@ func run(irPath, tracePath, deviceName string, verbose bool, metricsFile, traceO
 		}
 		for _, ch := range channels {
 			for _, w := range machine.PushSample(ch, tr.Channels[ch][i]) {
-				wakes++
-				cWakes.Inc()
-				stream.Instant2("wake.sent", "hub", "node", float64(w.NodeID), "value", w.Value)
-				if verbose {
-					at := time.Duration(float64(i) / tr.RateHz * float64(time.Second))
-					fmt.Printf("wake #%d at %v (sample %d): node %d emitted %.4g\n",
-						wakes, at.Round(time.Millisecond), i, w.NodeID, w.Value)
-				}
+				reportWake(i, w)
 			}
 		}
 	}
+	return finishRun(tr, dev, machine, inj, crashProfile, set, stream, profile,
+		metricsFile, traceOutFile, wakes, samplesLost, stateWipes, n)
+}
 
+// finishRun prints the replay report and exports opt-in telemetry.
+func finishRun(tr *sensor.Trace, dev hub.Device, machine *interp.Machine,
+	inj *resilience.CrashInjector, crashProfile resilience.CrashProfile,
+	set telemetry.Set, stream *telemetry.Stream, profile *telemetry.InterpProfile,
+	metricsFile, traceOutFile string, wakes, samplesLost, stateWipes, n int) error {
 	work := machine.Work()
 	cycles := work.FloatOps*dev.CyclesPerFloatOp + work.IntOps*dev.CyclesPerIntOp
 	seconds := float64(n) / tr.RateHz

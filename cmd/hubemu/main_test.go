@@ -44,11 +44,11 @@ func TestReplayEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	tracePath := writeTrace(t, dir)
-	if err := run(irPath, tracePath, "", false, "", "", ""); err != nil {
+	if err := run(irPath, tracePath, "", false, "", "", "", ""); err != nil {
 		t.Fatalf("replay: %v", err)
 	}
 	// Forcing the LM4F120 works; verbose path also exercised.
-	if err := run(irPath, tracePath, "LM4F120", true, "", "", ""); err != nil {
+	if err := run(irPath, tracePath, "LM4F120", true, "", "", "", ""); err != nil {
 		t.Fatalf("forced device: %v", err)
 	}
 }
@@ -59,13 +59,13 @@ func TestReplayErrors(t *testing.T) {
 	os.WriteFile(irPath, []byte(stepsIR), 0o644)
 	tracePath := writeTrace(t, dir)
 
-	if err := run("", tracePath, "", false, "", "", ""); err == nil {
+	if err := run("", tracePath, "", false, "", "", "", ""); err == nil {
 		t.Error("missing -ir should fail")
 	}
-	if err := run(irPath, "", "", false, "", "", ""); err == nil {
+	if err := run(irPath, "", "", false, "", "", "", ""); err == nil {
 		t.Error("missing -trace should fail")
 	}
-	if err := run(irPath, tracePath, "Z80", false, "", "", ""); err == nil {
+	if err := run(irPath, tracePath, "Z80", false, "", "", "", ""); err == nil {
 		t.Error("unknown device should fail")
 	}
 
@@ -73,7 +73,7 @@ func TestReplayErrors(t *testing.T) {
 	audioIR := "MIC -> window(id=1, params={64, 0, rectangular});\n1 -> stat(id=2, params={rms});\n2 -> minThreshold(id=3, params={0.5, 1});\n3 -> OUT;\n"
 	audioPath := filepath.Join(dir, "audio.ir")
 	os.WriteFile(audioPath, []byte(audioIR), 0o644)
-	if err := run(audioPath, tracePath, "", false, "", "", ""); err == nil {
+	if err := run(audioPath, tracePath, "", false, "", "", "", ""); err == nil {
 		t.Error("missing channel should fail")
 	}
 
@@ -88,7 +88,7 @@ func TestReplayErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	if err := run(irPath, jsonPath, "", false, "", "", ""); err != nil {
+	if err := run(irPath, jsonPath, "", false, "", "", "", ""); err != nil {
 		t.Errorf("json trace: %v", err)
 	}
 	_ = sensor.Event{} // keep the import for clarity of the test's domain
@@ -105,7 +105,7 @@ func TestReplayCrashProfile(t *testing.T) {
 	}
 	tracePath := writeTrace(t, dir)
 
-	if err := run(irPath, tracePath, "", true, "", "", "mtbf=500,down=100,seed=1,kind=reset"); err != nil {
+	if err := run(irPath, tracePath, "", true, "", "", "mtbf=500,down=100,seed=1,kind=reset", ""); err != nil {
 		t.Fatalf("crash replay: %v", err)
 	}
 
@@ -146,7 +146,7 @@ func TestReplayTelemetryFiles(t *testing.T) {
 	metricsFile := filepath.Join(dir, "metrics.json")
 	traceFile := filepath.Join(dir, "trace.json")
 
-	if err := run(irPath, tracePath, "", false, metricsFile, traceFile, ""); err != nil {
+	if err := run(irPath, tracePath, "", false, metricsFile, traceFile, "", ""); err != nil {
 		t.Fatal(err)
 	}
 

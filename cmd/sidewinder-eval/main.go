@@ -7,7 +7,7 @@
 //	sidewinder-eval [-experiment table1|table2|fig5|fig6|fig7|savings|battery|ablations|link|crash|fleet|all]
 //	                [-seed N] [-robot-min M] [-audio-min M] [-human-min M]
 //	                [-workers N] [-speedup] [-cpuprofile FILE]
-//	                [-metrics FILE] [-trace FILE]
+//	                [-metrics FILE] [-trace FILE] [-precision float64|q15]
 //
 // Traces are synthesized deterministically from the seed, and simulation
 // cells fan out over a worker pool that collects results in submission
@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"sidewinder/internal/eval"
+	"sidewinder/internal/interp"
 	"sidewinder/internal/parallel"
 	"sidewinder/internal/telemetry"
 )
@@ -47,7 +48,15 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	metricsFile := flag.String("metrics", "", "write telemetry metrics and energy ledger to this file (.json for JSON)")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON trace to this file (open in Perfetto)")
+	precision := flag.String("precision", "float64",
+		"hub interpreter numeric substrate: float64 or q15 (saturating fixed-point)")
 	flag.Parse()
+
+	prec, err := interp.ParsePrecision(*precision)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sidewinder-eval:", err)
+		os.Exit(1)
+	}
 
 	opts := eval.Options{
 		Seed:             *seed,
@@ -56,6 +65,7 @@ func main() {
 		HumanDuration:    time.Duration(*humanMin) * time.Minute,
 		Workers:          *workers,
 		Telemetry:        telemetrySet(*metricsFile, *traceFile),
+		Precision:        prec,
 	}
 
 	if *cpuprofile != "" {

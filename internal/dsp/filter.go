@@ -41,6 +41,31 @@ func (m *MovingAverager) Push(v float64) (avg float64, ok bool) {
 	return m.sum / float64(m.count), true
 }
 
+// PushBlock runs src through the filter, appending one output per emission
+// to dst[:0] and returning the outputs plus the count of leading samples
+// that produced nothing (window priming). Emissions are dense once the
+// window fills, so out aligns 1:1 with src[skip:]. The arithmetic is the
+// exact per-sample recurrence of Push, so results are bit-identical.
+func (m *MovingAverager) PushBlock(dst, src []float64) (out []float64, skip int) {
+	out = dst[:0]
+	for _, v := range src {
+		if m.count == len(m.window) {
+			m.sum -= m.window[m.next]
+		} else {
+			m.count++
+		}
+		m.window[m.next] = v
+		m.sum += v
+		m.next = (m.next + 1) % len(m.window)
+		if m.count < len(m.window) {
+			skip++
+			continue
+		}
+		out = append(out, m.sum/float64(m.count))
+	}
+	return out, skip
+}
+
 // Reset clears all buffered samples.
 func (m *MovingAverager) Reset() {
 	m.next, m.count, m.sum = 0, 0, 0
@@ -77,6 +102,22 @@ func (e *EMA) Push(v float64) (avg float64, ok bool) {
 	return e.value, true
 }
 
+// PushBlock runs src through the filter; the EMA emits on every sample so
+// skip is always 0. Bit-identical to a Push loop.
+func (e *EMA) PushBlock(dst, src []float64) (out []float64, skip int) {
+	out = dst[:0]
+	for _, v := range src {
+		if !e.primed {
+			e.value = v
+			e.primed = true
+		} else {
+			e.value = e.alpha*v + (1-e.alpha)*e.value
+		}
+		out = append(out, e.value)
+	}
+	return out, 0
+}
+
 // Reset returns the EMA to its unprimed state.
 func (e *EMA) Reset() { e.value, e.primed = 0, false }
 
@@ -90,10 +131,14 @@ const (
 	HighPass
 )
 
-// BlockFilter is a streaming FFT-based low- or high-pass filter. It buffers
-// blockSize samples, filters the block in the frequency domain, and emits
-// the filtered block (paper §3.6 "FFT-based low/high-pass filtering"). The
-// block size must be a power of two so the FFT needs no padding.
+// BlockFilter is a streaming low- or high-pass filter with block-framed
+// emission. The default backend buffers blockSize samples, filters the
+// block in the frequency domain, and emits the filtered block (paper §3.6
+// "FFT-based low/high-pass filtering"); its block size must be a power of
+// two so the FFT needs no padding. The IIR backend (NewIIRBlockFilter)
+// keeps the same block framing but realizes the mask with a streaming
+// Butterworth biquad whose state carries across blocks — the form an
+// FPU-less MCU can actually run in real time (paper §4).
 type BlockFilter struct {
 	kind       BlockFilterKind
 	cutoff     float64
@@ -103,6 +148,8 @@ type BlockFilter struct {
 	out        []float64
 	spec       []complex128
 	keep       func(freq float64) bool
+	bq         *Biquad    // IIR backend (nil for FFT)
+	bqQ        *BiquadQ15 // Q15 IIR backend (nil otherwise)
 }
 
 // NewBlockFilter returns an FFT-based block filter.
@@ -130,6 +177,56 @@ func NewBlockFilter(kind BlockFilterKind, cutoff, sampleRate float64, blockSize 
 	return f, nil
 }
 
+// NewIIRBlockFilter returns a block filter realized by a streaming
+// Butterworth biquad: block framing identical to the FFT backend, but the
+// filter state persists across block boundaries. blockSize only frames the
+// emission so it need not be a power of two.
+func NewIIRBlockFilter(kind BlockFilterKind, cutoff, sampleRate float64, blockSize int) (*BlockFilter, error) {
+	f, err := newIIRBlockFilter(kind, cutoff, sampleRate, blockSize)
+	if err != nil {
+		return nil, err
+	}
+	if kind == HighPass {
+		f.bq, err = NewHighPassBiquad(cutoff, sampleRate)
+	} else {
+		f.bq, err = NewLowPassBiquad(cutoff, sampleRate)
+	}
+	return f, err
+}
+
+// NewIIRBlockFilterQ15 is NewIIRBlockFilter with the biquad run in Q15
+// fixed point (quantized coefficients, saturating arithmetic).
+func NewIIRBlockFilterQ15(kind BlockFilterKind, cutoff, sampleRate float64, blockSize int) (*BlockFilter, error) {
+	f, err := newIIRBlockFilter(kind, cutoff, sampleRate, blockSize)
+	if err != nil {
+		return nil, err
+	}
+	var bq *Biquad
+	if kind == HighPass {
+		bq, err = NewHighPassBiquad(cutoff, sampleRate)
+	} else {
+		bq, err = NewLowPassBiquad(cutoff, sampleRate)
+	}
+	if err != nil {
+		return nil, err
+	}
+	f.bqQ = bq.Q15()
+	return f, nil
+}
+
+func newIIRBlockFilter(kind BlockFilterKind, cutoff, sampleRate float64, blockSize int) (*BlockFilter, error) {
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("dsp: block filter size must be positive, got %d", blockSize)
+	}
+	return &BlockFilter{
+		kind:       kind,
+		cutoff:     cutoff,
+		sampleRate: sampleRate,
+		buf:        make([]float64, 0, blockSize),
+		blockSize:  blockSize,
+	}, nil
+}
+
 // BlockSize returns the filter's block length in samples.
 func (f *BlockFilter) BlockSize() int { return f.blockSize }
 
@@ -142,15 +239,67 @@ func (f *BlockFilter) Push(v float64) (block []float64, ok bool) {
 	if len(f.buf) < f.blockSize {
 		return nil, false
 	}
-	out, spec, err := fftFilterInto(f.out, f.spec, f.buf, f.sampleRate, f.keep)
-	f.out, f.spec = out, spec
-	f.buf = f.buf[:0]
-	if err != nil {
-		// Unreachable for a power-of-two block, but fail closed.
-		return nil, false
-	}
-	return out, true
+	return f.emit()
 }
 
-// Reset discards buffered samples.
-func (f *BlockFilter) Reset() { f.buf = f.buf[:0] }
+// Consume ingests a prefix of src: exactly enough samples to reach the
+// next block boundary, or all of src if the boundary is out of reach. It
+// returns the number of samples consumed and, at a boundary, the filtered
+// block (same scratch-aliasing contract as Push). Feeding a slice through
+// repeated Consume calls is equivalent to a Push loop, minus the
+// per-sample call overhead.
+func (f *BlockFilter) Consume(src []float64) (n int, block []float64, ok bool) {
+	n = f.blockSize - len(f.buf)
+	if n > len(src) {
+		n = len(src)
+	}
+	f.buf = append(f.buf, src[:n]...)
+	if len(f.buf) < f.blockSize {
+		return n, nil, false
+	}
+	block, ok = f.emit()
+	return n, block, ok
+}
+
+// emit filters the full buffer through the active backend.
+func (f *BlockFilter) emit() (block []float64, ok bool) {
+	switch {
+	case f.bq != nil:
+		if cap(f.out) < f.blockSize {
+			f.out = make([]float64, 0, f.blockSize)
+		}
+		f.out, _ = f.bq.PushBlock(f.out[:0], f.buf)
+		f.buf = f.buf[:0]
+		return f.out, true
+	case f.bqQ != nil:
+		if cap(f.out) < f.blockSize {
+			f.out = make([]float64, 0, f.blockSize)
+		}
+		f.out, _ = f.bqQ.PushBlock(f.out[:0], f.buf)
+		f.buf = f.buf[:0]
+		return f.out, true
+	default:
+		out, spec, err := fftFilterInto(f.out, f.spec, f.buf, f.sampleRate, f.keep)
+		f.out, f.spec = out, spec
+		f.buf = f.buf[:0]
+		if err != nil {
+			// Unreachable for a power-of-two block, but fail closed.
+			return nil, false
+		}
+		return out, true
+	}
+}
+
+// Reset discards buffered samples and clears the IIR state carried across
+// blocks. (The FFT backend has no cross-block state; the biquad backends
+// do, and forgetting it left residue from the previous stream bleeding
+// into the next one.)
+func (f *BlockFilter) Reset() {
+	f.buf = f.buf[:0]
+	if f.bq != nil {
+		f.bq.Reset()
+	}
+	if f.bqQ != nil {
+		f.bqQ.Reset()
+	}
+}

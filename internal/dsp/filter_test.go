@@ -215,6 +215,55 @@ func TestBlockFilterReset(t *testing.T) {
 	}
 }
 
+// TestIIRBlockFilterResetClearsState is the regression test for the Reset
+// bug: the IIR backends carry biquad state across blocks, and Reset used to
+// truncate only the block buffer, so the first block after Reset was colored
+// by the previous stream. A reset filter must reproduce the first stream's
+// output exactly.
+func TestIIRBlockFilterResetClearsState(t *testing.T) {
+	mk := []struct {
+		name string
+		mk   func() (*BlockFilter, error)
+	}{
+		{"float", func() (*BlockFilter, error) { return NewIIRBlockFilter(LowPass, 10, 100, 16) }},
+		{"q15", func() (*BlockFilter, error) { return NewIIRBlockFilterQ15(LowPass, 10, 100, 16) }},
+	}
+	src := make([]float64, 64)
+	for i := range src {
+		src[i] = math.Sin(float64(i)/2) + 0.5
+	}
+	for _, c := range mk {
+		bf, err := c.mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func() []float64 {
+			var out []float64
+			for _, v := range src {
+				if block, ok := bf.Push(v); ok {
+					out = append(out, block...)
+				}
+			}
+			return out
+		}
+		first := run()
+		// Leave both buffered samples and biquad state behind, then Reset.
+		bf.Push(3)
+		bf.Push(-7)
+		bf.Reset()
+		second := run()
+		if len(first) != len(second) {
+			t.Fatalf("%s: %d outputs after reset, want %d", c.name, len(second), len(first))
+		}
+		for i := range first {
+			if first[i] != second[i] {
+				t.Fatalf("%s: output %d = %g after Reset, want %g (stale IIR state)",
+					c.name, i, second[i], first[i])
+			}
+		}
+	}
+}
+
 func TestWindowerValidation(t *testing.T) {
 	if _, err := NewWindower(0, 1, Rectangular); err == nil {
 		t.Error("zero size should fail")

@@ -1,0 +1,483 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file implements the Q15 fixed-point execution substrate: saturating
+// int32 arithmetic and fixed-point twins of the stateful streaming kernels
+// (moving average, EMA, biquad, thresholds, window statistics). The hub of
+// the paper is an MSP430-class MCU with no FPU, where a software float64
+// multiply costs ~100 cycles but an int32 multiply-accumulate costs ~2; a
+// fixed-point mode is therefore both the faithful model of the device and
+// the fast path on the host.
+//
+// Format: Q17.15 — an int32 carrying 15 fractional bits (Q15One == 1.0).
+// Pure Q0.15 would confine values to [-1, 1), but Sidewinder pipelines flow
+// engineering units (accelerometer m/s², thresholds like 6.5), so the
+// format keeps 16 integer bits of headroom and saturates at the int32
+// rails (±65536.0 in real terms) instead of ±1. The fractional resolution
+// is the classic Q15 step of 2^-15 ≈ 3.05e-5.
+
+const (
+	// Q15One is the fixed-point representation of 1.0.
+	Q15One = 1 << 15
+	// Q15Max and Q15Min are the saturation rails of the format.
+	Q15Max = math.MaxInt32
+	Q15Min = math.MinInt32
+)
+
+// ToQ15 converts a float64 to Q15, rounding half away from zero and
+// saturating at the format rails. NaN converts to 0.
+func ToQ15(x float64) int32 {
+	if math.IsNaN(x) {
+		return 0
+	}
+	scaled := x * Q15One
+	if scaled >= Q15Max {
+		return Q15Max
+	}
+	if scaled <= Q15Min {
+		return Q15Min
+	}
+	if scaled >= 0 {
+		return int32(int64(scaled + 0.5))
+	}
+	return int32(int64(scaled - 0.5))
+}
+
+// FromQ15 converts a Q15 value back to float64. The conversion is exact:
+// every Q15 value is representable in a float64 mantissa.
+func FromQ15(q int32) float64 { return float64(q) / Q15One }
+
+// QuantizeQ15 rounds a float64 onto the Q15 grid, saturating at the rails.
+// It is the ingress/egress conversion of the interpreter's Q15 mode.
+func QuantizeQ15(x float64) float64 { return FromQ15(ToQ15(x)) }
+
+// sat32 saturates an int64 intermediate to the int32 rails.
+func sat32(v int64) int32 {
+	if v > Q15Max {
+		return Q15Max
+	}
+	if v < Q15Min {
+		return Q15Min
+	}
+	return int32(v)
+}
+
+// SatAdd32 adds two Q15 values with saturation.
+func SatAdd32(a, b int32) int32 { return sat32(int64(a) + int64(b)) }
+
+// SatSub32 subtracts two Q15 values with saturation.
+func SatSub32(a, b int32) int32 { return sat32(int64(a) - int64(b)) }
+
+// MulQ15 multiplies two Q15 values: the Q30 product is rounded back to Q15
+// and saturated. This is the MCU's single-instruction MAC building block.
+func MulQ15(a, b int32) int32 {
+	return sat32((int64(a)*int64(b) + 1<<14) >> 15)
+}
+
+// divRound divides num by den (den > 0) rounding half away from zero,
+// which keeps means symmetric around 0.
+func divRound(num, den int64) int64 {
+	if num >= 0 {
+		return (num + den/2) / den
+	}
+	return (num - den/2) / den
+}
+
+// isqrtRound returns the non-negative integer closest to sqrt(v).
+// sqrt of a Q30 value yields Q15, so this is the fixed-point square root
+// used by stddev and RMS.
+func isqrtRound(v int64) int64 {
+	if v <= 0 {
+		return 0
+	}
+	// Newton's method seeded from the float estimate converges in a step
+	// or two; the loop only corrects the last bit.
+	r := int64(math.Sqrt(float64(v)))
+	for r > 0 && r*r > v {
+		r--
+	}
+	for (r+1)*(r+1) <= v {
+		r++
+	}
+	// Round to nearest: bump when v is past the midpoint r² + r.
+	if v-r*r > r {
+		r++
+	}
+	return r
+}
+
+// ToQ15Slice quantizes src into dst (which must be at least as long) and
+// returns dst[:len(src)].
+func ToQ15Slice(dst []int32, src []float64) []int32 {
+	dst = dst[:len(src)]
+	for i, v := range src {
+		dst[i] = ToQ15(v)
+	}
+	return dst
+}
+
+// --- Q15 window statistics ----------------------------------------------
+//
+// These mirror the float64 statistics in stats.go over Q15 windows. Sums
+// accumulate in int64 (a Q30 sum of squares of a 2^20-sample window still
+// fits), divisions round half away from zero, and results saturate back to
+// Q15. Conventions match the float versions: variance of fewer than two
+// samples is 0, extremes of an empty window are the rails.
+
+// SumQ15S returns the exact int64 sum of a Q15 window.
+func SumQ15S(x []int32) int64 {
+	var s int64
+	for _, v := range x {
+		s += int64(v)
+	}
+	return s
+}
+
+// MeanQ15 returns the rounded mean of a Q15 window, or 0 when empty.
+func MeanQ15(x []int32) int32 {
+	if len(x) == 0 {
+		return 0
+	}
+	return sat32(divRound(SumQ15S(x), int64(len(x))))
+}
+
+// sumSqDev returns the Q30 sum of squared deviations from the rounded mean.
+func sumSqDev(x []int32) int64 {
+	m := int64(MeanQ15(x))
+	var s int64
+	for _, v := range x {
+		d := int64(v) - m
+		s += d * d
+	}
+	return s
+}
+
+// VarianceQ15 returns the population variance of a Q15 window in Q15, or 0
+// for fewer than two samples.
+func VarianceQ15(x []int32) int32 {
+	if len(x) < 2 {
+		return 0
+	}
+	varQ30 := divRound(sumSqDev(x), int64(len(x)))
+	return sat32(divRound(varQ30, Q15One))
+}
+
+// StdDevQ15 returns the population standard deviation of a Q15 window.
+// sqrt maps Q30 to Q15 directly, so no rescaling is needed.
+func StdDevQ15(x []int32) int32 {
+	if len(x) < 2 {
+		return 0
+	}
+	return sat32(isqrtRound(divRound(sumSqDev(x), int64(len(x)))))
+}
+
+// MinQ15 returns the minimum of a Q15 window, or the positive rail when
+// empty (mirroring the float +Inf convention).
+func MinQ15(x []int32) int32 {
+	m := int32(Q15Max)
+	for _, v := range x {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// MaxQ15 returns the maximum of a Q15 window, or the negative rail when
+// empty.
+func MaxQ15(x []int32) int32 {
+	m := int32(Q15Min)
+	for _, v := range x {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// RangeQ15 returns max - min with saturation, or 0 when empty.
+func RangeQ15(x []int32) int32 {
+	if len(x) == 0 {
+		return 0
+	}
+	return SatSub32(MaxQ15(x), MinQ15(x))
+}
+
+// RMSQ15 returns the root-mean-square of a Q15 window, or 0 when empty.
+func RMSQ15(x []int32) int32 {
+	if len(x) == 0 {
+		return 0
+	}
+	var s int64
+	for _, v := range x {
+		s += int64(v) * int64(v)
+	}
+	return sat32(isqrtRound(divRound(s, int64(len(x)))))
+}
+
+// MedianQ15 returns the median of a Q15 window without modifying it, or 0
+// when empty. Like the float version it copies and sorts.
+func MedianQ15(x []int32) int32 {
+	n := len(x)
+	if n == 0 {
+		return 0
+	}
+	tmp := make([]int32, n)
+	copy(tmp, x)
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
+	if n%2 == 1 {
+		return tmp[n/2]
+	}
+	return sat32(divRound(int64(tmp[n/2-1])+int64(tmp[n/2]), 2))
+}
+
+// MeanAbsQ15 returns the mean absolute value of a Q15 window, or 0 when
+// empty.
+func MeanAbsQ15(x []int32) int32 {
+	if len(x) == 0 {
+		return 0
+	}
+	var s int64
+	for _, v := range x {
+		d := int64(v)
+		if d < 0 {
+			d = -d
+		}
+		s += d
+	}
+	return sat32(divRound(s, int64(len(x))))
+}
+
+// EnergyQ15 returns the saturated sum of squares of a Q15 window, in Q15.
+func EnergyQ15(x []int32) int32 {
+	var s int64
+	for _, v := range x {
+		s += int64(v) * int64(v)
+	}
+	return sat32(divRound(s, Q15One))
+}
+
+// ZeroCrossingRateQ15 returns the Q15 fraction of adjacent sample pairs
+// whose signs differ, treating 0 as positive — the fixed-point twin of
+// ZeroCrossingRate. Fewer than two samples yield 0.
+func ZeroCrossingRateQ15(x []int32) int32 {
+	if len(x) < 2 {
+		return 0
+	}
+	crossings := int64(0)
+	prevNeg := x[0] < 0
+	for _, v := range x[1:] {
+		neg := v < 0
+		if neg != prevNeg {
+			crossings++
+		}
+		prevNeg = neg
+	}
+	return sat32(divRound(crossings*Q15One, int64(len(x)-1)))
+}
+
+// --- Q15 admission control -----------------------------------------------
+
+// ThresholdQ15 is the fixed-point twin of Threshold: the bounds are
+// quantized once at build time and every comparison is an int32 compare.
+type ThresholdQ15 struct {
+	min, max       int32
+	hasMin, hasMax bool
+}
+
+// Q15 returns the fixed-point twin of a float threshold.
+func (t *Threshold) Q15() *ThresholdQ15 {
+	return &ThresholdQ15{
+		min: ToQ15(t.min), max: ToQ15(t.max),
+		hasMin: t.hasMin, hasMax: t.hasMax,
+	}
+}
+
+// Admits reports whether a Q15 value satisfies the gate.
+func (t *ThresholdQ15) Admits(q int32) bool {
+	if t.hasMin && q < t.min {
+		return false
+	}
+	if t.hasMax && q > t.max {
+		return false
+	}
+	return true
+}
+
+// AdmitsFloat quantizes v and evaluates the gate, so float and fixed-point
+// callers make the same decision on the same sample.
+func (t *ThresholdQ15) AdmitsFloat(v float64) bool { return t.Admits(ToQ15(v)) }
+
+// --- Q15 streaming kernels -----------------------------------------------
+//
+// Each kernel mirrors its float64 twin's emission semantics exactly (same
+// priming, same ok pattern) and exposes the same Push(float64) shape so the
+// interpreter can swap it in behind the scalarFilter interface; the float
+// boundary quantizes on the way in and is exact on the way out.
+
+// MovingAveragerQ15 is the fixed-point twin of MovingAverager: a rolling
+// int64 sum over a Q15 ring with a rounded divide per emission.
+type MovingAveragerQ15 struct {
+	window []int32
+	next   int
+	count  int
+	sum    int64
+}
+
+// NewMovingAveragerQ15 returns a fixed-point moving average.
+func NewMovingAveragerQ15(size int) (*MovingAveragerQ15, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("dsp: moving average window must be positive, got %d", size)
+	}
+	return &MovingAveragerQ15{window: make([]int32, size)}, nil
+}
+
+// PushQ15 adds a quantized sample; once the window is full it emits the
+// rounded average on every subsequent sample.
+func (m *MovingAveragerQ15) PushQ15(v int32) (avg int32, ok bool) {
+	if m.count == len(m.window) {
+		m.sum -= int64(m.window[m.next])
+	} else {
+		m.count++
+	}
+	m.window[m.next] = v
+	m.sum += int64(v)
+	m.next = (m.next + 1) % len(m.window)
+	if m.count < len(m.window) {
+		return 0, false
+	}
+	return sat32(divRound(m.sum, int64(m.count))), true
+}
+
+// Push quantizes and delegates to PushQ15.
+func (m *MovingAveragerQ15) Push(v float64) (avg float64, ok bool) {
+	q, ok := m.PushQ15(ToQ15(v))
+	if !ok {
+		return 0, false
+	}
+	return FromQ15(q), true
+}
+
+// PushBlock runs src through the filter, appending one output per emission
+// to dst[:0] and returning the outputs plus the count of leading samples
+// that produced nothing. Emissions are dense once priming completes, so
+// out aligns 1:1 with src[skip:].
+func (m *MovingAveragerQ15) PushBlock(dst, src []float64) (out []float64, skip int) {
+	out = dst[:0]
+	for _, v := range src {
+		if avg, ok := m.PushQ15(ToQ15(v)); ok {
+			out = append(out, FromQ15(avg))
+		} else {
+			skip++
+		}
+	}
+	return out, skip
+}
+
+// Reset clears all buffered samples.
+func (m *MovingAveragerQ15) Reset() {
+	m.next, m.count, m.sum = 0, 0, 0
+	for i := range m.window {
+		m.window[i] = 0
+	}
+}
+
+// EMAQ15 is the fixed-point twin of EMA, updated in the numerically robust
+// incremental form y += alpha*(x - y) with saturating steps.
+type EMAQ15 struct {
+	alpha  int32
+	value  int32
+	primed bool
+}
+
+// NewEMAQ15 returns a fixed-point exponential moving average.
+func NewEMAQ15(alpha float64) (*EMAQ15, error) {
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("dsp: EMA alpha must be in (0, 1], got %g", alpha)
+	}
+	qa := ToQ15(alpha)
+	if qa == 0 {
+		qa = 1 // alpha below the Q15 step still has to make progress
+	}
+	return &EMAQ15{alpha: qa}, nil
+}
+
+// PushQ15 adds a quantized sample and returns the updated average.
+func (e *EMAQ15) PushQ15(v int32) (avg int32, ok bool) {
+	if !e.primed {
+		e.value = v
+		e.primed = true
+	} else {
+		e.value = SatAdd32(e.value, MulQ15(e.alpha, SatSub32(v, e.value)))
+	}
+	return e.value, true
+}
+
+// Push quantizes and delegates to PushQ15. ok is always true.
+func (e *EMAQ15) Push(v float64) (avg float64, ok bool) {
+	q, _ := e.PushQ15(ToQ15(v))
+	return FromQ15(q), true
+}
+
+// PushBlock runs src through the filter; the EMA emits on every sample so
+// skip is always 0.
+func (e *EMAQ15) PushBlock(dst, src []float64) (out []float64, skip int) {
+	out = dst[:0]
+	for _, v := range src {
+		q, _ := e.PushQ15(ToQ15(v))
+		out = append(out, FromQ15(q))
+	}
+	return out, 0
+}
+
+// Reset returns the EMA to its unprimed state.
+func (e *EMAQ15) Reset() { e.value, e.primed = 0, false }
+
+// BiquadQ15 is the fixed-point twin of Biquad: coefficients quantized to
+// Q15, direct-form-II-transposed state kept at full Q30 precision in int64
+// so rounding happens once per output sample, and the output saturated to
+// the Q15 rails. Butterworth biquad coefficients stay within ±2, well
+// inside the format's headroom.
+type BiquadQ15 struct {
+	b0, b1, b2 int32
+	a1, a2     int32
+	z1, z2     int64 // Q30 state
+}
+
+// Q15 returns the fixed-point twin of a float biquad (fresh state).
+func (f *Biquad) Q15() *BiquadQ15 {
+	return &BiquadQ15{
+		b0: ToQ15(f.b0), b1: ToQ15(f.b1), b2: ToQ15(f.b2),
+		a1: ToQ15(f.a1), a2: ToQ15(f.a2),
+	}
+}
+
+// PushQ15 filters one quantized sample.
+func (f *BiquadQ15) PushQ15(x int32) int32 {
+	y := sat32((int64(f.b0)*int64(x) + f.z1 + 1<<14) >> 15)
+	f.z1 = int64(f.b1)*int64(x) - int64(f.a1)*int64(y) + f.z2
+	f.z2 = int64(f.b2)*int64(x) - int64(f.a2)*int64(y)
+	return y
+}
+
+// Push quantizes and delegates to PushQ15. ok is always true.
+func (f *BiquadQ15) Push(x float64) (y float64, ok bool) {
+	return FromQ15(f.PushQ15(ToQ15(x))), true
+}
+
+// PushBlock filters src; IIR filters are sample-synchronous so skip is 0.
+func (f *BiquadQ15) PushBlock(dst, src []float64) (out []float64, skip int) {
+	out = dst[:0]
+	for _, v := range src {
+		out = append(out, FromQ15(f.PushQ15(ToQ15(v))))
+	}
+	return out, 0
+}
+
+// Reset clears the filter state.
+func (f *BiquadQ15) Reset() { f.z1, f.z2 = 0, 0 }

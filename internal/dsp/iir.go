@@ -77,6 +77,22 @@ func (f *Biquad) Push(x float64) (y float64, ok bool) {
 	return y, true
 }
 
+// PushBlock filters src, appending outputs to dst[:0]; IIR filters are
+// sample-synchronous so skip is always 0. The loop runs the exact Push
+// recurrence with the state held in locals, so results are bit-identical.
+func (f *Biquad) PushBlock(dst, src []float64) (out []float64, skip int) {
+	out = dst[:0]
+	z1, z2 := f.z1, f.z2
+	for _, x := range src {
+		y := f.b0*x + z1
+		z1 = f.b1*x - f.a1*y + z2
+		z2 = f.b2*x - f.a2*y
+		out = append(out, y)
+	}
+	f.z1, f.z2 = z1, z2
+	return out, 0
+}
+
 // Reset clears the filter state.
 func (f *Biquad) Reset() { f.z1, f.z2 = 0, 0 }
 
@@ -125,7 +141,31 @@ func (g *Goertzel) Push(x float64) (score float64, ok bool) {
 	if g.n < g.blockSize {
 		return 0, false
 	}
-	// Magnitude of the target bin.
+	return g.finish()
+}
+
+// pushRun feeds a run of samples that must not cross a block boundary
+// (len(src) <= blockSize - n); at an exact boundary it emits. Same math as
+// a Push loop with the recurrence state held in locals.
+func (g *Goertzel) pushRun(src []float64) (score float64, ok bool) {
+	s1, s2, energy := g.s1, g.s2, g.energy
+	for _, x := range src {
+		s0 := x + g.coeff*s1 - s2
+		s2 = s1
+		s1 = s0
+		energy += x * x
+	}
+	g.s1, g.s2, g.energy = s1, s2, energy
+	g.n += len(src)
+	if g.n < g.blockSize {
+		return 0, false
+	}
+	return g.finish()
+}
+
+// finish wraps up a full block: magnitude of the target bin normalized by
+// the block RMS, then state reset for the next block.
+func (g *Goertzel) finish() (score float64, ok bool) {
 	power := g.s1*g.s1 + g.s2*g.s2 - g.coeff*g.s1*g.s2
 	if power < 0 {
 		power = 0
@@ -190,6 +230,31 @@ func (b *GoertzelBank) Push(x float64) (best float64, ok bool) {
 		}
 	}
 	return best, ok
+}
+
+// Consume ingests a prefix of src: exactly enough samples to reach the
+// next block boundary (all detectors share the same block size and phase),
+// or all of src if the boundary is out of reach. At a boundary it emits
+// the best score across the bank, exactly as a Push loop would.
+func (b *GoertzelBank) Consume(src []float64) (n int, best float64, ok bool) {
+	if len(b.dets) == 0 {
+		return len(src), 0, false
+	}
+	d0 := b.dets[0]
+	n = d0.blockSize - d0.n
+	if n > len(src) {
+		n = len(src)
+	}
+	for _, d := range b.dets {
+		score, done := d.pushRun(src[:n])
+		if done {
+			ok = true
+			if score > best {
+				best = score
+			}
+		}
+	}
+	return n, best, ok
 }
 
 // Reset clears every detector.

@@ -104,6 +104,28 @@ func (w *Windower) Push(v float64) (window []float64, ok bool) {
 	if len(w.buf) < w.size {
 		return nil, false
 	}
+	return w.emit(), true
+}
+
+// Consume ingests a prefix of src: exactly enough samples to complete the
+// next window, or all of src if the window stays unfilled. It returns the
+// number of samples consumed and, on completion, the tapered window (same
+// scratch-aliasing contract as Push). Repeated Consume calls over a slice
+// are equivalent to a Push loop.
+func (w *Windower) Consume(src []float64) (n int, window []float64, ok bool) {
+	n = w.size - len(w.buf)
+	if n > len(src) {
+		n = len(src)
+	}
+	w.buf = append(w.buf, src[:n]...)
+	if len(w.buf) < w.size {
+		return n, nil, false
+	}
+	return n, w.emit(), true
+}
+
+// emit tapers the full buffer into the output scratch and slides by step.
+func (w *Windower) emit() []float64 {
 	if w.out == nil {
 		w.out = make([]float64, w.size)
 	}
@@ -116,7 +138,7 @@ func (w *Windower) Push(v float64) (window []float64, ok bool) {
 	// Slide by step.
 	copy(w.buf, w.buf[w.step:])
 	w.buf = w.buf[:w.size-w.step]
-	return w.out, true
+	return w.out
 }
 
 // Reset discards any buffered samples.

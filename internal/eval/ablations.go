@@ -53,7 +53,7 @@ func DeviceSweep(w *Workload) (*DeviceSweepResult, error) {
 			devCells[ai][di] = b.add(sim.Sidewinder{Devices: []hub.Device{dev}}, traces, app)
 		}
 	}
-	b.run(w.Workers, w.Telemetry)
+	b.run(w.Workers, w.Telemetry, w.Precision)
 	for ai, app := range allApps {
 		out.PowerMW[app.Name] = make(map[string]float64)
 		row := []string{app.Name}
@@ -149,7 +149,7 @@ func ConditionAblation(w *Workload) (*ConditionAblationResult, error) {
 		app.Wake = variant.Wake
 		cells[vi] = b.add(sim.Sidewinder{}, runs, &app)
 	}
-	b.run(w.Workers, w.Telemetry)
+	b.run(w.Workers, w.Telemetry, w.Precision)
 	for vi, variant := range variants {
 		results, err := cells[vi].results()
 		if err != nil {
@@ -210,7 +210,7 @@ func BatchingLatency(o Options, w *Workload) (*BatchingLatencyResult, error) {
 	for si, sl := range o.SleepIntervals {
 		cells[si] = b.add(sim.Batching{SleepSec: sl}, runs, app)
 	}
-	b.run(w.Workers, w.Telemetry)
+	b.run(w.Workers, w.Telemetry, w.Precision)
 	for si, sl := range o.SleepIntervals {
 		results, err := cells[si].results()
 		if err != nil {
@@ -389,7 +389,7 @@ func SirenRedesign(w *Workload) (*SirenRedesignResult, error) {
 		app.Wake = v.Wake
 		cells[vi] = b.add(sim.Sidewinder{}, w.Audio, &app)
 	}
-	b.run(w.Workers, w.Telemetry)
+	b.run(w.Workers, w.Telemetry, w.Precision)
 	for vi, v := range variants {
 		results, err := cells[vi].results()
 		if err != nil {

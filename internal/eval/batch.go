@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sidewinder/internal/apps"
+	"sidewinder/internal/interp"
 	"sidewinder/internal/parallel"
 	"sidewinder/internal/sensor"
 	"sidewinder/internal/sim"
@@ -62,21 +63,23 @@ func (b *runBatch) addOne(s sim.Strategy, tr *sensor.Trace, app *apps.App) cellR
 }
 
 // run executes every enqueued cell through the pool. Outcomes land in
-// submission order regardless of the schedule. When telemetry is enabled,
-// it is injected into every Sidewinder cell here — the one place all
-// experiments funnel through — with a per-cell trace label so parallel
-// cells land on distinct streams while sharing the registry and ledger.
-func (b *runBatch) run(workers int, tele telemetry.Set) {
+// submission order regardless of the schedule. Telemetry (when enabled)
+// and the interpreter precision are injected into every Sidewinder cell
+// here — the one place all experiments funnel through — with a per-cell
+// trace label so parallel cells land on distinct streams while sharing
+// the registry and ledger.
+func (b *runBatch) run(workers int, tele telemetry.Set, prec interp.Precision) {
 	// Map's fn never errors: each cell's error is part of its outcome.
 	b.out, _ = parallel.Map(workers, len(b.jobs), func(i int) (cellOutcome, error) {
 		j := b.jobs[i]
 		s := j.s
-		if tele.Enabled() {
-			if sw, ok := s.(sim.Sidewinder); ok {
+		if sw, ok := s.(sim.Sidewinder); ok {
+			sw.Precision = prec
+			if tele.Enabled() {
 				sw.Telemetry = tele
 				sw.TraceLabel = fmt.Sprintf("%s/%s/%s/", sw.Name(), j.app.Name, j.tr.Name)
-				s = sw
 			}
+			s = sw
 		}
 		r, err := s.Run(j.tr, j.app)
 		if err != nil {

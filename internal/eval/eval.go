@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"sidewinder/internal/apps"
+	"sidewinder/internal/interp"
 	"sidewinder/internal/parallel"
 	"sidewinder/internal/sensor"
 	"sidewinder/internal/sim"
@@ -40,6 +41,10 @@ type Options struct {
 	// SleepIntervals are the duty-cycling/batching sleep intervals in
 	// seconds (paper: 2, 5, 10, 20, 30).
 	SleepIntervals []float64
+	// Precision selects the hub interpreter's numeric substrate for every
+	// Sidewinder cell (default float64; q15 models the FPU-less MCU on
+	// saturating fixed-point arithmetic).
+	Precision interp.Precision
 	// Telemetry, when any sink is set, is shared by every simulation cell
 	// of the run: counters aggregate across cells (the registry interns by
 	// name), the ledger accumulates the whole run's energy, and trace
@@ -131,6 +136,10 @@ type Workload struct {
 	// Telemetry is injected into every Sidewinder cell run over this
 	// workload (see Options.Telemetry).
 	Telemetry telemetry.Set
+
+	// Precision is injected into every Sidewinder cell run over this
+	// workload (see Options.Precision).
+	Precision interp.Precision
 }
 
 // GenerateWorkload produces all traces for the options. Each trace derives
@@ -180,6 +189,7 @@ func GenerateWorkload(o Options) (*Workload, error) {
 		Human:     traces[len(robotConfigs)+len(audioEnvs):],
 		Workers:   o.Workers,
 		Telemetry: o.Telemetry,
+		Precision: o.Precision,
 	}, nil
 }
 
@@ -235,6 +245,6 @@ func meanPrecision(results []*sim.Result) float64 {
 func runAll(workers int, s sim.Strategy, traces []*sensor.Trace, app *apps.App) ([]*sim.Result, error) {
 	var b runBatch
 	h := b.add(s, traces, app)
-	b.run(workers, telemetry.Set{})
+	b.run(workers, telemetry.Set{}, interp.Float64)
 	return h.results()
 }

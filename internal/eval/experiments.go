@@ -93,7 +93,7 @@ func Table2(w *Workload) (*Table2Result, error) {
 			cells[mi][ai] = b.add(mech.s, w.Audio, app)
 		}
 	}
-	b.run(w.Workers, w.Telemetry)
+	b.run(w.Workers, w.Telemetry, w.Precision)
 
 	res := &Table2Result{
 		PowerMW:     make(map[string]map[string]float64),
@@ -207,7 +207,7 @@ func Figure5(o Options, w *Workload) (*Figure5Result, error) {
 			}
 		}
 	}
-	b.run(w.Workers, w.Telemetry)
+	b.run(w.Workers, w.Telemetry, w.Precision)
 
 	for ai, app := range accelApps {
 		out.Relative[app.Name] = make(map[int]map[string]float64)
@@ -289,7 +289,7 @@ func Figure6(o Options, w *Workload) (*Figure6Result, error) {
 			cells[si][ai] = b.add(sim.DutyCycling{SleepSec: sl}, runs, app)
 		}
 	}
-	b.run(w.Workers, w.Telemetry)
+	b.run(w.Workers, w.Telemetry, w.Precision)
 	for si, sl := range o.SleepIntervals {
 		row := []string{fmt.Sprintf("%.0f s", sl)}
 		for ai, app := range accelApps {
@@ -334,7 +334,7 @@ func Figure7(o Options, w *Workload) (*Figure7Result, error) {
 	for ti, tr := range w.Human {
 		aaCells[ti] = aaBatch.addOne(sim.AlwaysAwake{}, tr, app)
 	}
-	aaBatch.run(w.Workers, w.Telemetry)
+	aaBatch.run(w.Workers, w.Telemetry, w.Precision)
 
 	truths := make(map[string][]sensor.Event)
 	aaResults := make(map[string]*sim.Result)
@@ -392,7 +392,7 @@ func Figure7(o Options, w *Workload) (*Figure7Result, error) {
 			cfgCells[ci][ti] = b.addOne(cfg.s, tr, app)
 		}
 	}
-	b.run(w.Workers, w.Telemetry)
+	b.run(w.Workers, w.Telemetry, w.Precision)
 
 	oraclePower := make(map[string]float64)
 	for ti, tr := range w.Human {
@@ -498,7 +498,7 @@ func Savings(o Options, w *Workload) (*SavingsResult, error) {
 			sw:     b.add(sim.Sidewinder{}, w.Audio, app),
 		}
 	}
-	b.run(w.Workers, w.Telemetry)
+	b.run(w.Workers, w.Telemetry, w.Precision)
 
 	for ai, app := range accelApps {
 		out.AccelSavings[app.Name] = make(map[int]float64)
@@ -591,7 +591,7 @@ func BatteryLife(w *Workload) (*BatteryLifeResult, error) {
 			cells[ai][ci] = b.add(cfg.s, traces, app)
 		}
 	}
-	b.run(w.Workers, w.Telemetry)
+	b.run(w.Workers, w.Telemetry, w.Precision)
 	for ai, app := range allApps {
 		out.Hours[app.Name] = make(map[string]float64)
 		row := []string{app.Name}

@@ -59,6 +59,7 @@ func FleetCapacity(o Options, w *Workload) (*FleetCapacityResult, error) {
 			Accel:         accel,
 			Audio:         w.Audio,
 			Telemetry:     w.Telemetry,
+			Precision:     w.Precision,
 		})
 		if err != nil {
 			return nil, err

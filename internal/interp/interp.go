@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"sidewinder/internal/core"
+	"sidewinder/internal/dsp"
 	"sidewinder/internal/telemetry"
 )
 
@@ -71,9 +72,20 @@ type Machine struct {
 	byChan  map[core.SensorChannel][]target
 	byNode  [][]target // fan-out per node index
 	outNode int        // index of the node feeding OUT
+	prec    Precision
 	work    core.CostEstimate
 	wakes   []WakeEvent
 	chanSeq map[core.SensorChannel]int64
+
+	// off is the offset (within the block being pushed) of the raw sample
+	// whose delivery cascade is currently running; wakes record it so the
+	// block path can report when within the block each wake fired. The
+	// per-sample path runs with off pinned to 0.
+	off    int
+	bwakes []BlockWake
+	// qbuf is the Q15 ingress scratch: PushBlock quantizes into it rather
+	// than mutating the caller's samples.
+	qbuf []float64
 
 	// stageStats, when non-nil, holds one pre-interned telemetry handle
 	// per node (parallel to nodes), so the delivery loop attributes work
@@ -82,21 +94,26 @@ type Machine struct {
 	stageStats []*telemetry.StageStat
 }
 
-// New builds a machine for the plan. The plan must come from
-// core.Pipeline.Validate or ir.Bind; New trusts its structural invariants
-// but still fails cleanly on an algorithm kind it cannot instantiate.
-func New(plan *core.Plan) (*Machine, error) {
+// New builds a machine for the plan in the default float64 precision. The
+// plan must come from core.Pipeline.Validate or ir.Bind; New trusts its
+// structural invariants but still fails cleanly on an algorithm kind it
+// cannot instantiate.
+func New(plan *core.Plan) (*Machine, error) { return NewPrecision(plan, Float64) }
+
+// NewPrecision builds a machine executing in the given precision.
+func NewPrecision(plan *core.Plan, prec Precision) (*Machine, error) {
 	m := &Machine{
 		plan:    plan,
 		nodes:   make([]instance, len(plan.Nodes)),
 		byChan:  make(map[core.SensorChannel][]target),
 		byNode:  make([][]target, len(plan.Nodes)),
 		outNode: plan.OutputNode() - 1,
+		prec:    prec,
 		chanSeq: make(map[core.SensorChannel]int64),
 	}
 	for i := range plan.Nodes {
 		n := &plan.Nodes[i]
-		inst, err := newInstance(n)
+		inst, err := newInstance(n, prec)
 		if err != nil {
 			return nil, fmt.Errorf("interp: node %d (%s): %w", n.ID, n.Kind, err)
 		}
@@ -115,6 +132,9 @@ func New(plan *core.Plan) (*Machine, error) {
 
 // Plan returns the machine's bound plan.
 func (m *Machine) Plan() *core.Plan { return m.plan }
+
+// Precision returns the machine's numeric execution mode.
+func (m *Machine) Precision() Precision { return m.prec }
 
 // SetProfile attaches a telemetry profile: subsequent execution is
 // attributed per stage kind into the profile's StageStats. The handles are
@@ -138,11 +158,19 @@ func (m *Machine) Channels() []core.SensorChannel { return m.plan.Channels }
 // any wake events it produced.
 func (m *Machine) PushSample(ch core.SensorChannel, sample float64) []WakeEvent {
 	m.wakes = m.wakes[:0]
+	m.bwakes = m.bwakes[:0]
+	m.off = 0
+	if m.prec == Q15 {
+		sample = dsp.QuantizeQ15(sample)
+	}
 	seq := m.chanSeq[ch]
 	m.chanSeq[ch] = seq + 1
 	v := Value{Seq: seq, Scalar: sample}
 	for _, tg := range m.byChan[ch] {
 		m.deliver(tg, v)
+	}
+	for i := range m.bwakes {
+		m.wakes = append(m.wakes, m.bwakes[i].WakeEvent)
 	}
 	return m.wakes
 }
@@ -159,11 +187,25 @@ func (m *Machine) deliver(tg target, v Value) {
 		return
 	}
 	if tg.node == m.outNode {
-		m.wakes = append(m.wakes, WakeEvent{NodeID: node.ID, Value: out.Scalar, Seq: out.Seq})
+		m.appendWake(node.ID, out)
 	}
 	for _, next := range m.byNode[tg.node] {
 		m.deliver(next, out)
 	}
+}
+
+// appendWake records a wake at the current block offset, snapping the
+// admitted value onto the Q15 grid in fixed-point mode (wake egress
+// conversion: downstream consumers see what the MCU would report).
+func (m *Machine) appendWake(nodeID int, out Value) {
+	val := out.Scalar
+	if m.prec == Q15 {
+		val = dsp.QuantizeQ15(val)
+	}
+	m.bwakes = append(m.bwakes, BlockWake{
+		Off:       m.off,
+		WakeEvent: WakeEvent{NodeID: nodeID, Value: val, Seq: out.Seq},
+	})
 }
 
 // Work returns the cumulative work executed since construction or the last

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"sidewinder/internal/core"
+	"sidewinder/internal/dsp"
 	"sidewinder/internal/telemetry"
 )
 
@@ -46,8 +47,15 @@ type Merged struct {
 	nodes   []mergedNode
 	byChan  map[core.SensorChannel][]target
 	chanSeq map[core.SensorChannel]int64
+	prec    Precision
 	work    core.CostEstimate
 	wakes   []TaggedWake
+	// off/bwakes/qbuf mirror Machine's block-dispatch state: the in-block
+	// offset of the sample whose cascade is running, the offset-tagged
+	// wake scratch, and the Q15 ingress buffer.
+	off    int
+	bwakes []TaggedBlockWake
+	qbuf   []float64
 	// sharedOps is the per-second work eliminated by sharing, for
 	// reporting.
 	sharedNodes int
@@ -80,9 +88,16 @@ func signature(plan *core.Plan, id int, memo map[int]string) string {
 	return sig
 }
 
-// NewMerged builds a merged machine over the plans. Plans must each come
-// from core validation or IR binding.
+// NewMerged builds a merged machine over the plans in the default float64
+// precision. Plans must each come from core validation or IR binding.
 func NewMerged(plans ...*core.Plan) (*Merged, error) {
+	return NewMergedPrecision(Float64, plans...)
+}
+
+// NewMergedPrecision builds a merged machine executing in the given
+// precision. All merged plans share the precision: structurally identical
+// nodes must compute identical values for sharing to be sound.
+func NewMergedPrecision(prec Precision, plans ...*core.Plan) (*Merged, error) {
 	if len(plans) == 0 {
 		return nil, fmt.Errorf("interp: merged machine needs at least one plan")
 	}
@@ -90,6 +105,7 @@ func NewMerged(plans ...*core.Plan) (*Merged, error) {
 		plans:   plans,
 		byChan:  make(map[core.SensorChannel][]target),
 		chanSeq: make(map[core.SensorChannel]int64),
+		prec:    prec,
 	}
 	bySig := make(map[string]int) // signature -> merged node index
 
@@ -102,7 +118,7 @@ func NewMerged(plans ...*core.Plan) (*Merged, error) {
 			sig := signature(plan, n.ID, memo)
 			idx, shared := bySig[sig]
 			if !shared {
-				inst, err := newInstance(n)
+				inst, err := newInstance(n, prec)
 				if err != nil {
 					return nil, fmt.Errorf("interp: plan %d node %d (%s): %w", pi, n.ID, n.Kind, err)
 				}
@@ -154,15 +170,26 @@ func (m *Merged) NodeCount() int { return len(m.nodes) }
 // Plans returns the merged plan set.
 func (m *Merged) Plans() []*core.Plan { return m.plans }
 
+// Precision returns the merged machine's numeric execution mode.
+func (m *Merged) Precision() Precision { return m.prec }
+
 // PushSample feeds one raw sensor sample and returns the tagged wake
 // events it produced, ordered by plan index.
 func (m *Merged) PushSample(ch core.SensorChannel, sample float64) []TaggedWake {
 	m.wakes = m.wakes[:0]
+	m.bwakes = m.bwakes[:0]
+	m.off = 0
+	if m.prec == Q15 {
+		sample = dsp.QuantizeQ15(sample)
+	}
 	seq := m.chanSeq[ch]
 	m.chanSeq[ch] = seq + 1
 	v := Value{Seq: seq, Scalar: sample}
 	for _, tg := range m.byChan[ch] {
 		m.deliver(tg, v)
+	}
+	for i := range m.bwakes {
+		m.wakes = append(m.wakes, m.bwakes[i].TaggedWake)
 	}
 	// Order by plan index. Samples produce zero or one wake almost always;
 	// insertion sort keeps this per-sample path free of the reflection
@@ -175,6 +202,46 @@ func (m *Merged) PushSample(ch core.SensorChannel, sample float64) []TaggedWake 
 	return m.wakes
 }
 
+// PushBlock feeds a whole block of raw samples from one channel and
+// returns the tagged wakes, ordered by (offset, plan) — exactly the
+// concatenation order a PushSample loop would produce. The returned slice
+// is machine-owned scratch, valid until the next push.
+func (m *Merged) PushBlock(ch core.SensorChannel, samples []float64) []TaggedBlockWake {
+	m.bwakes = m.bwakes[:0]
+	if len(samples) == 0 {
+		return m.bwakes
+	}
+	if m.prec == Q15 {
+		if cap(m.qbuf) < len(samples) {
+			m.qbuf = make([]float64, len(samples))
+		}
+		q := m.qbuf[:len(samples)]
+		for i, x := range samples {
+			q[i] = dsp.QuantizeQ15(x)
+		}
+		samples = q
+	}
+	seq0 := m.chanSeq[ch]
+	m.chanSeq[ch] = seq0 + int64(len(samples))
+	for _, tg := range m.byChan[ch] {
+		m.deliverBlock(tg, samples, seq0, 0)
+	}
+	for i := 1; i < len(m.bwakes); i++ {
+		for j := i; j > 0 && blockWakeLess(m.bwakes[j], m.bwakes[j-1]); j-- {
+			m.bwakes[j], m.bwakes[j-1] = m.bwakes[j-1], m.bwakes[j]
+		}
+	}
+	return m.bwakes
+}
+
+// blockWakeLess orders merged block wakes by (offset, plan).
+func blockWakeLess(a, b TaggedBlockWake) bool {
+	if a.Off != b.Off {
+		return a.Off < b.Off
+	}
+	return a.Plan < b.Plan
+}
+
 func (m *Merged) deliver(tg target, v Value) {
 	node := &m.nodes[tg.node]
 	m.work = m.work.Add(node.cost)
@@ -185,14 +252,84 @@ func (m *Merged) deliver(tg target, v Value) {
 	if !ok {
 		return
 	}
-	for _, pi := range node.outPlans {
-		m.wakes = append(m.wakes, TaggedWake{
-			Plan:      pi,
-			WakeEvent: WakeEvent{NodeID: node.planID, Value: out.Scalar, Seq: out.Seq},
-		})
-	}
+	m.appendWakes(node, out)
 	for _, next := range node.fanout {
 		m.deliver(next, out)
+	}
+}
+
+// appendWakes records the node's wakes (one per plan it feeds OUT for) at
+// the current block offset, snapping values onto the Q15 grid in
+// fixed-point mode.
+func (m *Merged) appendWakes(node *mergedNode, out Value) {
+	if len(node.outPlans) == 0 {
+		return
+	}
+	val := out.Scalar
+	if m.prec == Q15 {
+		val = dsp.QuantizeQ15(val)
+	}
+	for _, pi := range node.outPlans {
+		m.bwakes = append(m.bwakes, TaggedBlockWake{
+			Off: m.off,
+			TaggedWake: TaggedWake{
+				Plan:      pi,
+				WakeEvent: WakeEvent{NodeID: node.planID, Value: val, Seq: out.Seq},
+			},
+		})
+	}
+}
+
+// deliverBlock pushes a block into one merged node port; see
+// Machine.deliverBlock for the dispatch contract.
+func (m *Merged) deliverBlock(tg target, src []float64, seq0 int64, off0 int) {
+	node := &m.nodes[tg.node]
+	switch inst := node.inst.(type) {
+	case blockConsumer:
+		base := 0
+		for base < len(src) {
+			n, out, ok := inst.consumeBlock(src[base:])
+			m.work = m.work.Add(node.cost.Scale(float64(n)))
+			if m.stageStats != nil {
+				var em int64
+				if ok {
+					em = 1
+				}
+				m.stageStats[tg.node].RecordBlock(node.cost.FloatOps, node.cost.IntOps, int64(n), em)
+			}
+			base += n
+			if !ok {
+				continue
+			}
+			m.off = off0 + base - 1
+			m.appendWakes(node, out)
+			for _, next := range node.fanout {
+				m.deliver(next, out)
+			}
+		}
+	case blockMapper:
+		out, skip := inst.pushBlock(src)
+		m.work = m.work.Add(node.cost.Scale(float64(len(src))))
+		if m.stageStats != nil {
+			m.stageStats[tg.node].RecordBlock(node.cost.FloatOps, node.cost.IntOps, int64(len(src)), int64(len(out)))
+		}
+		if len(out) == 0 {
+			return
+		}
+		if len(node.outPlans) > 0 {
+			for j, y := range out {
+				m.off = off0 + skip + j
+				m.appendWakes(node, Value{Seq: seq0 + int64(skip+j), Scalar: y})
+			}
+		}
+		for _, next := range node.fanout {
+			m.deliverBlock(next, out, seq0+int64(skip), off0+skip)
+		}
+	default:
+		for i, x := range src {
+			m.off = off0 + i
+			m.deliver(tg, Value{Seq: seq0 + int64(i), Scalar: x})
+		}
 	}
 }
 

@@ -10,8 +10,14 @@ import (
 
 // newInstance constructs the runtime state for one plan node, mirroring the
 // paper's per-algorithm data structures (§3.6): the runtime "allocates
-// memory for each algorithm in the configuration".
-func newInstance(n *core.PlanNode) (instance, error) {
+// memory for each algorithm in the configuration". In Q15 mode the
+// stateful scalar kernels, thresholds, and window statistics get their
+// fixed-point twins; spectral stages (FFT chain, tonality, dominant
+// frequency) and structural glue (joins, delta, abs) stay in float64 —
+// delta and abs are exact on the Q15 grid anyway, and the FFT chain is
+// exactly what the fixed-point MCU does not run (Q15 low/high-pass plans
+// use the streaming IIR backend instead of the FFT one).
+func newInstance(n *core.PlanNode, prec Precision) (instance, error) {
 	p := n.Params
 	switch n.Kind {
 	case core.KindWindow:
@@ -38,17 +44,31 @@ func newInstance(n *core.PlanNode) (instance, error) {
 		return &spectralMagInst{}, nil
 
 	case core.KindMovingAvg:
+		if prec == Q15 {
+			ma, err := dsp.NewMovingAveragerQ15(p.Int("size"))
+			if err != nil {
+				return nil, err
+			}
+			return newScalarInst(ma), nil
+		}
 		ma, err := dsp.NewMovingAverager(p.Int("size"))
 		if err != nil {
 			return nil, err
 		}
-		return &scalarFilterInst{f: ma}, nil
+		return newScalarInst(ma), nil
 	case core.KindEMA:
+		if prec == Q15 {
+			ema, err := dsp.NewEMAQ15(p.Float("alpha"))
+			if err != nil {
+				return nil, err
+			}
+			return newScalarInst(ema), nil
+		}
 		ema, err := dsp.NewEMA(p.Float("alpha"))
 		if err != nil {
 			return nil, err
 		}
-		return &scalarFilterInst{f: ema}, nil
+		return newScalarInst(ema), nil
 
 	case core.KindIIRLowPass, core.KindIIRHighPass:
 		var bq *dsp.Biquad
@@ -61,7 +81,10 @@ func newInstance(n *core.PlanNode) (instance, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &scalarFilterInst{f: bq}, nil
+		if prec == Q15 {
+			return newScalarInst(bq.Q15()), nil
+		}
+		return newScalarInst(bq), nil
 
 	case core.KindGoertzelBank:
 		bank, err := dsp.NewGoertzelBank(
@@ -78,7 +101,16 @@ func newInstance(n *core.PlanNode) (instance, error) {
 			kind = dsp.HighPass
 		}
 		rate := n.Rate // per-sample invocation rate equals the input sample rate
-		bf, err := dsp.NewBlockFilter(kind, p.Float("cutoff"), rate, p.Int("block"))
+		var bf *dsp.BlockFilter
+		var err error
+		if prec == Q15 {
+			// The paper's MCU cannot run the FFT filter in real time
+			// (§4); fixed-point mode uses the streaming Q15 IIR backend
+			// with identical block framing instead.
+			bf, err = dsp.NewIIRBlockFilterQ15(kind, p.Float("cutoff"), rate, p.Int("block"))
+		} else {
+			bf, err = dsp.NewBlockFilter(kind, p.Float("cutoff"), rate, p.Int("block"))
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -101,11 +133,25 @@ func newInstance(n *core.PlanNode) (instance, error) {
 		}), nil
 
 	case core.KindZCR:
+		if prec == Q15 {
+			return q15FeatureInst(func(q []int32) (int32, bool) {
+				return dsp.ZeroCrossingRateQ15(q), true
+			}), nil
+		}
 		return vectorFeatureInst(func(win []float64) (float64, bool) {
 			return dsp.ZeroCrossingRate(win), true
 		}), nil
 	case core.KindZCRVariance:
 		k := p.Int("subwindows")
+		if prec == Q15 {
+			var qrates []int32 // per-instance scratch for the sub-window rates
+			if k >= 2 {
+				qrates = make([]int32, k)
+			}
+			return q15FeatureInst(func(q []int32) (int32, bool) {
+				return zcrVarianceQ15(qrates, q, k)
+			}), nil
+		}
 		var rates []float64 // per-instance scratch for the sub-window rates
 		if k >= 2 {
 			rates = make([]float64, k)
@@ -114,6 +160,15 @@ func newInstance(n *core.PlanNode) (instance, error) {
 			return zcrVariance(rates, win, k)
 		}), nil
 	case core.KindStat:
+		if prec == Q15 {
+			fn, err := statFuncQ15(p.Str("op"))
+			if err != nil {
+				return nil, err
+			}
+			return q15FeatureInst(func(q []int32) (int32, bool) {
+				return fn(q), true
+			}), nil
+		}
 		fn, err := statFunc(p.Str("op"))
 		if err != nil {
 			return nil, err
@@ -137,15 +192,15 @@ func newInstance(n *core.PlanNode) (instance, error) {
 		return &absInst{}, nil
 
 	case core.KindMinThreshold:
-		return &thresholdInst{gate: dsp.NewMinThreshold(p.Float("min")), sustain: p.Int("sustain")}, nil
+		return newThresholdInst(dsp.NewMinThreshold(p.Float("min")), p.Int("sustain"), prec), nil
 	case core.KindMaxThreshold:
-		return &thresholdInst{gate: dsp.NewMaxThreshold(p.Float("max")), sustain: p.Int("sustain")}, nil
+		return newThresholdInst(dsp.NewMaxThreshold(p.Float("max")), p.Int("sustain"), prec), nil
 	case core.KindBandThreshold:
 		gate, err := dsp.NewBandThreshold(p.Float("min"), p.Float("max"))
 		if err != nil {
 			return nil, err
 		}
-		return &thresholdInst{gate: gate, sustain: p.Int("sustain")}, nil
+		return newThresholdInst(gate, p.Int("sustain"), prec), nil
 	}
 	return nil, fmt.Errorf("no runtime implementation for algorithm %q", n.Kind)
 }
@@ -168,6 +223,16 @@ func (i *windowInst) Push(_ int, v Value) (Value, bool) {
 }
 
 func (i *windowInst) Reset() { i.w.Reset(); i.seq = 0 }
+
+func (i *windowInst) consumeBlock(src []float64) (int, Value, bool) {
+	n, win, ok := i.w.Consume(src)
+	if !ok {
+		return n, Value{}, false
+	}
+	out := Value{Seq: i.seq, Vector: win}
+	i.seq++
+	return n, out, true
+}
 
 // --- transforms ----------------------------------------------------------
 
@@ -261,6 +326,13 @@ type scalarFilter interface {
 	Reset()
 }
 
+// blockScalarFilter is a scalar filter with a block fast path: PushBlock
+// appends emissions to dst[:0] and reports the leading-sample skip, with
+// the dense-suffix guarantee blockMapper requires.
+type blockScalarFilter interface {
+	PushBlock(dst, src []float64) (out []float64, skip int)
+}
+
 type scalarFilterInst struct{ f scalarFilter }
 
 func (i *scalarFilterInst) Push(_ int, v Value) (Value, bool) {
@@ -272,6 +344,34 @@ func (i *scalarFilterInst) Push(_ int, v Value) (Value, bool) {
 }
 
 func (i *scalarFilterInst) Reset() { i.f.Reset() }
+
+// blockScalarInst adds blockMapper on top of scalarFilterInst for kernels
+// with a block fast path. The output scratch is instance-owned: downstream
+// consumption is depth-first and completes before the next pushBlock, the
+// same ownership discipline vector emitters already follow.
+type blockScalarInst struct {
+	scalarFilterInst
+	bf  blockScalarFilter
+	out []float64
+}
+
+// newScalarInst wraps a scalar filter, picking the block-capable adapter
+// when the kernel offers one.
+func newScalarInst(f scalarFilter) instance {
+	if bf, ok := f.(blockScalarFilter); ok {
+		return &blockScalarInst{scalarFilterInst: scalarFilterInst{f: f}, bf: bf}
+	}
+	return &scalarFilterInst{f: f}
+}
+
+func (i *blockScalarInst) pushBlock(src []float64) ([]float64, int) {
+	if cap(i.out) < len(src) {
+		i.out = make([]float64, 0, len(src))
+	}
+	out, skip := i.bf.PushBlock(i.out[:0], src)
+	i.out = out
+	return out, skip
+}
 
 type blockFilterInst struct {
 	f   *dsp.BlockFilter
@@ -289,6 +389,16 @@ func (i *blockFilterInst) Push(_ int, v Value) (Value, bool) {
 }
 
 func (i *blockFilterInst) Reset() { i.f.Reset(); i.seq = 0 }
+
+func (i *blockFilterInst) consumeBlock(src []float64) (int, Value, bool) {
+	n, block, ok := i.f.Consume(src)
+	if !ok {
+		return n, Value{}, false
+	}
+	out := Value{Seq: i.seq, Vector: block}
+	i.seq++
+	return n, out, true
+}
 
 // goertzelInst adapts the Goertzel bank: block-emitting, so it opens a
 // fresh sequence domain like windowing does.
@@ -309,6 +419,16 @@ func (i *goertzelInst) Push(_ int, v Value) (Value, bool) {
 
 func (i *goertzelInst) Reset() { i.bank.Reset(); i.seq = 0 }
 
+func (i *goertzelInst) consumeBlock(src []float64) (int, Value, bool) {
+	n, score, ok := i.bank.Consume(src)
+	if !ok {
+		return n, Value{}, false
+	}
+	out := Value{Seq: i.seq, Scalar: score}
+	i.seq++
+	return n, out, true
+}
+
 // --- vector features -----------------------------------------------------
 
 // featureFn reduces one window/spectrum to a scalar feature.
@@ -327,6 +447,74 @@ func (i *featureInst) Push(_ int, v Value) (Value, bool) {
 }
 
 func (i *featureInst) Reset() {}
+
+// q15Feature reduces a quantized window to a Q15 scalar feature.
+type q15Feature func([]int32) (int32, bool)
+
+// q15FeatInst quantizes each incoming window into instance-owned int32
+// scratch and reduces it with a fixed-point feature — the Q15 twin of
+// featureInst. The emitted scalar is the exact float image of the Q15
+// result, so downstream float glue sees on-grid values.
+type q15FeatInst struct {
+	fn   q15Feature
+	qwin []int32
+}
+
+func q15FeatureInst(fn q15Feature) instance { return &q15FeatInst{fn: fn} }
+
+func (i *q15FeatInst) Push(_ int, v Value) (Value, bool) {
+	if cap(i.qwin) < len(v.Vector) {
+		i.qwin = make([]int32, len(v.Vector))
+	}
+	q := dsp.ToQ15Slice(i.qwin[:cap(i.qwin)], v.Vector)
+	out, ok := i.fn(q)
+	if !ok {
+		return Value{}, false
+	}
+	return Value{Seq: v.Seq, Scalar: dsp.FromQ15(out)}, true
+}
+
+func (i *q15FeatInst) Reset() {}
+
+// statFuncQ15 maps a stat op name to its fixed-point implementation.
+func statFuncQ15(op string) (func([]int32) int32, error) {
+	switch op {
+	case "mean":
+		return dsp.MeanQ15, nil
+	case "variance":
+		return dsp.VarianceQ15, nil
+	case "stddev":
+		return dsp.StdDevQ15, nil
+	case "min":
+		return dsp.MinQ15, nil
+	case "max":
+		return dsp.MaxQ15, nil
+	case "range":
+		return dsp.RangeQ15, nil
+	case "rms":
+		return dsp.RMSQ15, nil
+	case "median":
+		return dsp.MedianQ15, nil
+	case "meanAbs":
+		return dsp.MeanAbsQ15, nil
+	case "energy":
+		return dsp.EnergyQ15, nil
+	}
+	return nil, fmt.Errorf("unknown stat op %q", op)
+}
+
+// zcrVarianceQ15 is the fixed-point twin of zcrVariance: the variance of
+// the k sub-window zero-crossing rates, all in Q15.
+func zcrVarianceQ15(qrates, q []int32, k int) (int32, bool) {
+	if k < 2 || len(q) < k {
+		return 0, false
+	}
+	sub := len(q) / k
+	for i := 0; i < k; i++ {
+		qrates[i] = dsp.ZeroCrossingRateQ15(q[i*sub : (i+1)*sub])
+	}
+	return dsp.VarianceQ15(qrates), true
+}
 
 // statFunc maps a stat op name to its implementation.
 func statFunc(op string) (func([]float64) float64, error) {
@@ -551,9 +739,30 @@ func (i *joinInst) Reset() {
 // condition must hold for `sustain` consecutive emissions before values
 // pass (used for the paper's "pitched sounds lasting longer than 650 ms").
 type thresholdInst struct {
-	gate    *dsp.Threshold
+	gate    admitGate
 	sustain int
 	run     int
+}
+
+// admitGate abstracts the float and Q15 threshold twins behind the single
+// decision the interpreter needs.
+type admitGate interface {
+	Admits(v float64) bool
+}
+
+// q15Gate adapts ThresholdQ15: the comparison quantizes the input and
+// compares int32 bounds, so float- and fixed-point-fed values that round
+// to the same grid point get the same verdict.
+type q15Gate struct{ t *dsp.ThresholdQ15 }
+
+func (g q15Gate) Admits(v float64) bool { return g.t.AdmitsFloat(v) }
+
+// newThresholdInst picks the gate implementation for the precision.
+func newThresholdInst(gate *dsp.Threshold, sustain int, prec Precision) instance {
+	if prec == Q15 {
+		return &thresholdInst{gate: q15Gate{t: gate.Q15()}, sustain: sustain}
+	}
+	return &thresholdInst{gate: gate, sustain: sustain}
 }
 
 func (i *thresholdInst) Push(_ int, v Value) (Value, bool) {

@@ -401,6 +401,60 @@ func (h *HubNode) Feed(ch core.SensorChannel, v float64) error {
 	return nil
 }
 
+// FeedBlock delivers a whole block of raw samples from one channel on the
+// interpreter's block fast path. Observationally identical to calling Feed
+// once per sample: the raw-data ring is advanced incrementally up to each
+// wake's offset before its data/wake frames are emitted, so snapshots and
+// sample indices match the per-sample path exactly. Callers mixing several
+// channels must keep using Feed — block-feeding channels sequentially
+// would let one channel's ring run ahead of the others' inside a wake's
+// data snapshot.
+func (h *HubNode) FeedBlock(ch core.SensorChannel, samples []float64) error {
+	if h.crash.Down() {
+		// Crash state only changes inside Service, so it is constant
+		// across the block: a crashed hub loses the whole block.
+		h.samplesLost += len(samples)
+		return nil
+	}
+	r := h.rings[ch]
+	fed := 0
+	feedTo := func(end int) {
+		if r != nil {
+			for _, v := range samples[fed:end] {
+				r.push(v)
+			}
+		}
+		h.counts[ch] += int64(end - fed)
+		fed = end
+	}
+	if h.merged == nil {
+		feedTo(len(samples))
+		return nil
+	}
+	for _, wake := range h.merged.PushBlock(ch, samples) {
+		feedTo(wake.Off + 1)
+		id := h.mergedIDs[wake.Plan]
+		c := h.conds[id]
+		for _, pc := range c.plan.Channels {
+			if pr := h.rings[pc]; pr != nil {
+				payload := encodeData(c.id, pc, pr.snapshot())
+				if err := h.ep.Send(link.Frame{Type: link.MsgData, Payload: payload}); err != nil {
+					return err
+				}
+			}
+		}
+		payload := encodeWake(c.id, wake.Value, h.counts[ch]-1)
+		if err := h.ep.Send(link.Frame{Type: link.MsgWake, Payload: payload}); err != nil {
+			return err
+		}
+		h.wakesSent++
+		h.cWakesSent.Inc()
+		h.trace.Instant2("wake.sent", "hub", "cond", float64(c.id), "value", wake.Value)
+	}
+	feedTo(len(samples))
+	return nil
+}
+
 // WakesSent returns how many wake frames the hub has handed to the link.
 // Comparing it against listener callbacks measures delivery over a lossy
 // wire.

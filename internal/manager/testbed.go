@@ -228,6 +228,18 @@ func (t *Testbed) Feed(ch core.SensorChannel, v float64) error {
 	return t.Pump()
 }
 
+// FeedBlock delivers a whole sample block for one channel on the hub's
+// block fast path and pumps any resulting wake callbacks.
+func (t *Testbed) FeedBlock(ch core.SensorChannel, samples []float64) error {
+	if err := t.Hub.FeedBlock(ch, samples); err != nil {
+		return err
+	}
+	if t.quiet() {
+		return nil
+	}
+	return t.Pump()
+}
+
 // FeedSlice delivers a whole sample stream for one channel.
 func (t *Testbed) FeedSlice(ch core.SensorChannel, samples []float64) error {
 	for _, v := range samples {

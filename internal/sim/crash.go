@@ -247,6 +247,31 @@ func CrashRun(tr *sensor.Trace, app *apps.App, cfg CrashRunConfig) (*CrashResult
 	dt := 1 / tr.RateHz
 	hold := int(swIdleHoldSec * tr.RateHz)
 
+	// The oracle runs outside the failing stack, so its whole-trace fired
+	// bitmap can be precomputed on the interpreter's block fast path; the
+	// main loop then attributes each fired sample to its timeline window.
+	// The live hub still gets fed per sample — its state interleaves with
+	// crash injection and heartbeat servicing.
+	oracleFired := make([]bool, n)
+	for base := 0; base < n; base += simBlock {
+		end := base + simBlock
+		if end > n {
+			end = n
+		}
+		for i, ch := range app.Channels {
+			e := end
+			if e > len(channels[i]) {
+				e = len(channels[i])
+			}
+			if e <= base {
+				continue
+			}
+			for _, w := range oracle.PushBlock(ch, channels[i][base:e]) {
+				oracleFired[base+w.Off] = true
+			}
+		}
+	}
+
 	// Outage span tracing: one span per contiguous non-Up stretch.
 	spanState := resilience.Up
 	spanStart := 0.0
@@ -276,10 +301,9 @@ func CrashRun(tr *sensor.Trace, app *apps.App, cfg CrashRunConfig) (*CrashResult
 		}
 		fallbackNow := state == resilience.Down || state == resilience.Recovering
 
-		// Feed the live hub (it drops samples internally while down) and
-		// the oracle, attributing the oracle's wakes to this sample's
-		// window.
-		fired := false
+		// Feed the live hub (it drops samples internally while down); the
+		// oracle's precomputed bitmap attributes this sample's wakes to
+		// their timeline window.
 		for i, ch := range app.Channels {
 			if s >= len(channels[i]) {
 				continue
@@ -287,11 +311,8 @@ func CrashRun(tr *sensor.Trace, app *apps.App, cfg CrashRunConfig) (*CrashResult
 			if err := bed.Hub.Feed(ch, channels[i][s]); err != nil {
 				return nil, err
 			}
-			if len(oracle.PushSample(ch, channels[i][s])) > 0 {
-				fired = true
-			}
 		}
-		if fired {
+		if oracleFired[s] {
 			res.OracleWakes++
 			switch {
 			case fallbackNow:

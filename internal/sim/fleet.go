@@ -54,6 +54,10 @@ type FleetRunConfig struct {
 	// degraded conditions (default 10 s).
 	FallbackSleepSec float64
 
+	// Precision selects the hub interpreter's numeric substrate for every
+	// cell (default float64).
+	Precision interp.Precision
+
 	// Telemetry, when enabled, deposits every cell's energy split into
 	// the ledger (phone states, phone.fallback for degraded sensing, hub
 	// device draw) in cell order.
@@ -225,7 +229,7 @@ func fleetCell(cfg FleetRunConfig, rng *rand.Rand, sleepSec float64) (FleetCell,
 
 	hubPlans := s.HubPlans()
 	if len(hubPlans) > 0 {
-		m, err := interp.NewMerged(hubPlans...)
+		m, err := interp.NewMergedPrecision(cfg.Precision, hubPlans...)
 		if err != nil {
 			return cell, nil, err
 		}
@@ -250,24 +254,38 @@ func fleetCell(cfg FleetRunConfig, rng *rand.Rand, sleepSec float64) (FleetCell,
 
 		hold := int(swIdleHoldSec * tr.RateHz)
 		lastFire := -1
-		for i := 0; i < tr.Len(); i++ {
-			fired := false
+		// Block fast path: push whole chunks through the merged machine,
+		// spread wake offsets onto a fired bitmap, and replay the phone
+		// state machine per sample — identical to the per-sample loop.
+		fired := make([]bool, simBlock)
+		for base := 0; base < tr.Len(); base += simBlock {
+			end := base + simBlock
+			if end > tr.Len() {
+				end = tr.Len()
+			}
+			f := fired[:end-base]
+			for k := range f {
+				f[k] = false
+			}
 			for ci := range channels {
-				if len(m.PushSample(chNames[ci], channels[ci][i])) > 0 {
-					fired = true
+				for _, w := range m.PushBlock(chNames[ci], channels[ci][base:end]) {
+					f[w.Off] = true
 				}
 			}
-			if fired {
-				cell.Wakes++
-				lastFire = i
-				if ph.State() == power.Asleep || ph.State() == power.FallingAsleep {
-					ph.RequestWake()
+			for k := range f {
+				i := base + k
+				if f[k] {
+					cell.Wakes++
+					lastFire = i
+					if ph.State() == power.Asleep || ph.State() == power.FallingAsleep {
+						ph.RequestWake()
+					}
 				}
+				if ph.State() == power.Awake && lastFire >= 0 && i-lastFire > hold {
+					ph.RequestSleep()
+				}
+				ph.Advance(dt)
 			}
-			if ph.State() == power.Awake && lastFire >= 0 && i-lastFire > hold {
-				ph.RequestSleep()
-			}
-			ph.Advance(dt)
 		}
 		cell.HubEnergyMJ = dev.ActivePowerMW * cell.DurationSec
 	} else {

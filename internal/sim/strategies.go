@@ -24,6 +24,10 @@ const (
 	// swIdleHoldSec puts the phone back to sleep after this long without
 	// the Sidewinder condition firing.
 	swIdleHoldSec = 1.5
+	// simBlock is the chunk size the simulator feeds the interpreter's
+	// block fast path with; the phone state machine replays each chunk
+	// per sample over the fired bitmap, so the choice only affects speed.
+	simBlock = 1024
 )
 
 // ---------------------------------------------------------------- helpers
@@ -391,6 +395,9 @@ type Sidewinder struct {
 	Catalog *core.Catalog
 	// Devices defaults to hub.Devices().
 	Devices []hub.Device
+	// Precision selects the interpreter's numeric substrate (default
+	// float64; Q15 models the FPU-less MCU hub on fixed-point arithmetic).
+	Precision interp.Precision
 
 	// Telemetry, when enabled, attributes the run's energy to the ledger,
 	// profiles the hub interpreter per stage, and traces wake events and
@@ -422,7 +429,7 @@ func (s Sidewinder) Run(tr *sensor.Trace, app *apps.App) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sim: placing %s wake condition: %w", app.Name, err)
 	}
-	m, err := interp.New(plan)
+	m, err := interp.NewPrecision(plan, s.Precision)
 	if err != nil {
 		return nil, err
 	}
@@ -459,30 +466,46 @@ func (s Sidewinder) Run(tr *sensor.Trace, app *apps.App) (*Result, error) {
 	openStart := -1
 	lastFire := -1
 
-	for i := 0; i < tr.Len(); i++ {
-		fired := false
+	// The hub interpreter runs on the block fast path: each chunk is pushed
+	// whole and the resulting wake offsets are spread onto a fired bitmap,
+	// then the phone state machine replays the chunk sample by sample. The
+	// bitmap preserves the per-sample fired sequence exactly, so the power
+	// timeline and telemetry are byte-identical to the per-sample loop.
+	fired := make([]bool, simBlock)
+	for base := 0; base < tr.Len(); base += simBlock {
+		end := base + simBlock
+		if end > tr.Len() {
+			end = tr.Len()
+		}
+		f := fired[:end-base]
+		for k := range f {
+			f[k] = false
+		}
 		for ci, samples := range channels {
-			if len(m.PushSample(chNames[ci], samples[i])) > 0 {
-				fired = true
+			for _, w := range m.PushBlock(chNames[ci], samples[base:end]) {
+				f[w.Off] = true
 			}
 		}
-		if fired {
-			lastFire = i
-			hubStream.Instant1("wake.sent", "hub", "sample", float64(i))
-			if ph.State() == power.Asleep || ph.State() == power.FallingAsleep {
-				ph.RequestWake()
-				openStart = i - preBuffer
-				if openStart < 0 {
-					openStart = 0
+		for k := range f {
+			i := base + k
+			if f[k] {
+				lastFire = i
+				hubStream.Instant1("wake.sent", "hub", "sample", float64(i))
+				if ph.State() == power.Asleep || ph.State() == power.FallingAsleep {
+					ph.RequestWake()
+					openStart = i - preBuffer
+					if openStart < 0 {
+						openStart = 0
+					}
 				}
 			}
+			if ph.State() == power.Awake && lastFire >= 0 && i-lastFire > hold {
+				ph.RequestSleep()
+				intervals = append(intervals, Interval{openStart, i})
+				openStart = -1
+			}
+			c.advance(dt)
 		}
-		if ph.State() == power.Awake && lastFire >= 0 && i-lastFire > hold {
-			ph.RequestSleep()
-			intervals = append(intervals, Interval{openStart, i})
-			openStart = -1
-		}
-		c.advance(dt)
 	}
 	if openStart >= 0 {
 		intervals = append(intervals, Interval{openStart, tr.Len()})

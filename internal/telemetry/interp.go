@@ -31,6 +31,21 @@ func (s *StageStat) Record(floatOps, intOps float64, emitted bool) {
 	}
 }
 
+// RecordBlock accounts n node executions with emitted emissions in one
+// call — the block-dispatch path's batched equivalent of n Record calls.
+// Per-execution costs in this codebase are integer- or dyadic-valued, so
+// the batched float accumulation is bit-identical to n sequential adds.
+// No-op on a nil stat.
+func (s *StageStat) RecordBlock(floatOps, intOps float64, n, emitted int64) {
+	if s == nil {
+		return
+	}
+	s.Invocations += n
+	s.FloatOps += floatOps * float64(n)
+	s.IntOps += intOps * float64(n)
+	s.Emissions += emitted
+}
+
 // InterpProfile is a per-machine table of stage statistics keyed by stage
 // kind. A machine interns one *StageStat per node at attach time and
 // afterwards records through the pre-resolved handles. Nil-safe: a nil

@@ -1,0 +1,128 @@
+package sidewinder_test
+
+import (
+	"testing"
+	"time"
+
+	"sidewinder/internal/apps"
+	"sidewinder/internal/core"
+	"sidewinder/internal/interp"
+	"sidewinder/internal/sensor"
+	"sidewinder/internal/tracegen"
+)
+
+// fidelityScenario is one tracegen scenario with a pinned ceiling on the
+// wake-decision divergence Q15 mode may introduce over it.
+type fidelityScenario struct {
+	name string
+	gen  func() (*sensor.Trace, error)
+	// maxDivergence bounds, per app, the fraction of samples whose fired
+	// decision differs between float64 and Q15 execution. Measured
+	// divergence is zero on every (scenario, app) cell today — the
+	// catalog's thresholds sit far from the Q15 grid's rounding error at
+	// decision time — so the pins are pure headroom; a regression that
+	// widens Q15's decision error trips them.
+	maxDivergence float64
+}
+
+// firedBitmap replays the trace through one machine on the block path and
+// returns the per-sample wake decision.
+func firedBitmap(t *testing.T, plan *core.Plan, prec interp.Precision, tr *sensor.Trace) []bool {
+	t.Helper()
+	m, err := interp.NewPrecision(plan, prec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := tr.Len()
+	fired := make([]bool, n)
+	const chunk = 4096
+	for base := 0; base < n; base += chunk {
+		end := base + chunk
+		if end > n {
+			end = n
+		}
+		for _, ch := range plan.Channels {
+			for _, w := range m.PushBlock(ch, tr.Channels[ch][base:end]) {
+				fired[base+w.Off] = true
+			}
+		}
+	}
+	return fired
+}
+
+// TestQ15WakeDecisionFidelity pins how far Q15 execution may move the wake
+// decisions relative to float64 across the tracegen scenarios: for every
+// catalog application the per-sample divergence fraction must stay under
+// the scenario's ceiling. Q15 is a lossy substrate by design — the point
+// of the pin is that its loss stays small and stable.
+func TestQ15WakeDecisionFidelity(t *testing.T) {
+	scenarios := []fidelityScenario{
+		{
+			name: "robot",
+			gen: func() (*sensor.Trace, error) {
+				return tracegen.Robot(tracegen.RobotConfig{
+					Seed: 11, Duration: 5 * time.Minute, IdleFraction: 0.5,
+				})
+			},
+			maxDivergence: 0.005,
+		},
+		{
+			name: "audio",
+			gen: func() (*sensor.Trace, error) {
+				return tracegen.Audio(tracegen.NewAudioConfig(13, 2*time.Minute, tracegen.CoffeeShopAudio))
+			},
+			maxDivergence: 0.005,
+		},
+		{
+			name: "human",
+			gen: func() (*sensor.Trace, error) {
+				return tracegen.Human(tracegen.HumanConfig{
+					Seed: 17, Duration: 30 * time.Minute, Profile: tracegen.Commute,
+				})
+			},
+			maxDivergence: 0.005,
+		},
+	}
+	cat := core.DefaultCatalog()
+
+	for _, sc := range scenarios {
+		tr, err := sc.gen()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, app := range apps.All() {
+			plan, err := app.Wake.Validate(cat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compatible := true
+			for _, ch := range plan.Channels {
+				if _, ok := tr.Channels[ch]; !ok {
+					compatible = false
+				}
+			}
+			if !compatible {
+				continue
+			}
+
+			f64 := firedBitmap(t, plan, interp.Float64, tr)
+			q15 := firedBitmap(t, plan, interp.Q15, tr)
+			diff, f64Fired := 0, 0
+			for i := range f64 {
+				if f64[i] {
+					f64Fired++
+				}
+				if f64[i] != q15[i] {
+					diff++
+				}
+			}
+			div := float64(diff) / float64(len(f64))
+			t.Logf("%s/%s: %d/%d samples diverge (%.5f%%), float64 fired %d",
+				sc.name, app.Name, diff, len(f64), div*100, f64Fired)
+			if div > sc.maxDivergence {
+				t.Errorf("%s/%s: wake-decision divergence %.5f exceeds pinned ceiling %.5f",
+					sc.name, app.Name, div, sc.maxDivergence)
+			}
+		}
+	}
+}
