@@ -2,14 +2,18 @@
 # suite under the race detector (the parallel evaluation harness fans
 # simulation cells across goroutines, so -race is part of the contract).
 # `make fuzz` runs the native fuzz targets (link deframer, IR parser,
-# heartbeat codec) for a short fixed budget on top of their committed
-# corpora; run it before shipping protocol or parser changes.
+# DAG compiler, heartbeat codec) for a short fixed budget on top of their
+# committed corpora; run it before shipping protocol or parser changes.
 
 GO ?= go
 FUZZTIME ?= 10s
 # COVER_FLOOR is the minimum total statement coverage `make cover-check`
 # accepts, in percent. CI fails below it; raise it as coverage grows.
-COVER_FLOOR ?= 82.0
+COVER_FLOOR ?= 83.0
+# PKG_FLOORS pins per-package floors on top of the total: the DAG compile
+# pass is the correctness keystone of cross-app sharing, so internal/ir
+# must stay at >=85% on its own.
+PKG_FLOORS = sidewinder/internal/ir=85.0
 # BENCH_PKGS are the packages whose benchmarks carry allocs/op contracts
 # (hot paths that must not regress).
 BENCH_PKGS = . ./internal/interp ./internal/telemetry
@@ -76,13 +80,14 @@ cover:
 	$(GO) tool cover -func=coverage.out | tail -1
 	$(GO) tool cover -html=coverage.out -o coverage.html
 
-# cover-check enforces the coverage floor on an existing coverage.out
-# (CI's coverage gate; run `make cover` first).
+# cover-check enforces the total and per-package coverage floors on an
+# existing coverage.out (CI's coverage gate; run `make cover` first).
 cover-check:
-	scripts/check_coverage.sh coverage.out $(COVER_FLOOR)
+	scripts/check_coverage.sh coverage.out $(COVER_FLOOR) $(PKG_FLOORS)
 
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeFrame$$' -fuzztime $(FUZZTIME) ./internal/link
 	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/ir
+	$(GO) test -run '^$$' -fuzz '^FuzzDAGCompile$$' -fuzztime $(FUZZTIME) ./internal/ir
 	$(GO) test -run '^$$' -fuzz '^FuzzHeartbeat$$' -fuzztime $(FUZZTIME) ./internal/resilience
 	$(GO) test -run '^$$' -fuzz '^FuzzQ15Roundtrip$$' -fuzztime $(FUZZTIME) ./internal/dsp

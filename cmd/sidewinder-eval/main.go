@@ -8,6 +8,7 @@
 //	                [-seed N] [-robot-min M] [-audio-min M] [-human-min M]
 //	                [-workers N] [-speedup] [-cpuprofile FILE]
 //	                [-metrics FILE] [-trace FILE] [-precision float64|q15]
+//	                [-cse=false]
 //
 // Traces are synthesized deterministically from the seed, and simulation
 // cells fan out over a worker pool that collects results in submission
@@ -50,6 +51,8 @@ func main() {
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON trace to this file (open in Perfetto)")
 	precision := flag.String("precision", "float64",
 		"hub interpreter numeric substrate: float64 or q15 (saturating fixed-point)")
+	cse := flag.Bool("cse", true,
+		"share structurally identical pipeline subgraphs across resident apps (fleet experiment); -cse=false is the ablation")
 	flag.Parse()
 
 	prec, err := interp.ParsePrecision(*precision)
@@ -66,6 +69,7 @@ func main() {
 		Workers:          *workers,
 		Telemetry:        telemetrySet(*metricsFile, *traceFile),
 		Precision:        prec,
+		DisableCSE:       !*cse,
 	}
 
 	if *cpuprofile != "" {

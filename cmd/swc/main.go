@@ -9,6 +9,14 @@
 //	swc -check program.ir           parse+bind an existing IR program
 //	swc -report condition.json      also print per-device feasibility
 //	swc -catalog                    list the platform algorithm catalog
+//	swc -O condition.json           optimize through the DAG compile pass
+//	swc -dot condition.json         print the DAG as Graphviz dot (stdout)
+//	swc -apps -dot                  one shared DAG across all six apps
+//
+// -O runs the spec through the DAG compile pass (common-subexpression
+// elimination, constant folding, threshold fusion) before emitting IR and
+// prints the pass statistics to stderr. -dot emits Graphviz instead of IR;
+// render with: swc -dot condition.json | dot -Tsvg > condition.svg.
 //
 // Exit status is non-zero if the condition is invalid or fits no device.
 package main
@@ -31,21 +39,26 @@ func main() {
 	catalog := flag.Bool("catalog", false, "list the platform algorithm catalog and exit")
 	graph := flag.Bool("graph", false, "also print the conceptual pipeline graph (paper Fig. 2b) to stderr")
 	showApps := flag.Bool("apps", false, "print the six reference applications' wake-up conditions (paper Fig. 3) and exit")
+	optimize := flag.Bool("O", false, "run the DAG compile pass (CSE, folding, threshold fusion) before emitting IR; prints pass stats to stderr")
+	dot := flag.Bool("dot", false, "print the compiled DAG as Graphviz dot to stdout instead of IR (with -apps: one shared DAG across all apps)")
 	flag.Parse()
 
-	if err := run(*check, *report, *catalog, *graph, *showApps, flag.Args()); err != nil {
+	if err := run(*check, *report, *catalog, *graph, *showApps, *optimize, *dot, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "swc:", err)
 		os.Exit(1)
 	}
 }
 
-func run(check, report, listCatalog, graph, showApps bool, args []string) error {
+func run(check, report, listCatalog, graph, showApps, optimize, dot bool, args []string) error {
 	cat := core.DefaultCatalog()
 	if listCatalog {
 		printCatalog(cat)
 		return nil
 	}
 	if showApps {
+		if dot {
+			return printAppsDot(cat)
+		}
 		return printApps(cat)
 	}
 	if len(args) != 1 {
@@ -57,6 +70,7 @@ func run(check, report, listCatalog, graph, showApps bool, args []string) error 
 	}
 
 	var plan *core.Plan
+	emitIR := !check
 	if check {
 		if plan, err = ir.ParseAndBind(string(data), cat); err != nil {
 			return err
@@ -70,6 +84,28 @@ func run(check, report, listCatalog, graph, showApps bool, args []string) error 
 		if plan, err = pipeline.Validate(cat); err != nil {
 			return err
 		}
+	}
+
+	if dot {
+		// The dot view always goes through the compile pass: the point of
+		// the drawing is the deduplicated DAG with shared nodes shaded.
+		sp, err := ir.CompilePlans(cat, ir.CompileOptions{}, plan)
+		if err != nil {
+			return err
+		}
+		fmt.Print(sp.Dot())
+		fmt.Fprintf(os.Stderr, "compile: %s\n", sp.Stats.String())
+		return nil
+	}
+	if optimize {
+		compiled, stats, err := ir.CompilePlan(cat, ir.CompileOptions{}, plan)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "compile: %s\n", stats.String())
+		plan = compiled
+	}
+	if emitIR {
 		fmt.Print(ir.CompileToText(plan))
 	}
 
@@ -86,6 +122,30 @@ func run(check, report, listCatalog, graph, showApps bool, args []string) error 
 	if graph {
 		fmt.Fprint(os.Stderr, ir.Graph(plan))
 	}
+	return nil
+}
+
+// printAppsDot compiles all six reference applications into one shared
+// execution DAG and prints it as Graphviz dot — the cross-app
+// common-subgraph picture the capacity scheduler bills from. Render with:
+//
+//	swc -apps -dot | dot -Tsvg > apps.svg
+func printAppsDot(cat *core.Catalog) error {
+	var plans []*core.Plan
+	for _, app := range apps.All() {
+		plan, err := app.Wake.Validate(cat)
+		if err != nil {
+			return fmt.Errorf("%s: %w", app.Name, err)
+		}
+		plan.Name = app.Name
+		plans = append(plans, plan)
+	}
+	sp, err := ir.CompilePlans(cat, ir.CompileOptions{}, plans...)
+	if err != nil {
+		return err
+	}
+	fmt.Print(sp.Dot())
+	fmt.Fprintf(os.Stderr, "compile: %s\n", sp.Stats.String())
 	return nil
 }
 

@@ -25,10 +25,34 @@ func writeTemp(t *testing.T, name, content string) string {
 	return path
 }
 
+// flags bundles run's boolean arguments so each test names only the ones
+// it sets.
+type flags struct {
+	check, report, catalog, graph, apps, optimize, dot bool
+}
+
+func runWith(f flags, args []string) error {
+	return run(f.check, f.report, f.catalog, f.graph, f.apps, f.optimize, f.dot, args)
+}
+
 func TestCompileSpec(t *testing.T) {
 	path := writeTemp(t, "sig.json", sigJSON)
-	if err := run(false, true, false, true, false, []string{path}); err != nil {
+	if err := runWith(flags{report: true, graph: true}, []string{path}); err != nil {
 		t.Fatalf("compile: %v", err)
+	}
+}
+
+func TestCompileSpecOptimized(t *testing.T) {
+	path := writeTemp(t, "sig.json", sigJSON)
+	if err := runWith(flags{optimize: true}, []string{path}); err != nil {
+		t.Fatalf("compile -O: %v", err)
+	}
+}
+
+func TestCompileSpecDot(t *testing.T) {
+	path := writeTemp(t, "sig.json", sigJSON)
+	if err := runWith(flags{dot: true}, []string{path}); err != nil {
+		t.Fatalf("compile -dot: %v", err)
 	}
 }
 
@@ -38,43 +62,62 @@ func TestCheckIR(t *testing.T) {
 2 -> OUT;
 `
 	path := writeTemp(t, "prog.ir", ir)
-	if err := run(true, false, false, false, false, []string{path}); err != nil {
+	if err := runWith(flags{check: true}, []string{path}); err != nil {
 		t.Fatalf("check: %v", err)
+	}
+}
+
+func TestCheckIROptimized(t *testing.T) {
+	ir := `ACC_X -> movingAvg(id=1, params={10});
+1 -> minThreshold(id=2, params={15, 1});
+2 -> minThreshold(id=3, params={20, 1});
+3 -> OUT;
+`
+	path := writeTemp(t, "prog.ir", ir)
+	if err := runWith(flags{check: true, optimize: true}, []string{path}); err != nil {
+		t.Fatalf("check -O: %v", err)
 	}
 }
 
 func TestCheckRejectsBadIR(t *testing.T) {
 	path := writeTemp(t, "bad.ir", "ACC_X -> nonsense(id=1);\n1 -> OUT;\n")
-	if err := run(true, false, false, false, false, []string{path}); err == nil {
+	if err := runWith(flags{check: true}, []string{path}); err == nil {
 		t.Fatal("bad IR should fail")
 	}
 }
 
 func TestCompileRejectsInvalidSpec(t *testing.T) {
 	path := writeTemp(t, "bad.json", `{"branches":[{"source":"ACC_X","stages":[{"kind":"movingAvg","params":{"size":0}}]}]}`)
-	if err := run(false, false, false, false, false, []string{path}); err == nil {
+	if err := runWith(flags{}, []string{path}); err == nil {
 		t.Fatal("invalid spec should fail")
 	}
 }
 
 func TestAppsListing(t *testing.T) {
 	// The paper's Fig. 3: all six reference conditions render.
-	if err := run(false, false, false, false, true, nil); err != nil {
+	if err := runWith(flags{apps: true}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppsDot(t *testing.T) {
+	// All six reference conditions compiled into one shared DAG.
+	if err := runWith(flags{apps: true, dot: true}, nil); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestCatalogListing(t *testing.T) {
-	if err := run(false, false, true, false, false, nil); err != nil {
+	if err := runWith(flags{catalog: true}, nil); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestUsageErrors(t *testing.T) {
-	if err := run(false, false, false, false, false, nil); err == nil {
+	if err := runWith(flags{}, nil); err == nil {
 		t.Fatal("missing input should fail")
 	}
-	if err := run(false, false, false, false, false, []string{"/nonexistent/file.json"}); err == nil {
+	if err := runWith(flags{}, []string{"/nonexistent/file.json"}); err == nil {
 		t.Fatal("unreadable input should fail")
 	}
 }

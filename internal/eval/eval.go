@@ -45,6 +45,11 @@ type Options struct {
 	// Sidewinder cell (default float64; q15 models the FPU-less MCU on
 	// saturating fixed-point arithmetic).
 	Precision interp.Precision
+	// DisableCSE is the cross-app sharing ablation for the fleet sweep:
+	// the scheduler bills every condition its standalone demand and the
+	// merged interpreter executes duplicated subgraphs separately. The
+	// default (false) compiles resident apps into one shared DAG.
+	DisableCSE bool
 	// Telemetry, when any sink is set, is shared by every simulation cell
 	// of the run: counters aggregate across cells (the registry interns by
 	// name), the ledger accumulates the whole run's energy, and trace
@@ -140,6 +145,10 @@ type Workload struct {
 	// Precision is injected into every Sidewinder cell run over this
 	// workload (see Options.Precision).
 	Precision interp.Precision
+
+	// DisableCSE is injected into every fleet cell run over this workload
+	// (see Options.DisableCSE).
+	DisableCSE bool
 }
 
 // GenerateWorkload produces all traces for the options. Each trace derives
@@ -184,12 +193,13 @@ func GenerateWorkload(o Options) (*Workload, error) {
 		return nil, err
 	}
 	return &Workload{
-		RobotRuns: traces[:len(robotConfigs)],
-		Audio:     traces[len(robotConfigs) : len(robotConfigs)+len(audioEnvs)],
-		Human:     traces[len(robotConfigs)+len(audioEnvs):],
-		Workers:   o.Workers,
-		Telemetry: o.Telemetry,
-		Precision: o.Precision,
+		RobotRuns:  traces[:len(robotConfigs)],
+		Audio:      traces[len(robotConfigs) : len(robotConfigs)+len(audioEnvs)],
+		Human:      traces[len(robotConfigs)+len(audioEnvs):],
+		Workers:    o.Workers,
+		Telemetry:  o.Telemetry,
+		Precision:  o.Precision,
+		DisableCSE: o.DisableCSE,
 	}, nil
 }
 

@@ -60,6 +60,7 @@ func FleetCapacity(o Options, w *Workload) (*FleetCapacityResult, error) {
 			Audio:         w.Audio,
 			Telemetry:     w.Telemetry,
 			Precision:     w.Precision,
+			DisableCSE:    w.DisableCSE,
 		})
 		if err != nil {
 			return nil, err

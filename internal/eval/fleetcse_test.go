@@ -1,0 +1,59 @@
+package eval
+
+import "testing"
+
+// TestFleetCSEGainsCapacity is the acceptance pin for cross-app
+// common-subgraph elimination: on the seeded fleet sweep, billing shared
+// subgraphs once must never admit fewer tenants than naive per-app
+// billing, and must admit strictly more at some multi-app mix. The
+// ablation (DisableCSE) must report zero shared nodes — it really is the
+// naive ledger, not a cheaper copy of the shared one.
+func TestFleetCSEGainsCapacity(t *testing.T) {
+	opts := testOptions()
+	on := *workload(t)
+	on.DisableCSE = false
+	off := on
+	off.DisableCSE = true
+
+	resOn, err := FleetCapacity(opts, &on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resOff, err := FleetCapacity(opts, &off)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	strictGain := false
+	for _, m := range fleetAppMixes {
+		rOn, rOff := resOn.Runs[m], resOff.Runs[m]
+		if rOn == nil || rOff == nil {
+			t.Fatalf("mix %d missing from sweep", m)
+		}
+		if rOn.Conditions != rOff.Conditions {
+			t.Fatalf("mix %d: workloads diverged: %d vs %d conditions", m, rOn.Conditions, rOff.Conditions)
+		}
+		if rOn.Admitted < rOff.Admitted {
+			t.Errorf("mix %d: CSE admitted %d < naive %d", m, rOn.Admitted, rOff.Admitted)
+		}
+		if rOn.Admitted > rOff.Admitted {
+			strictGain = true
+		}
+		var sharedOn, sharedOff int
+		for _, c := range rOn.Cells {
+			sharedOn += c.SharedNodes
+		}
+		for _, c := range rOff.Cells {
+			sharedOff += c.SharedNodes
+		}
+		if sharedOff != 0 {
+			t.Errorf("mix %d: ablation reports %d shared nodes, want 0", m, sharedOff)
+		}
+		if m > 1 && sharedOn == 0 {
+			t.Errorf("mix %d: CSE run shares no nodes — sweep no longer exercises sharing", m)
+		}
+	}
+	if !strictGain {
+		t.Error("CSE never admitted strictly more tenants at any mix")
+	}
+}

@@ -2,10 +2,10 @@ package interp
 
 import (
 	"fmt"
-	"sort"
 
 	"sidewinder/internal/core"
 	"sidewinder/internal/dsp"
+	"sidewinder/internal/ir"
 	"sidewinder/internal/telemetry"
 )
 
@@ -56,8 +56,8 @@ type Merged struct {
 	off    int
 	bwakes []TaggedBlockWake
 	qbuf   []float64
-	// sharedOps is the per-second work eliminated by sharing, for
-	// reporting.
+	// sharedNodes counts the plan nodes eliminated by structural sharing
+	// (and, on the DAG path, folding and fusion), for reporting.
 	sharedNodes int
 
 	// stageStats, when non-nil, attributes executed work per stage kind
@@ -350,81 +350,44 @@ func (m *Merged) Reset() {
 }
 
 // MergedDemand statically computes the deduplicated resource demand of a
-// plan set: operations per second and instance memory after prefix
-// sharing. The hub uses it to place condition sets more tightly than the
-// per-plan sums allow.
+// plan set: operations per second and instance memory after the DAG
+// compile pass's sharing, folding and fusion. The hub uses it to place
+// condition sets more tightly than the per-plan sums allow.
 func MergedDemand(plans ...*core.Plan) (floatOpsPerSec, intOpsPerSec float64, memoryBytes int) {
-	seen := make(map[string]bool)
-	for _, plan := range plans {
-		memo := make(map[int]string, len(plan.Nodes))
-		for i := range plan.Nodes {
-			n := &plan.Nodes[i]
-			sig := signature(plan, n.ID, memo)
-			if seen[sig] {
-				continue
-			}
-			seen[sig] = true
-			floatOpsPerSec += n.Cost.FloatOps * n.Rate
-			intOpsPerSec += n.Cost.IntOps * n.Rate
-			memoryBytes += n.Memory
-		}
-	}
-	return floatOpsPerSec, intOpsPerSec, memoryBytes
+	return ir.Demand(ir.CompileOptions{}, plans...)
 }
 
 // DemandAccumulator computes merged demand incrementally: Marginal prices
 // a plan against everything already committed (shared nodes cost zero),
 // and Commit adds it. An admission controller trying plans one at a time
-// pays O(plan nodes) per step instead of re-merging the whole set.
+// pays O(plan nodes) per step instead of re-merging the whole set. It is
+// a thin veneer over the DAG analysis (package ir), which is also where
+// the interior-subgraph sharing and fold/fusion billing rules live.
 type DemandAccumulator struct {
-	seen           map[string]bool
-	floatOpsPerSec float64
-	intOpsPerSec   float64
-	memoryBytes    int
+	acc *ir.DemandAccumulator
 }
 
-// NewDemandAccumulator returns an empty accumulator.
+// NewDemandAccumulator returns an empty accumulator billing under the
+// default (fully optimizing) compile options.
 func NewDemandAccumulator() *DemandAccumulator {
-	return &DemandAccumulator{seen: make(map[string]bool)}
+	return &DemandAccumulator{acc: ir.NewDemandAccumulator(ir.CompileOptions{})}
 }
 
 // Marginal returns the additional demand the plan would add on top of the
 // committed set, without committing it.
 func (a *DemandAccumulator) Marginal(plan *core.Plan) (floatOpsPerSec, intOpsPerSec float64, memoryBytes int) {
-	memo := make(map[int]string, len(plan.Nodes))
-	for i := range plan.Nodes {
-		n := &plan.Nodes[i]
-		if a.seen[signature(plan, n.ID, memo)] {
-			continue
-		}
-		floatOpsPerSec += n.Cost.FloatOps * n.Rate
-		intOpsPerSec += n.Cost.IntOps * n.Rate
-		memoryBytes += n.Memory
-	}
-	return floatOpsPerSec, intOpsPerSec, memoryBytes
+	return a.acc.Marginal(plan)
 }
 
 // Commit adds the plan to the committed set and returns the accumulated
 // totals, which always equal MergedDemand over every committed plan.
 func (a *DemandAccumulator) Commit(plan *core.Plan) (floatOpsPerSec, intOpsPerSec float64, memoryBytes int) {
-	memo := make(map[int]string, len(plan.Nodes))
-	for i := range plan.Nodes {
-		n := &plan.Nodes[i]
-		sig := signature(plan, n.ID, memo)
-		if a.seen[sig] {
-			continue
-		}
-		a.seen[sig] = true
-		a.floatOpsPerSec += n.Cost.FloatOps * n.Rate
-		a.intOpsPerSec += n.Cost.IntOps * n.Rate
-		a.memoryBytes += n.Memory
-	}
-	return a.floatOpsPerSec, a.intOpsPerSec, a.memoryBytes
+	return a.acc.Commit(plan)
 }
 
 // Total returns the committed set's merged demand.
 func (a *DemandAccumulator) Total() (floatOpsPerSec, intOpsPerSec float64, memoryBytes int) {
-	return a.floatOpsPerSec, a.intOpsPerSec, a.memoryBytes
+	return a.acc.Total()
 }
 
 // StageDemand is the deduplicated static demand attributed to one
@@ -432,7 +395,7 @@ func (a *DemandAccumulator) Total() (floatOpsPerSec, intOpsPerSec float64, memor
 type StageDemand struct {
 	Kind core.AlgorithmKind
 	// Nodes counts the distinct merged instances of this kind (shared
-	// prefixes count once, exactly as the merged machine executes them).
+	// subgraphs count once, exactly as the merged machine executes them).
 	Nodes          int
 	FloatOpsPerSec float64
 	IntOpsPerSec   float64
@@ -445,32 +408,16 @@ type StageDemand struct {
 // per-stage columns sum to exactly what MergedDemand returns for the same
 // plans.
 func MergedDemandByStage(plans ...*core.Plan) []StageDemand {
-	seen := make(map[string]bool)
-	byKind := make(map[core.AlgorithmKind]*StageDemand)
-	for _, plan := range plans {
-		memo := make(map[int]string, len(plan.Nodes))
-		for i := range plan.Nodes {
-			n := &plan.Nodes[i]
-			sig := signature(plan, n.ID, memo)
-			if seen[sig] {
-				continue
-			}
-			seen[sig] = true
-			sd := byKind[n.Kind]
-			if sd == nil {
-				sd = &StageDemand{Kind: n.Kind}
-				byKind[n.Kind] = sd
-			}
-			sd.Nodes++
-			sd.FloatOpsPerSec += n.Cost.FloatOps * n.Rate
-			sd.IntOpsPerSec += n.Cost.IntOps * n.Rate
-			sd.MemoryBytes += n.Memory
+	kinds := ir.DemandByKind(ir.CompileOptions{}, plans...)
+	out := make([]StageDemand, len(kinds))
+	for i, kd := range kinds {
+		out[i] = StageDemand{
+			Kind:           kd.Kind,
+			Nodes:          kd.Nodes,
+			FloatOpsPerSec: kd.FloatOpsPerSec,
+			IntOpsPerSec:   kd.IntOpsPerSec,
+			MemoryBytes:    kd.MemoryBytes,
 		}
 	}
-	out := make([]StageDemand, 0, len(byKind))
-	for _, sd := range byKind {
-		out = append(out, *sd)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Kind < out[j].Kind })
 	return out
 }

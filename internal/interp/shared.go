@@ -1,0 +1,49 @@
+package interp
+
+import (
+	"fmt"
+
+	"sidewinder/internal/core"
+	"sidewinder/internal/ir"
+)
+
+// NewShared builds a merged machine directly from a DAG-compiled shared
+// plan (ir.CompilePlans): the compile pass has already deduplicated
+// structurally identical subgraphs, folded redundant stages and fused
+// threshold chains, so construction is a straight wiring of the lowered
+// nodes — no signature hashing here. Each input plan's wakes are tagged
+// with its index in sp.Sources, exactly like NewMergedPrecision tags its
+// plan arguments.
+func NewShared(prec Precision, sp *ir.SharedPlan) (*Merged, error) {
+	plan := sp.Plan
+	m := &Merged{
+		plans:   sp.Sources,
+		nodes:   make([]mergedNode, len(plan.Nodes)),
+		byChan:  make(map[core.SensorChannel][]target),
+		chanSeq: make(map[core.SensorChannel]int64),
+		prec:    prec,
+	}
+	for i := range plan.Nodes {
+		n := &plan.Nodes[i]
+		inst, err := newInstance(n, prec)
+		if err != nil {
+			return nil, fmt.Errorf("interp: shared node %d (%s): %w", n.ID, n.Kind, err)
+		}
+		m.nodes[i] = mergedNode{inst: inst, cost: n.Cost, kind: n.Kind, planID: n.ID}
+		// Inputs reference earlier nodes only (the shared plan is
+		// topologically ordered), so the upstream entries already exist.
+		for port, ref := range n.Inputs {
+			tg := target{node: i, port: port}
+			if ref.FromChannel() {
+				m.byChan[ref.Channel] = append(m.byChan[ref.Channel], tg)
+			} else {
+				m.nodes[ref.Node-1].fanout = append(m.nodes[ref.Node-1].fanout, tg)
+			}
+		}
+	}
+	for ai, o := range sp.Outputs {
+		m.nodes[o.Out-1].outPlans = append(m.nodes[o.Out-1].outPlans, ai)
+	}
+	m.sharedNodes = sp.Stats.Eliminated()
+	return m, nil
+}

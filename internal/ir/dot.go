@@ -1,0 +1,79 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Graphviz export of a compiled shared plan. The rendering is the lowered
+// graph — what the hub actually executes and the scheduler actually bills
+// — so a node consumed by several apps (or several times by one app)
+// appears once, with every edge drawn into it.
+//
+// Recipe:
+//
+//	swc -dot condition.json | dot -Tsvg -o plan.svg
+//	swc -apps -dot          | dot -Tpng -o catalog.png   # all six apps, shared
+//
+// Channels render as boxes, stages as ellipses labeled with the stage
+// spelling, the node ID and the first 8 hex digits of the structural
+// hash; nodes shared by more than one consumer are filled, and each app's
+// OUT is a doubled octagon.
+
+// Dot renders the shared plan in Graphviz dot syntax.
+func (sp *SharedPlan) Dot() string {
+	var b strings.Builder
+	b.WriteString("digraph sharedplan {\n")
+	fmt.Fprintf(&b, "  label=%q;\n", sp.Plan.Name)
+	b.WriteString("  rankdir=TB;\n")
+	b.WriteString("  node [fontsize=10];\n")
+
+	for _, ch := range sp.Plan.Channels {
+		fmt.Fprintf(&b, "  %q [shape=box, style=bold, label=%q];\n", "ch_"+string(ch), string(ch))
+	}
+
+	// Fan-out per node: >1 consumers (or any multi-app OUT) marks the
+	// node as shared.
+	consumers := make([]int, len(sp.Plan.Nodes)+1)
+	for i := range sp.Plan.Nodes {
+		for _, ref := range sp.Plan.Nodes[i].Inputs {
+			if !ref.FromChannel() {
+				consumers[ref.Node]++
+			}
+		}
+	}
+	for _, o := range sp.Outputs {
+		consumers[o.Out]++
+	}
+
+	for i := range sp.Plan.Nodes {
+		n := &sp.Plan.Nodes[i]
+		label := fmt.Sprintf("%s\\nid=%d #%08x", n.Kind, n.ID, uint32(sp.Hashes[i]>>32))
+		attrs := fmt.Sprintf("shape=ellipse, label=%q", label)
+		if consumers[n.ID] > 1 {
+			attrs += ", style=filled, fillcolor=lightblue"
+		}
+		fmt.Fprintf(&b, "  n%d [%s];\n", n.ID, attrs)
+		for port, ref := range n.Inputs {
+			var from string
+			if ref.FromChannel() {
+				from = fmt.Sprintf("%q", "ch_"+string(ref.Channel))
+			} else {
+				from = fmt.Sprintf("n%d", ref.Node)
+			}
+			if len(n.Inputs) > 1 {
+				fmt.Fprintf(&b, "  %s -> n%d [label=\"p%d\"];\n", from, n.ID, port)
+			} else {
+				fmt.Fprintf(&b, "  %s -> n%d;\n", from, n.ID)
+			}
+		}
+	}
+
+	for _, o := range sp.Outputs {
+		id := "out_" + o.Name
+		fmt.Fprintf(&b, "  %q [shape=doubleoctagon, label=%q];\n", id, "OUT "+o.Name)
+		fmt.Fprintf(&b, "  n%d -> %q;\n", o.Out, id)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,155 @@
+package ir
+
+import (
+	"math/rand"
+	"testing"
+
+	"sidewinder/internal/core"
+	"sidewinder/internal/testutil"
+)
+
+// byteSource feeds fuzz input bytes to math/rand, so the fuzzer's byte
+// mutations steer every decision the pipeline generator makes. When the
+// input runs out the retained state keeps evolving through the mixer, so
+// short inputs still produce full pipelines deterministically.
+type byteSource struct {
+	data []byte
+	i    int
+	x    uint64
+}
+
+func (s *byteSource) Uint64() uint64 {
+	for b := 0; b < 8; b++ {
+		var v byte
+		if s.i < len(s.data) {
+			v = s.data[s.i]
+			s.i++
+		}
+		s.x = s.x<<8 | uint64(v)
+	}
+	s.x ^= s.x >> 29
+	s.x *= 0x9e3779b97f4a7c15
+	s.x ^= s.x >> 32
+	return s.x
+}
+
+func (s *byteSource) Int63() int64 { return int64(s.Uint64() >> 1) }
+func (s *byteSource) Seed(int64)   {}
+
+// FuzzDAGCompile hammers the DAG compile pass with generated plan sets.
+// Invariants, for any set of valid input plans:
+//
+//   - CompilePlans never panics and never errors;
+//   - the DAG validates: acyclic, parents precede children (creation
+//     order is topological order), edges symmetric, keys unique;
+//   - the lowered shared plan is itself topological: node IDs are 1..n
+//     and every node-input reference points strictly backwards;
+//   - every app output lands on a real lowered node;
+//   - compilation is deterministic: a second compile of the same plans
+//     yields identical keys and hashes (hash stability);
+//   - solo compilation is a fixed point: recompiling a compiled plan
+//     reproduces it text-identically;
+//   - merged demand never exceeds the naive per-plan sum (nothing is
+//     double-billed) and never undercuts the largest solo demand.
+func FuzzDAGCompile(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("dag"))
+	f.Add([]byte{0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07})
+	f.Add([]byte("share the interior subgraphs, bill them once"))
+	f.Add([]byte{0xff, 0xee, 0xdd, 0xcc, 0xbb, 0xaa, 0x99, 0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11, 0x00})
+
+	cat := core.DefaultCatalog()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4<<10 {
+			return // entropy beyond a few KiB adds nothing
+		}
+		rng := rand.New(&byteSource{data: data})
+		plans := make([]*core.Plan, 1+rng.Intn(3))
+		for i := range plans {
+			plan, err := testutil.RandomPipeline(rng).Validate(cat)
+			if err != nil {
+				t.Fatalf("generated pipeline invalid: %v", err)
+			}
+			plans[i] = plan
+		}
+
+		sp, err := CompilePlans(cat, CompileOptions{}, plans...)
+		if err != nil {
+			t.Fatalf("compile failed on valid plans: %v", err)
+		}
+		if err := sp.Graph.Validate(); err != nil {
+			t.Fatalf("compiled DAG invalid: %v", err)
+		}
+		for i := range sp.Plan.Nodes {
+			n := &sp.Plan.Nodes[i]
+			if n.ID != i+1 {
+				t.Fatalf("lowered node %d has ID %d", i, n.ID)
+			}
+			for _, in := range n.Inputs {
+				if !in.FromChannel() && in.Node >= n.ID {
+					t.Fatalf("node %d consumes node %d: not topological", n.ID, in.Node)
+				}
+			}
+		}
+		if len(sp.Outputs) != len(plans) {
+			t.Fatalf("%d outputs for %d plans", len(sp.Outputs), len(plans))
+		}
+		for _, o := range sp.Outputs {
+			if o.Out < 1 || o.Out > len(sp.Plan.Nodes) {
+				t.Fatalf("output %q points at node %d of %d", o.Name, o.Out, len(sp.Plan.Nodes))
+			}
+		}
+
+		// Hash stability: recompiling the same plans is bit-identical.
+		sp2, err := CompilePlans(cat, CompileOptions{}, plans...)
+		if err != nil {
+			t.Fatalf("second compile failed: %v", err)
+		}
+		if len(sp2.Keys) != len(sp.Keys) {
+			t.Fatalf("recompile changed node count: %d vs %d", len(sp2.Keys), len(sp.Keys))
+		}
+		for i := range sp.Keys {
+			if sp.Keys[i] != sp2.Keys[i] || sp.Hashes[i] != sp2.Hashes[i] {
+				t.Fatalf("node %d unstable: %q/%x vs %q/%x",
+					i, sp.Keys[i], sp.Hashes[i], sp2.Keys[i], sp2.Hashes[i])
+			}
+		}
+
+		// Solo compilation reaches a fixed point in one step.
+		for _, p := range plans {
+			c1, _, err := CompilePlan(cat, CompileOptions{}, p)
+			if err != nil {
+				t.Fatalf("solo compile: %v", err)
+			}
+			c2, _, err := CompilePlan(cat, CompileOptions{}, c1)
+			if err != nil {
+				t.Fatalf("recompile of compiled plan: %v", err)
+			}
+			if CompileToText(c1) != CompileToText(c2) {
+				t.Fatalf("compile not a fixed point:\n--- first\n%s\n--- second\n%s",
+					CompileToText(c1), CompileToText(c2))
+			}
+		}
+
+		// Ledger: merged demand within [max solo, naive sum].
+		var sf, si float64
+		var sm int
+		maxF := 0.0
+		for _, p := range plans {
+			pf, pi, pm := Demand(CompileOptions{}, p)
+			sf += pf
+			si += pi
+			sm += pm
+			if pf > maxF {
+				maxF = pf
+			}
+		}
+		mf, mi, mm := Demand(CompileOptions{}, plans...)
+		if mf > sf+1e-9 || mi > si+1e-9 || mm > sm {
+			t.Fatalf("merged demand %g/%g/%d exceeds naive sum %g/%g/%d", mf, mi, mm, sf, si, sm)
+		}
+		if mf < maxF-1e-9 {
+			t.Fatalf("merged float demand %g below largest solo %g", mf, maxF)
+		}
+	})
+}

@@ -349,7 +349,14 @@ func (h *HubNode) rebuild() error {
 	if err != nil {
 		return err
 	}
-	merged, err := interp.NewMerged(plans...)
+	// The resident set executes as one DAG-compiled shared plan: subgraphs
+	// identical across conditions (and the folds/fusions the compile pass
+	// applies) run once, matching the demand the device was selected on.
+	sp, err := ir.CompilePlans(h.cat, ir.CompileOptions{}, plans...)
+	if err != nil {
+		return err
+	}
+	merged, err := interp.NewShared(interp.Float64, sp)
 	if err != nil {
 		return err
 	}

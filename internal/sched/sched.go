@@ -5,10 +5,11 @@
 //
 // The paper's prototype pushes conditions until the hub rejects one; this
 // package gives the sensor manager the missing multi-tenant story. Each
-// condition is costed through the merged interpreter's static demand
-// (package interp), so structurally shared prefixes across applications
-// are billed exactly once — two applications windowing the microphone the
-// same way together cost one windower. On overload the controller does not
+// condition is costed through the DAG compile pass's static demand
+// (package ir, via package interp), so structurally identical subgraphs
+// across applications — shared prefixes, shared interior stages, whole
+// duplicate pipelines — are billed exactly once — two applications
+// windowing the microphone the same way together cost one windower. On overload the controller does not
 // reject: it demotes the lowest-priority conditions to fallback, where the
 // phone's duty-cycling schedule covers them at higher energy (billed to
 // the ledger's phone.fallback component by package sim).
@@ -108,18 +109,34 @@ type Delta struct {
 	Demoted []uint16
 }
 
+// Options tune the admission controller's costing.
+type Options struct {
+	// DisableSharing bills every condition its standalone demand: no
+	// cross-app deduplication, no DAG folds — the sum of per-plan totals.
+	// This is the CSE-off ablation the fleet sweep compares against; the
+	// default (false) bills the shared execution graph the hub actually
+	// runs.
+	DisableSharing bool
+}
+
 // Scheduler is the admission controller for one hub device.
 type Scheduler struct {
 	budget  Budget
+	opts    Options
 	conds   map[uint16]*condition
 	placed  map[uint16]Placement
 	nextSeq int
 }
 
-// New builds a scheduler over a device's derived budget.
-func New(d hub.Device) *Scheduler {
+// New builds a scheduler over a device's derived budget with default
+// (sharing-aware) costing.
+func New(d hub.Device) *Scheduler { return NewWithOptions(d, Options{}) }
+
+// NewWithOptions builds a scheduler with explicit costing options.
+func NewWithOptions(d hub.Device, opts Options) *Scheduler {
 	return &Scheduler{
 		budget: BudgetFor(d),
+		opts:   opts,
 		conds:  make(map[uint16]*condition),
 		placed: make(map[uint16]Placement),
 	}
@@ -197,11 +214,22 @@ func (s *Scheduler) Utilization() (cycleFrac, ramFrac float64, sharedNodes int) 
 	if len(plans) == 0 {
 		return 0, 0, 0
 	}
-	f, i, mem := interp.MergedDemand(plans...)
-	for _, p := range plans {
-		sharedNodes += len(p.Nodes)
+	var f, i float64
+	var mem int
+	if s.opts.DisableSharing {
+		for _, p := range plans {
+			pf, pi := p.TotalOpsPerSecond()
+			f += pf
+			i += pi
+			mem += p.TotalMemory()
+		}
+	} else {
+		f, i, mem = interp.MergedDemand(plans...)
+		for _, p := range plans {
+			sharedNodes += len(p.Nodes)
+		}
+		sharedNodes -= distinctNodes(plans)
 	}
-	sharedNodes -= distinctNodes(plans)
 	if s.budget.CyclesPerSec > 0 {
 		cycleFrac = s.budget.Cycles(f, i) / s.budget.CyclesPerSec
 	}
@@ -238,15 +266,31 @@ func (s *Scheduler) recompute(changed uint16) Delta {
 	})
 
 	next := make(map[uint16]Placement, len(order))
-	acc := interp.NewDemandAccumulator()
-	for _, c := range order {
-		mf, mi, mmem := acc.Marginal(c.plan)
-		f, i, mem := acc.Total()
-		if s.budget.Fits(f+mf, i+mi, mem+mmem) {
-			acc.Commit(c.plan)
-			next[c.id] = PlacedHub
-		} else {
-			next[c.id] = PlacedFallback
+	if s.opts.DisableSharing {
+		// CSE-off ablation: every condition is billed standalone.
+		var f, i float64
+		var mem int
+		for _, c := range order {
+			mf, mi := c.plan.TotalOpsPerSecond()
+			mmem := c.plan.TotalMemory()
+			if s.budget.Fits(f+mf, i+mi, mem+mmem) {
+				f, i, mem = f+mf, i+mi, mem+mmem
+				next[c.id] = PlacedHub
+			} else {
+				next[c.id] = PlacedFallback
+			}
+		}
+	} else {
+		acc := interp.NewDemandAccumulator()
+		for _, c := range order {
+			mf, mi, mmem := acc.Marginal(c.plan)
+			f, i, mem := acc.Total()
+			if s.budget.Fits(f+mf, i+mi, mem+mmem) {
+				acc.Commit(c.plan)
+				next[c.id] = PlacedHub
+			} else {
+				next[c.id] = PlacedFallback
+			}
 		}
 	}
 

@@ -285,3 +285,84 @@ func TestPlacementString(t *testing.T) {
 		t.Errorf("unexpected names: %s, %s", PlacedHub, PlacedFallback)
 	}
 }
+
+// TestDisableSharingBillsNaively pins the CSE-off ablation: identical
+// siren conditions share everything under default costing (all admitted
+// on the LM4F120), but bill their full standalone demand with sharing
+// disabled, so the same set overflows and degrades.
+func TestDisableSharingBillsNaively(t *testing.T) {
+	const n = 6
+	shared := New(hub.LM4F120())
+	naive := NewWithOptions(hub.LM4F120(), Options{DisableSharing: true})
+	for id := uint16(1); id <= n; id++ {
+		plan := sirenPlan(t, 750)
+		if _, err := shared.Add(id, plan, 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := naive.Add(id, plan, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(shared.HubSet()); got != n {
+		t.Fatalf("sharing-aware scheduler admitted %d of %d identical conditions", got, n)
+	}
+	if got := len(naive.HubSet()); got >= n {
+		t.Fatalf("naive scheduler admitted all %d identical conditions; sharing-off should overflow", got)
+	}
+	// Utilization must agree with the billing mode: naive fractions are
+	// per-plan sums with no shared nodes reported.
+	cycOn, _, sharedNodes := shared.Utilization()
+	cycOff, _, naiveShared := naive.Utilization()
+	if sharedNodes == 0 {
+		t.Fatal("sharing-aware utilization reported zero shared nodes for identical plans")
+	}
+	if naiveShared != 0 {
+		t.Fatalf("naive utilization reported %d shared nodes", naiveShared)
+	}
+	perCond := cycOn // all n shared conditions cost one pipeline
+	if cycOff < perCond*float64(len(naive.HubSet()))-1e-9 {
+		t.Fatalf("naive cycle fraction %g below %d standalone pipelines (%g each)",
+			cycOff, len(naive.HubSet()), perCond)
+	}
+}
+
+// TestPropertyNaiveBillingNeverCheaper: over random condition sets, the
+// sharing-aware scheduler's merged demand never exceeds the naive
+// scheduler's for the same admitted set, and a scheduler admitting under
+// merged costing keeps every set it admits within budget when re-billed
+// by the DAG demand (the invariant the hub actually runs under).
+func TestPropertyNaiveBillingNeverCheaper(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 30; trial++ {
+		s := New(hub.LM4F120())
+		n := 2 + rng.Intn(5)
+		for id := uint16(1); id <= uint16(n); id++ {
+			cutoffs := []float64{700, 750, 800}
+			plan := sirenPlan(t, cutoffs[rng.Intn(len(cutoffs))])
+			if _, err := s.Add(id, plan, rng.Intn(3)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		plans := s.HubPlans()
+		if len(plans) == 0 {
+			continue
+		}
+		mf, mi, mm := interp.MergedDemand(plans...)
+		var nf, ni float64
+		var nm int
+		for _, p := range plans {
+			f, i := p.TotalOpsPerSecond()
+			nf += f
+			ni += i
+			nm += p.TotalMemory()
+		}
+		if mf > nf+1e-9 || mi > ni+1e-9 || mm > nm {
+			t.Fatalf("trial %d: merged demand %g/%g/%d exceeds naive %g/%g/%d",
+				trial, mf, mi, mm, nf, ni, nm)
+		}
+		b := s.Budget()
+		if !b.Fits(mf, mi, mm) {
+			t.Fatalf("trial %d: admitted set does not fit its own budget", trial)
+		}
+	}
+}

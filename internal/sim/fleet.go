@@ -9,6 +9,7 @@ import (
 	"sidewinder/internal/core"
 	"sidewinder/internal/hub"
 	"sidewinder/internal/interp"
+	"sidewinder/internal/ir"
 	"sidewinder/internal/parallel"
 	"sidewinder/internal/power"
 	"sidewinder/internal/sched"
@@ -57,6 +58,12 @@ type FleetRunConfig struct {
 	// Precision selects the hub interpreter's numeric substrate for every
 	// cell (default float64).
 	Precision interp.Precision
+
+	// DisableCSE turns off the DAG compile pass's cross-app sharing,
+	// folding and fusion: the scheduler bills every condition standalone
+	// and the hub executes one instance per plan node. The ablation knob
+	// for quantifying what common-subgraph elimination buys the fleet.
+	DisableCSE bool
 
 	// Telemetry, when enabled, deposits every cell's energy split into
 	// the ledger (phone states, phone.fallback for degraded sensing, hub
@@ -206,7 +213,7 @@ func fleetCell(cfg FleetRunConfig, rng *rand.Rand, sleepSec float64) (FleetCell,
 	var s *sched.Scheduler
 	var dev hub.Device
 	for _, cand := range hub.Devices() {
-		cs := sched.New(cand)
+		cs := sched.NewWithOptions(cand, sched.Options{DisableSharing: cfg.DisableCSE})
 		for j, plan := range plans {
 			if _, err := cs.Add(uint16(j+1), plan, cell.Priorities[j]); err != nil {
 				return cell, nil, err
@@ -229,7 +236,19 @@ func fleetCell(cfg FleetRunConfig, rng *rand.Rand, sleepSec float64) (FleetCell,
 
 	hubPlans := s.HubPlans()
 	if len(hubPlans) > 0 {
-		m, err := interp.NewMergedPrecision(cfg.Precision, hubPlans...)
+		// The admitted set executes as one DAG-compiled shared plan:
+		// identical subgraphs run once, exactly as the scheduler billed
+		// them. With CSE disabled the pass is fully ablated and every
+		// plan node gets its own instance.
+		copts := ir.CompileOptions{}
+		if cfg.DisableCSE {
+			copts = ir.NoOpt()
+		}
+		sp, err := ir.CompilePlans(cat, copts, hubPlans...)
+		if err != nil {
+			return cell, nil, err
+		}
+		m, err := interp.NewShared(cfg.Precision, sp)
 		if err != nil {
 			return cell, nil, err
 		}

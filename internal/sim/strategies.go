@@ -8,6 +8,7 @@ import (
 	"sidewinder/internal/core"
 	"sidewinder/internal/hub"
 	"sidewinder/internal/interp"
+	"sidewinder/internal/ir"
 	"sidewinder/internal/power"
 	"sidewinder/internal/sensor"
 	"sidewinder/internal/telemetry"
@@ -429,7 +430,17 @@ func (s Sidewinder) Run(tr *sensor.Trace, app *apps.App) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sim: placing %s wake condition: %w", app.Name, err)
 	}
-	m, err := interp.NewPrecision(plan, s.Precision)
+	// The hub executes the DAG-compiled form of the condition: intra-app
+	// duplicate subgraphs (e.g. two branches windowing the microphone the
+	// same way) run once. Placement above is sized on the unoptimized
+	// plan — the conservative bound a hub must satisfy even with the
+	// optimizer ablated. The compiled plan produces bit-identical wakes
+	// (TestDAGLinearEquivalence).
+	exec, _, err := ir.CompilePlan(cat, ir.CompileOptions{}, plan)
+	if err != nil {
+		return nil, fmt.Errorf("sim: compiling %s wake condition: %w", app.Name, err)
+	}
+	m, err := interp.NewPrecision(exec, s.Precision)
 	if err != nil {
 		return nil, err
 	}
@@ -451,9 +462,9 @@ func (s Sidewinder) Run(tr *sensor.Trace, app *apps.App) (*Result, error) {
 		m.SetProfile(profile)
 	}
 
-	channels := make([][]float64, 0, len(plan.Channels))
-	chNames := make([]core.SensorChannel, 0, len(plan.Channels))
-	for _, ch := range plan.Channels {
+	channels := make([][]float64, 0, len(exec.Channels))
+	chNames := make([]core.SensorChannel, 0, len(exec.Channels))
+	for _, ch := range exec.Channels {
 		samples, ok := tr.Channels[ch]
 		if !ok {
 			return nil, fmt.Errorf("sim: trace %q lacks channel %s required by %s", tr.Name, ch, app.Name)

@@ -10,6 +10,12 @@
 # benchmarking host. Benchmarks are matched by name with the -NCPU suffix
 # stripped. Improvements and new benchmarks are reported but never fail;
 # refresh the baseline with `make bench-baseline` to lock them in.
+#
+# Hot-path contracts (small counts, notably the 0 allocs/op ones) are
+# compared exactly. Whole-simulation benchmarks allocate tens of
+# thousands of times per op and wobble by a handful of allocations run to
+# run (GC timing shifts sync.Pool hits), so baselines of 1000+ allocs/op
+# get 0.1% slack — far below any real regression, above the noise.
 set -eu
 
 if [ $# -ne 2 ]; then
@@ -51,7 +57,11 @@ while read -r name base_allocs; do
         fail=1
         continue
     fi
-    if [ "$cur_allocs" -gt "$base_allocs" ]; then
+    allowed=$base_allocs
+    if [ "$base_allocs" -ge 1000 ]; then
+        allowed=$((base_allocs + (base_allocs + 999) / 1000))
+    fi
+    if [ "$cur_allocs" -gt "$allowed" ]; then
         echo "FAIL: $name allocs/op regressed: $base_allocs -> $cur_allocs"
         fail=1
     elif [ "$cur_allocs" -lt "$base_allocs" ]; then

@@ -1,19 +1,21 @@
 #!/bin/sh
-# check_coverage.sh PROFILE FLOOR
+# check_coverage.sh PROFILE FLOOR [PKG=FLOOR ...]
 #
 # Fails (exit 1) when the total statement coverage of the Go cover PROFILE
-# is below FLOOR percent. The floor lives in the Makefile (COVER_FLOOR) so
-# it is versioned next to the code it measures: raise it as coverage
-# grows, and a change that drops coverage below the recorded floor fails
-# CI instead of eroding the suite silently.
+# is below FLOOR percent, or when any of the optional per-package floors
+# (import path = percent) is violated. The floors live in the Makefile
+# (COVER_FLOOR, PKG_FLOORS) so they are versioned next to the code they
+# measure: raise them as coverage grows, and a change that drops coverage
+# below a recorded floor fails CI instead of eroding the suite silently.
 set -eu
 
-if [ $# -ne 2 ]; then
-    echo "usage: $0 coverage.out floor_percent" >&2
+if [ $# -lt 2 ]; then
+    echo "usage: $0 coverage.out floor_percent [pkg=floor ...]" >&2
     exit 2
 fi
 profile=$1
 floor=$2
+shift 2
 if [ ! -f "$profile" ]; then
     echo "check_coverage: no such profile: $profile (run 'make cover' first)" >&2
     exit 2
@@ -30,4 +32,33 @@ awk -v t="$total" -v f="$floor" 'BEGIN { exit !(t+0 < f+0) }' && {
     echo "FAIL: coverage ${total}% is below the recorded floor ${floor}%" >&2
     exit 1
 }
+
+# Per-package floors, computed by weighting profile blocks by statement
+# count (files directly in the package directory, not subpackages).
+fail=0
+for spec in "$@"; do
+    pkg=${spec%=*}
+    pfloor=${spec#*=}
+    pcov=$(awk -v p="$pkg" 'NR > 1 {
+        file = $1; sub(/:.*/, "", file)
+        dir = file; sub(/\/[^\/]*$/, "", dir)
+        if (dir != p) next
+        stmts = $(NF-1)
+        total += stmts
+        if ($NF > 0) covered += stmts
+    } END { if (total > 0) printf "%.1f", 100 * covered / total }' "$profile")
+    if [ -z "$pcov" ]; then
+        echo "FAIL: package $pkg has no blocks in $profile" >&2
+        fail=1
+        continue
+    fi
+    echo "$pkg statement coverage: ${pcov}% (floor: ${pfloor}%)"
+    if awk -v t="$pcov" -v f="$pfloor" 'BEGIN { exit !(t+0 < f+0) }'; then
+        echo "FAIL: $pkg coverage ${pcov}% is below its floor ${pfloor}%" >&2
+        fail=1
+    fi
+done
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
 echo "coverage floor holds"
