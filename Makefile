@@ -19,7 +19,7 @@ PKG_FLOORS = sidewinder/internal/ir=85.0
 BENCH_PKGS = . ./internal/interp ./internal/telemetry
 
 .PHONY: verify build vet staticcheck test race bench bench-telemetry \
-	bench-baseline bench-check cover cover-check fuzz
+	bench-baseline bench-check cover cover-check fuzz soak
 
 verify: build vet staticcheck race
 	@echo "verify clean — consider 'make fuzz' (FUZZTIME=$(FUZZTIME) per target) for parser/framing changes"
@@ -32,10 +32,16 @@ vet:
 
 # staticcheck runs when the binary is on PATH (CI installs it); on a bare
 # toolchain `make verify` still passes but says so LOUDLY — a silent skip
-# once hid real staticcheck findings until CI caught them.
+# once hid real staticcheck findings until CI caught them. CI sets
+# STATICCHECK_REQUIRED=1 so the skip branch can never fire there: a
+# missing binary is a hard failure, not a banner.
 staticcheck:
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
+	elif [ -n "$(STATICCHECK_REQUIRED)" ]; then \
+		echo "ERROR: STATICCHECK_REQUIRED is set but staticcheck is not on PATH."; \
+		echo "Install it with: go install honnef.co/go/tools/cmd/staticcheck@latest"; \
+		exit 1; \
 	else \
 		echo "============================================================"; \
 		echo "WARNING: staticcheck SKIPPED — binary not on PATH."; \
@@ -84,6 +90,15 @@ cover:
 # existing coverage.out (CI's coverage gate; run `make cover` first).
 cover-check:
 	scripts/check_coverage.sh coverage.out $(COVER_FLOOR) $(PKG_FLOORS)
+
+# soak boots a race-instrumented sidewinderd, replays a fleet population
+# at it with fleetload, SIGTERMs the daemon and asserts a clean drain with
+# ledger conservation (CI's race-soak gate). SOAK_DEVICES scales the load.
+SOAK_DEVICES ?= 200
+soak:
+	$(GO) build -race -o bin/sidewinderd-race ./cmd/sidewinderd
+	$(GO) build -race -o bin/fleetload-race ./cmd/fleetload
+	SOAK_DEVICES=$(SOAK_DEVICES) scripts/soak.sh bin/sidewinderd-race bin/fleetload-race
 
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeFrame$$' -fuzztime $(FUZZTIME) ./internal/link

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"sidewinder/internal/fleetd"
+	"sidewinder/internal/telemetry"
+)
+
+// TestRunAgainstLiveDaemon boots an in-process fleetd server and replays
+// a small population at it end to end.
+func TestRunAgainstLiveDaemon(t *testing.T) {
+	s, err := fleetd.NewServer(fleetd.Config{
+		Addr:      "127.0.0.1:0",
+		Telemetry: telemetry.Set{Ledger: telemetry.NewLedger()},
+	})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer s.Drain()
+
+	var out strings.Builder
+	if err := run(s.Addr(), 12, 2, 7, 2, 64, 25, 0, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, marker := range []string{"events/s", "latency ms:", "mismatches=0", "fleetload: summaries verified"} {
+		if !strings.Contains(text, marker) {
+			t.Fatalf("output missing %q:\n%s", marker, text)
+		}
+	}
+
+	rep, err := s.Drain()
+	if err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if !rep.ConservationOK {
+		t.Fatalf("daemon ledger does not conserve after replay: err %g mJ", rep.ConservationErrMJ)
+	}
+	if rep.Devices != 12 {
+		t.Fatalf("daemon saw %d devices, want 12", rep.Devices)
+	}
+}
+
+// TestRunRejectsDeadAddress: no daemon, prompt failure.
+func TestRunRejectsDeadAddress(t *testing.T) {
+	var out strings.Builder
+	if err := run("127.0.0.1:1", 2, 1, 1, 1, 8, 10, 0, &out); err == nil {
+		t.Fatal("run against a dead address should fail")
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"sidewinder/internal/core"
+	"sidewinder/internal/fleetd"
 	"sidewinder/internal/hub"
 	"sidewinder/internal/interp"
 	"sidewinder/internal/ir"
@@ -57,13 +58,18 @@ func main() {
 		"interpreter numeric substrate: float64 or q15 (saturating fixed-point)")
 	flag.Parse()
 
-	if err := run(*irPath, *tracePath, *deviceName, *verbose, *metricsFile, *traceOutFile, *crashSpec, *precision); err != nil {
+	// SIGINT/SIGTERM request a graceful stop: the replay breaks at the
+	// next sample, then flushes -metrics/-traceout like a completed run
+	// instead of dying mid-frame. A second signal hard-exits.
+	d := fleetd.WatchSignals()
+	defer d.Stop()
+	if err := run(*irPath, *tracePath, *deviceName, *verbose, *metricsFile, *traceOutFile, *crashSpec, *precision, d); err != nil {
 		fmt.Fprintln(os.Stderr, "hubemu:", err)
 		os.Exit(1)
 	}
 }
 
-func run(irPath, tracePath, deviceName string, verbose bool, metricsFile, traceOutFile, crashSpec, precision string) error {
+func run(irPath, tracePath, deviceName string, verbose bool, metricsFile, traceOutFile, crashSpec, precision string, d *fleetd.Drainer) error {
 	if irPath == "" || tracePath == "" {
 		return fmt.Errorf("-ir and -trace are required")
 	}
@@ -156,6 +162,11 @@ func run(irPath, tracePath, deviceName string, verbose bool, metricsFile, traceO
 
 	wakes, samplesLost, stateWipes := 0, 0, 0
 	n := tr.Len()
+	processed := n // samples actually replayed; fewer if interrupted
+
+	interruptNote := func() {
+		fmt.Printf("interrupted at sample %d of %d: flushing telemetry\n", processed, n)
+	}
 
 	reportWake := func(i int, w interp.WakeEvent) {
 		wakes++
@@ -177,6 +188,11 @@ func run(irPath, tracePath, deviceName string, verbose bool, metricsFile, traceO
 		samples := tr.Channels[ch]
 		const replayBlock = 4096
 		for base := 0; base < n; base += replayBlock {
+			if d.Requested() {
+				processed = base
+				interruptNote()
+				break
+			}
 			end := base + replayBlock
 			if end > n {
 				end = n
@@ -187,10 +203,15 @@ func run(irPath, tracePath, deviceName string, verbose bool, metricsFile, traceO
 			}
 		}
 		return finishRun(tr, dev, machine, inj, crashProfile, set, stream, profile,
-			metricsFile, traceOutFile, wakes, samplesLost, stateWipes, n)
+			metricsFile, traceOutFile, wakes, samplesLost, stateWipes, processed)
 	}
 
 	for i := 0; i < n; i++ {
+		if d.Requested() {
+			processed = i
+			interruptNote()
+			break
+		}
 		clk.SetSec(float64(i) / tr.RateHz)
 		if ct := inj.Tick(); ct.Onset && ct.Kind.LosesState() {
 			// A reset or brownout reboots the MCU: the interpreter's
@@ -215,7 +236,7 @@ func run(irPath, tracePath, deviceName string, verbose bool, metricsFile, traceO
 		}
 	}
 	return finishRun(tr, dev, machine, inj, crashProfile, set, stream, profile,
-		metricsFile, traceOutFile, wakes, samplesLost, stateWipes, n)
+		metricsFile, traceOutFile, wakes, samplesLost, stateWipes, processed)
 }
 
 // finishRun prints the replay report and exports opt-in telemetry.
@@ -226,10 +247,15 @@ func finishRun(tr *sensor.Trace, dev hub.Device, machine *interp.Machine,
 	work := machine.Work()
 	cycles := work.FloatOps*dev.CyclesPerFloatOp + work.IntOps*dev.CyclesPerIntOp
 	seconds := float64(n) / tr.RateHz
+	wakesPerMin, budgetPct := 0.0, 0.0
+	if seconds > 0 {
+		wakesPerMin = float64(wakes) / (seconds / 60)
+		budgetPct = cycles / seconds / (dev.ClockHz * dev.MaxUtilization) * 100
+	}
 	fmt.Printf("replayed %s: %d samples/channel over %v\n", tr.Name, n, tr.Duration().Round(time.Second))
-	fmt.Printf("wake-ups: %d (%.2f per minute)\n", wakes, float64(wakes)/(seconds/60))
+	fmt.Printf("wake-ups: %d (%.2f per minute)\n", wakes, wakesPerMin)
 	fmt.Printf("interpreter work: %.0f float ops, %.0f int ops (%.2f%% of %s cycle budget)\n",
-		work.FloatOps, work.IntOps, cycles/seconds/(dev.ClockHz*dev.MaxUtilization)*100, dev.Name)
+		work.FloatOps, work.IntOps, budgetPct, dev.Name)
 	if crashProfile.Enabled() {
 		st := inj.Stats()
 		fmt.Printf("crashes: %d (%d reset, %d hang, %d brownout); down %d of %d samples; %d samples dropped; %d state wipes\n",

@@ -4,9 +4,11 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"syscall"
 	"testing"
 	"time"
 
+	"sidewinder/internal/fleetd"
 	"sidewinder/internal/sensor"
 	"sidewinder/internal/tracegen"
 )
@@ -44,11 +46,11 @@ func TestReplayEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	tracePath := writeTrace(t, dir)
-	if err := run(irPath, tracePath, "", false, "", "", "", ""); err != nil {
+	if err := run(irPath, tracePath, "", false, "", "", "", "", nil); err != nil {
 		t.Fatalf("replay: %v", err)
 	}
 	// Forcing the LM4F120 works; verbose path also exercised.
-	if err := run(irPath, tracePath, "LM4F120", true, "", "", "", ""); err != nil {
+	if err := run(irPath, tracePath, "LM4F120", true, "", "", "", "", nil); err != nil {
 		t.Fatalf("forced device: %v", err)
 	}
 }
@@ -59,13 +61,13 @@ func TestReplayErrors(t *testing.T) {
 	os.WriteFile(irPath, []byte(stepsIR), 0o644)
 	tracePath := writeTrace(t, dir)
 
-	if err := run("", tracePath, "", false, "", "", "", ""); err == nil {
+	if err := run("", tracePath, "", false, "", "", "", "", nil); err == nil {
 		t.Error("missing -ir should fail")
 	}
-	if err := run(irPath, "", "", false, "", "", "", ""); err == nil {
+	if err := run(irPath, "", "", false, "", "", "", "", nil); err == nil {
 		t.Error("missing -trace should fail")
 	}
-	if err := run(irPath, tracePath, "Z80", false, "", "", "", ""); err == nil {
+	if err := run(irPath, tracePath, "Z80", false, "", "", "", "", nil); err == nil {
 		t.Error("unknown device should fail")
 	}
 
@@ -73,7 +75,7 @@ func TestReplayErrors(t *testing.T) {
 	audioIR := "MIC -> window(id=1, params={64, 0, rectangular});\n1 -> stat(id=2, params={rms});\n2 -> minThreshold(id=3, params={0.5, 1});\n3 -> OUT;\n"
 	audioPath := filepath.Join(dir, "audio.ir")
 	os.WriteFile(audioPath, []byte(audioIR), 0o644)
-	if err := run(audioPath, tracePath, "", false, "", "", "", ""); err == nil {
+	if err := run(audioPath, tracePath, "", false, "", "", "", "", nil); err == nil {
 		t.Error("missing channel should fail")
 	}
 
@@ -88,7 +90,7 @@ func TestReplayErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	if err := run(irPath, jsonPath, "", false, "", "", "", ""); err != nil {
+	if err := run(irPath, jsonPath, "", false, "", "", "", "", nil); err != nil {
 		t.Errorf("json trace: %v", err)
 	}
 	_ = sensor.Event{} // keep the import for clarity of the test's domain
@@ -105,7 +107,7 @@ func TestReplayCrashProfile(t *testing.T) {
 	}
 	tracePath := writeTrace(t, dir)
 
-	if err := run(irPath, tracePath, "", true, "", "", "mtbf=500,down=100,seed=1,kind=reset", ""); err != nil {
+	if err := run(irPath, tracePath, "", true, "", "", "mtbf=500,down=100,seed=1,kind=reset", "", nil); err != nil {
 		t.Fatalf("crash replay: %v", err)
 	}
 
@@ -146,7 +148,7 @@ func TestReplayTelemetryFiles(t *testing.T) {
 	metricsFile := filepath.Join(dir, "metrics.json")
 	traceFile := filepath.Join(dir, "trace.json")
 
-	if err := run(irPath, tracePath, "", false, metricsFile, traceFile, "", ""); err != nil {
+	if err := run(irPath, tracePath, "", false, metricsFile, traceFile, "", "", nil); err != nil {
 		t.Fatal(err)
 	}
 
@@ -196,5 +198,52 @@ func TestReplayTelemetryFiles(t *testing.T) {
 	}
 	if spans == 0 {
 		t.Error("trace has no per-stage spans")
+	}
+}
+
+// TestReplayInterruptedStillFlushesTelemetry: a drain requested before
+// the replay starts must still produce the -metrics file — the graceful
+// path flushes telemetry instead of dying mid-frame.
+func TestReplayInterruptedStillFlushesTelemetry(t *testing.T) {
+	dir := t.TempDir()
+	irPath := filepath.Join(dir, "steps.ir")
+	if err := os.WriteFile(irPath, []byte(stepsIR), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tracePath := writeTrace(t, dir)
+	metricsFile := filepath.Join(dir, "metrics.json")
+
+	d := fleetd.WatchSignals(syscall.SIGUSR1)
+	defer d.Stop()
+	d.Request() // interrupt before the first sample
+	if err := run(irPath, tracePath, "", false, metricsFile, "", "", "", d); err != nil {
+		t.Fatalf("interrupted replay: %v", err)
+	}
+	data, err := os.ReadFile(metricsFile)
+	if err != nil {
+		t.Fatalf("metrics file missing after interrupted run: %v", err)
+	}
+	var doc struct {
+		Metrics json.RawMessage `json:"metrics"`
+		Ledger  json.RawMessage `json:"ledger"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("metrics file is not valid JSON: %v\n%s", err, data)
+	}
+	if len(doc.Metrics) == 0 || len(doc.Ledger) == 0 {
+		t.Fatalf("metrics file incomplete: %s", data)
+	}
+
+	// Interrupting mid-run (crash-profile forces the per-sample loop)
+	// must flush too.
+	d2 := fleetd.WatchSignals(syscall.SIGUSR1)
+	defer d2.Stop()
+	d2.Request()
+	metrics2 := filepath.Join(dir, "metrics2.txt")
+	if err := run(irPath, tracePath, "", false, metrics2, "", "mtbf=500,down=100,seed=1", "", d2); err != nil {
+		t.Fatalf("interrupted per-sample replay: %v", err)
+	}
+	if _, err := os.Stat(metrics2); err != nil {
+		t.Fatalf("metrics file missing after interrupted per-sample run: %v", err)
 	}
 }

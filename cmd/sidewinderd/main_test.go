@@ -1,0 +1,74 @@
+package main
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"sidewinder/internal/fleetd"
+)
+
+// TestRunDrainsCleanOnRequest boots the daemon on an ephemeral port,
+// confirms it accepts connections, then requests a drain and checks the
+// operator-facing report (the soak script greps these exact markers).
+func TestRunDrainsCleanOnRequest(t *testing.T) {
+	d := fleetd.WatchSignals(syscall.SIGUSR1) // not SIGTERM: the test harness owns that
+	defer d.Stop()
+	var out strings.Builder
+	addrCh := make(chan string, 1)
+
+	var wg sync.WaitGroup
+	var runErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		runErr = run(fleetd.Config{Addr: "127.0.0.1:0"}, d, &out,
+			func(addr string) { addrCh <- addr })
+	}()
+
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("daemon not accepting on %s: %v", addr, err)
+	}
+	conn.Close()
+
+	d.Request()
+	wg.Wait()
+	if runErr != nil {
+		t.Fatalf("run: %v", runErr)
+	}
+	text := out.String()
+	for _, marker := range []string{
+		"sidewinderd: listening on",
+		"sidewinderd: drain requested",
+		"sidewinderd: conservation: OK",
+		"sidewinderd: drain: clean",
+	} {
+		if !strings.Contains(text, marker) {
+			t.Fatalf("output missing %q:\n%s", marker, text)
+		}
+	}
+}
+
+// TestRunRefusesBusyPort: a listen failure must surface as an error, not
+// a hang.
+func TestRunRefusesBusyPort(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	var out strings.Builder
+	if err := run(fleetd.Config{Addr: ln.Addr().String()}, nil, &out, nil); err == nil {
+		t.Fatal("run on a busy port should fail")
+	}
+}

@@ -1,0 +1,67 @@
+package fleetd
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sidewinder/internal/telemetry"
+)
+
+// Checkpoint is the daemon's durable state: every device's totals, the
+// ledger snapshot, and the boot epoch. It is written periodically and on
+// drain, always via temp-file + rename so a crash mid-write leaves the
+// previous checkpoint intact, and reloaded on startup (bumping the
+// epoch) so device totals survive a restart.
+type Checkpoint struct {
+	Epoch             uint32                   `json:"epoch"`
+	Devices           []DeviceStats            `json:"devices"`
+	Ledger            telemetry.LedgerSnapshot `json:"ledger"`
+	ConservationErrMJ float64                  `json:"conservation_err_mj"`
+}
+
+// WriteCheckpoint atomically writes the checkpoint as JSON.
+func WriteCheckpoint(path string, cp Checkpoint) error {
+	data, err := json.MarshalIndent(cp, "", "  ")
+	if err != nil {
+		return fmt.Errorf("fleetd: encoding checkpoint: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".checkpoint-*")
+	if err != nil {
+		return fmt.Errorf("fleetd: checkpoint temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	_, werr := tmp.Write(append(data, '\n'))
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("fleetd: writing checkpoint: %w", werr)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("fleetd: committing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads a checkpoint file. A missing file is not an error:
+// it returns a zero checkpoint and ok=false.
+func LoadCheckpoint(path string) (Checkpoint, bool, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return Checkpoint{}, false, nil
+	}
+	if err != nil {
+		return Checkpoint{}, false, fmt.Errorf("fleetd: reading checkpoint: %w", err)
+	}
+	var cp Checkpoint
+	if err := json.Unmarshal(data, &cp); err != nil {
+		return Checkpoint{}, false, fmt.Errorf("fleetd: decoding checkpoint %s: %w", path, err)
+	}
+	return cp, true, nil
+}

@@ -1,0 +1,422 @@
+package fleetd
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"time"
+
+	"sidewinder/internal/link"
+	"sidewinder/internal/power"
+	"sidewinder/internal/sensor"
+	"sidewinder/internal/sim"
+	"sidewinder/internal/telemetry"
+	"sidewinder/internal/tracegen"
+)
+
+// The load generator replays a sim.FleetRun population over real sockets:
+// every cell of the batch sweep becomes one device session that sends its
+// wakes, heartbeats and energy split as protocol frames. Because the cell
+// records the exact per-component energy the batch run deposits, the
+// daemon's ledger after a full (shed-free) replay must match the batch
+// ledger — per device bit for bit — which is the identity test's anchor.
+
+// BuildPopulation synthesizes candidate traces (two robot accelerometer
+// groups and one office audio bed) and runs the batch fleet sweep. The
+// returned ledger is the batch reference the daemon replay is compared
+// against.
+func BuildPopulation(devices, appsPerDevice int, seed int64, traceDur time.Duration, workers int) (*sim.FleetResult, *telemetry.Ledger, error) {
+	busy, err := tracegen.Robot(tracegen.RobotConfig{Seed: seed, Duration: traceDur, IdleFraction: 0.1})
+	if err != nil {
+		return nil, nil, err
+	}
+	idle, err := tracegen.Robot(tracegen.RobotConfig{Seed: seed + 1, Duration: traceDur, IdleFraction: 0.9})
+	if err != nil {
+		return nil, nil, err
+	}
+	office, err := tracegen.Audio(tracegen.NewAudioConfig(seed+2, traceDur, tracegen.OfficeAudio))
+	if err != nil {
+		return nil, nil, err
+	}
+	led := telemetry.NewLedger()
+	res, err := sim.FleetRun(sim.FleetRunConfig{
+		Devices:       devices,
+		AppsPerDevice: appsPerDevice,
+		Seed:          seed,
+		Workers:       workers,
+		Accel:         []*sensor.Trace{busy, idle},
+		Audio:         []*sensor.Trace{office},
+		Telemetry:     telemetry.Set{Ledger: led},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, led, nil
+}
+
+// LoadConfig parameterizes a socket replay of a fleet population.
+type LoadConfig struct {
+	// Addr is the daemon's ingest address (required).
+	Addr string
+	// Window bounds in-flight unacked frames per device (default 64).
+	Window int
+	// HeartbeatEvery inserts one heartbeat per this many wake frames
+	// (default 25).
+	HeartbeatEvery int
+	// Epoch is the device boot epoch carried in heartbeats (default 1).
+	Epoch uint32
+	// Concurrency bounds simultaneously connected devices (default: the
+	// whole population at once — concurrent load is the point).
+	Concurrency int
+	// Telemetry receives the client-side ingest latency histogram
+	// (fleetload.ack_latency_ms). Nil metrics get a fresh registry.
+	Telemetry telemetry.Set
+}
+
+// LoadReport aggregates a replay.
+type LoadReport struct {
+	Devices      int
+	Frames       uint64 // acked event frames (wakes + heartbeats + energy)
+	Accepted     uint64
+	Shed         uint64
+	Wakes        uint64
+	Heartbeats   uint64
+	EnergyFrames uint64
+	DurationSec  float64
+	EventsPerSec float64
+	P50ms        float64
+	P99ms        float64
+	P999ms       float64
+	// Summaries holds every device's server-side bye-ack totals by ID.
+	Summaries map[uint64]DeviceSummary
+	// Mismatches counts devices whose bye-ack disagreed with the
+	// client-side record of accepted frames — must be zero.
+	Mismatches int
+}
+
+// outFrame is one scheduled frame of a device session.
+type outFrame struct {
+	kind      int // itemWake, itemEnergy, or frameHeartbeat below
+	seq       uint32
+	component telemetry.Component
+	mj        float64
+	wire      []byte
+}
+
+const frameHeartbeat = 100 // distinct from the server-side item kinds
+
+// deviceOutcome is one session's client-side record.
+type deviceOutcome struct {
+	id                        uint64
+	wakes, heartbeats, energy uint64 // accepted, by kind
+	shed                      uint64
+	summary                   DeviceSummary
+	mismatch                  string // non-empty: bye-ack disagreed with us
+	err                       error
+}
+
+// schedule builds a cell's frame sequence: wakes with interleaved
+// heartbeats, then the six-component energy split in the exact order
+// batch FleetRun deposits it (DepositEnergy), then nothing — the bye is
+// written by the session after the last ack.
+func schedule(cell *sim.FleetCell, hbEvery int, epoch uint32) []outFrame {
+	if hbEvery <= 0 {
+		hbEvery = 25
+	}
+	frames := make([]outFrame, 0, cell.Wakes+cell.Wakes/hbEvery+8)
+	seq := uint32(0)
+	next := func() uint32 { seq++; return seq }
+	for w := 0; w < cell.Wakes; w++ {
+		if w%hbEvery == 0 {
+			s := next()
+			hb := Heartbeat{Seq: s, Epoch: epoch}
+			frames = append(frames, outFrame{kind: frameHeartbeat, seq: s, wire: mustFrame(MsgDeviceHeartbeat, hb.Encode())})
+		}
+		s := next()
+		we := WakeEvent{Seq: s, Node: uint16(w), Value: cell.AvgMW}
+		frames = append(frames, outFrame{kind: itemWake, seq: s, wire: mustFrame(MsgDeviceWake, we.Encode())})
+	}
+	deposits := []ComponentMJ{
+		{telemetry.PhoneAsleep, cell.PhoneStateMJ[power.Asleep]},
+		{telemetry.PhoneWaking, cell.PhoneStateMJ[power.WakingUp]},
+		{telemetry.PhoneAwake, cell.PhoneStateMJ[power.Awake]},
+		{telemetry.PhoneFallingAsleep, cell.PhoneStateMJ[power.FallingAsleep]},
+		{telemetry.PhoneFallback, cell.FallbackEnergyMJ},
+		{telemetry.HubDevice, cell.HubEnergyMJ},
+	}
+	for _, d := range deposits {
+		s := next()
+		ev := EnergyEvent{Seq: s, Component: d.Component, MJ: d.MJ}
+		frames = append(frames, outFrame{kind: itemEnergy, seq: s, component: d.Component, mj: d.MJ,
+			wire: mustFrame(MsgDeviceEnergy, ev.Encode())})
+	}
+	return frames
+}
+
+func mustFrame(t link.MsgType, payload []byte) []byte {
+	wire, err := link.Encode(link.Frame{Type: t, Payload: payload})
+	if err != nil {
+		panic(err) // payloads are fixed-size and well under the frame limit
+	}
+	return wire
+}
+
+// frameReader pulls whole protocol frames off a connection.
+type frameReader struct {
+	conn  net.Conn
+	dec   link.Decoder
+	buf   []byte
+	queue []link.Frame
+}
+
+func (r *frameReader) next() (link.Frame, error) {
+	for len(r.queue) == 0 {
+		n, err := r.conn.Read(r.buf)
+		if n > 0 {
+			frames, ferr := r.dec.Feed(r.buf[:n])
+			r.queue = append(r.queue, frames...)
+			if ferr != nil && link.IsMalformed(ferr) {
+				return link.Frame{}, ferr
+			}
+		}
+		if err != nil && len(r.queue) == 0 {
+			return link.Frame{}, err
+		}
+	}
+	f := r.queue[0]
+	r.queue = r.queue[1:]
+	return f, nil
+}
+
+// runDevice replays one cell as a full device session and verifies the
+// bye-ack against the client-side record of what was acknowledged.
+func runDevice(cfg LoadConfig, id uint64, cell *sim.FleetCell, lat *telemetry.Histogram) deviceOutcome {
+	out := deviceOutcome{id: id}
+	conn, err := net.Dial("tcp", cfg.Addr)
+	if err != nil {
+		out.err = fmt.Errorf("device %d: dial: %w", id, err)
+		return out
+	}
+	defer conn.Close()
+	fr := &frameReader{conn: conn, buf: make([]byte, 1<<13)}
+
+	if _, err := conn.Write(mustFrame(MsgHello, Hello{Version: ProtocolVersion, DeviceID: id}.Encode())); err != nil {
+		out.err = fmt.Errorf("device %d: hello: %w", id, err)
+		return out
+	}
+	f, err := fr.next()
+	if err != nil || f.Type != MsgHelloAck {
+		out.err = fmt.Errorf("device %d: waiting for hello-ack (got %v): %v", id, f.Type, err)
+		return out
+	}
+	if _, err := DecodeHelloAck(f.Payload); err != nil {
+		out.err = fmt.Errorf("device %d: %w", id, err)
+		return out
+	}
+
+	window := cfg.Window
+	if window <= 0 {
+		window = 64
+	}
+	epoch := cfg.Epoch
+	if epoch == 0 {
+		epoch = 1
+	}
+	frames := schedule(cell, cfg.HeartbeatEvery, epoch)
+
+	type inflight struct {
+		frame outFrame
+		at    time.Time
+	}
+	pending := make(chan inflight, window)
+	writeErr := make(chan error, 1)
+	go func() {
+		bw := bufio.NewWriterSize(conn, 1<<13)
+		for i := range frames {
+			pending <- inflight{frame: frames[i], at: time.Now()}
+			if _, err := bw.Write(frames[i].wire); err != nil {
+				writeErr <- err
+				close(pending)
+				return
+			}
+			// Flush when the window has room to spare is wasted syscalls;
+			// flush when the writer is about to block keeps acks flowing.
+			if len(pending) >= window-1 || i == len(frames)-1 {
+				if err := bw.Flush(); err != nil {
+					writeErr <- err
+					close(pending)
+					return
+				}
+			} else if bw.Available() < 64 {
+				if err := bw.Flush(); err != nil {
+					writeErr <- err
+					close(pending)
+					return
+				}
+			}
+		}
+		writeErr <- nil
+		close(pending)
+	}()
+
+	// energyAccepted mirrors, client-side, what the server should have
+	// accumulated per component for this device.
+	energyAccepted := make([]float64, len(telemetry.Components()))
+	for inf := range pending {
+		f, err := fr.next()
+		if err != nil {
+			out.err = fmt.Errorf("device %d: reading ack for seq %d: %w", id, inf.frame.seq, err)
+			return out
+		}
+		if f.Type != MsgEventAck {
+			out.err = fmt.Errorf("device %d: expected ack, got frame type 0x%02x", id, byte(f.Type))
+			return out
+		}
+		ack, err := DecodeEventAck(f.Payload)
+		if err != nil {
+			out.err = fmt.Errorf("device %d: %w", id, err)
+			return out
+		}
+		if ack.Seq != inf.frame.seq {
+			out.err = fmt.Errorf("device %d: ack seq %d, want %d (acks must arrive in send order)", id, ack.Seq, inf.frame.seq)
+			return out
+		}
+		lat.Observe(float64(time.Since(inf.at).Microseconds()) / 1000)
+		switch {
+		case ack.Status == AckShed:
+			out.shed++
+		case inf.frame.kind == itemWake:
+			out.wakes++
+		case inf.frame.kind == frameHeartbeat:
+			out.heartbeats++
+		case inf.frame.kind == itemEnergy:
+			out.energy++
+			energyAccepted[inf.frame.component] += inf.frame.mj
+		}
+	}
+	if err := <-writeErr; err != nil {
+		out.err = fmt.Errorf("device %d: writing: %w", id, err)
+		return out
+	}
+
+	byeSeq := uint32(len(frames) + 1)
+	if _, err := conn.Write(mustFrame(MsgBye, Bye{Seq: byeSeq}.Encode())); err != nil {
+		out.err = fmt.Errorf("device %d: bye: %w", id, err)
+		return out
+	}
+	f, err = fr.next()
+	if err != nil || f.Type != MsgByeAck {
+		out.err = fmt.Errorf("device %d: waiting for bye-ack (got %v): %v", id, f.Type, err)
+		return out
+	}
+	sum, err := DecodeDeviceSummary(f.Payload)
+	if err != nil {
+		out.err = fmt.Errorf("device %d: %w", id, err)
+		return out
+	}
+	out.summary = sum
+
+	// The bye-ack is the no-side-channel proof that every acknowledged
+	// frame landed: counts must match exactly, energy bit for bit.
+	switch {
+	case sum.Seq != byeSeq:
+		out.mismatch = fmt.Sprintf("bye seq %d, want %d", sum.Seq, byeSeq)
+	case sum.Wakes != out.wakes:
+		out.mismatch = fmt.Sprintf("server wakes %d, client acked %d", sum.Wakes, out.wakes)
+	case sum.Heartbeats != out.heartbeats:
+		out.mismatch = fmt.Sprintf("server heartbeats %d, client acked %d", sum.Heartbeats, out.heartbeats)
+	case sum.Sheds != out.shed:
+		out.mismatch = fmt.Sprintf("server sheds %d, client saw %d", sum.Sheds, out.shed)
+	default:
+		got := make([]float64, len(energyAccepted))
+		for _, e := range sum.Energy {
+			if int(e.Component) < len(got) {
+				got[e.Component] = e.MJ
+			}
+		}
+		for c := range energyAccepted {
+			if math.Float64bits(got[c]) != math.Float64bits(energyAccepted[c]) {
+				out.mismatch = fmt.Sprintf("component %s: server %v, client %v",
+					telemetry.Component(c), got[c], energyAccepted[c])
+				break
+			}
+		}
+	}
+	return out
+}
+
+// RunLoad replays every cell of a population against the daemon,
+// Concurrency devices at a time, and aggregates throughput, latency
+// quantiles and the per-device server summaries.
+func RunLoad(cfg LoadConfig, cells []sim.FleetCell) (*LoadReport, error) {
+	if cfg.Addr == "" {
+		return nil, fmt.Errorf("fleetd: load generator needs an address")
+	}
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("fleetd: load generator needs a population")
+	}
+	reg := cfg.Telemetry.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	lat := reg.Histogram("fleetload.ack_latency_ms",
+		[]float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 1000})
+
+	conc := cfg.Concurrency
+	if conc <= 0 || conc > len(cells) {
+		conc = len(cells)
+	}
+	sem := make(chan struct{}, conc)
+	outs := make([]deviceOutcome, len(cells))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := range cells {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			outs[i] = runDevice(cfg, uint64(i+1), &cells[i], lat)
+		}(i)
+	}
+	wg.Wait()
+	dur := time.Since(start).Seconds()
+
+	rep := &LoadReport{
+		Devices:     len(cells),
+		DurationSec: dur,
+		Summaries:   make(map[uint64]DeviceSummary, len(cells)),
+	}
+	var firstErr error
+	for i := range outs {
+		o := &outs[i]
+		if o.err != nil {
+			if firstErr == nil {
+				firstErr = o.err
+			}
+			continue
+		}
+		rep.Wakes += o.wakes
+		rep.Heartbeats += o.heartbeats
+		rep.EnergyFrames += o.energy
+		rep.Accepted += o.wakes + o.heartbeats + o.energy
+		rep.Shed += o.shed
+		rep.Summaries[o.id] = o.summary
+		if o.mismatch != "" {
+			rep.Mismatches++
+			if firstErr == nil {
+				firstErr = fmt.Errorf("device %d: summary mismatch: %s", o.id, o.mismatch)
+			}
+		}
+	}
+	rep.Frames = rep.Accepted + rep.Shed
+	if dur > 0 {
+		rep.EventsPerSec = float64(rep.Frames) / dur
+	}
+	rep.P50ms = lat.Quantile(0.50)
+	rep.P99ms = lat.Quantile(0.99)
+	rep.P999ms = lat.Quantile(0.999)
+	return rep, firstErr
+}

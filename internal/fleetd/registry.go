@@ -1,0 +1,280 @@
+package fleetd
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"sidewinder/internal/telemetry"
+)
+
+// Registry is the sharded device state store. Devices hash to shards by
+// FNV-1a over their ID; each shard owns a mutex and a map, so ingest from
+// thousands of connections contends only within a shard. All per-device
+// ordering guarantees the daemon makes (energy accumulation order equals
+// send order) follow from one fact: every frame of a device hashes to the
+// same shard and is applied by that shard's single worker in queue order.
+type Registry struct {
+	shards []registryShard
+	ncomp  int // number of telemetry components (EnergyMJ length)
+}
+
+type registryShard struct {
+	mu      sync.Mutex
+	devices map[uint64]*deviceState
+}
+
+// deviceState is the mutable per-device record, guarded by its shard's
+// mutex.
+type deviceState struct {
+	id         uint64
+	wakes      uint64
+	heartbeats uint64
+	sheds      uint64
+	shedMJ     float64
+	energyMJ   []float64 // indexed by telemetry.Component
+	lastSeq    uint32
+	epoch      uint32 // device-reported boot epoch (from heartbeats)
+	conns      int    // live connections for this device
+}
+
+// DeviceStats is one device's exported state.
+type DeviceStats struct {
+	ID         uint64    `json:"id"`
+	Wakes      uint64    `json:"wakes"`
+	Heartbeats uint64    `json:"heartbeats"`
+	Sheds      uint64    `json:"sheds,omitempty"`
+	ShedMJ     float64   `json:"shed_mj,omitempty"`
+	EnergyMJ   []float64 `json:"energy_mj"` // indexed by telemetry.Component
+	TotalMJ    float64   `json:"total_mj"`
+	LastSeq    uint32    `json:"last_seq"`
+	Epoch      uint32    `json:"epoch,omitempty"`
+	Connected  bool      `json:"connected,omitempty"`
+}
+
+// NewRegistry returns a registry with the given shard count (minimum 1).
+func NewRegistry(shards int) *Registry {
+	if shards < 1 {
+		shards = 1
+	}
+	r := &Registry{
+		shards: make([]registryShard, shards),
+		ncomp:  len(telemetry.Components()),
+	}
+	for i := range r.shards {
+		r.shards[i].devices = make(map[uint64]*deviceState)
+	}
+	return r
+}
+
+// Shards returns the shard count.
+func (r *Registry) Shards() int { return len(r.shards) }
+
+// ShardIndex maps a device ID to its shard: FNV-1a over the ID's eight
+// little-endian bytes. Consistent for the registry's lifetime, so a
+// device's frames always serialize through one shard worker.
+func (r *Registry) ShardIndex(deviceID uint64) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < 8; i++ {
+		h ^= (deviceID >> (8 * i)) & 0xFF
+		h *= prime64
+	}
+	return int(h % uint64(len(r.shards)))
+}
+
+// shardFor returns the shard owning a device.
+func (r *Registry) shardFor(deviceID uint64) *registryShard {
+	return &r.shards[r.ShardIndex(deviceID)]
+}
+
+// get returns the device record, creating it if needed. Caller must NOT
+// hold the shard lock; get takes it.
+func (s *registryShard) get(r *Registry, id uint64) *deviceState {
+	if d, ok := s.devices[id]; ok {
+		return d
+	}
+	d := &deviceState{id: id, energyMJ: make([]float64, r.ncomp)}
+	s.devices[id] = d
+	return d
+}
+
+// Connect registers a live connection for the device, creating the record
+// on first contact. Returns true when this is the device's first contact
+// ever (a fresh record).
+func (r *Registry) Connect(deviceID uint64) (fresh bool) {
+	s := r.shardFor(deviceID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, existed := s.devices[deviceID]
+	d := s.get(r, deviceID)
+	d.conns++
+	return !existed
+}
+
+// Disconnect drops a live connection for the device.
+func (r *Registry) Disconnect(deviceID uint64) {
+	s := r.shardFor(deviceID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d, ok := s.devices[deviceID]; ok && d.conns > 0 {
+		d.conns--
+	}
+}
+
+// RecordHeartbeat applies a device heartbeat: bumps the count, tracks the
+// latest seq and the device's boot epoch. Heartbeats bypass the ingest
+// queues — they are tiny, latency-critical liveness signals — so this is
+// called straight off the connection reader.
+func (r *Registry) RecordHeartbeat(deviceID uint64, hb Heartbeat) {
+	s := r.shardFor(deviceID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.get(r, deviceID)
+	d.heartbeats++
+	d.lastSeq = hb.Seq
+	d.epoch = hb.Epoch
+}
+
+// RecordShed counts a backpressure refusal and bills its fallback energy
+// against the device. Called from the connection reader on the shed path;
+// the shard lock (not the queue) serializes it against the worker.
+func (r *Registry) RecordShed(deviceID uint64, mj float64) {
+	s := r.shardFor(deviceID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.get(r, deviceID)
+	d.sheds++
+	d.shedMJ += mj
+}
+
+// applyWake applies one queued wake event (shard worker only).
+func (r *Registry) applyWake(deviceID uint64, w WakeEvent) {
+	s := r.shardFor(deviceID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.get(r, deviceID)
+	d.wakes++
+	d.lastSeq = w.Seq
+}
+
+// applyEnergy applies one queued energy deposit (shard worker only). The
+// per-device accumulation order is the device's send order, which is what
+// makes daemon totals bit-identical to a batch replay of the same frames.
+func (r *Registry) applyEnergy(deviceID uint64, e EnergyEvent) {
+	s := r.shardFor(deviceID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.get(r, deviceID)
+	d.energyMJ[e.Component] += e.MJ
+	d.lastSeq = e.Seq
+}
+
+// summarize builds the bye-ack summary for a device under the shard lock.
+func (r *Registry) summarize(deviceID uint64, seq uint32) DeviceSummary {
+	s := r.shardFor(deviceID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.devices[deviceID]
+	if !ok {
+		return DeviceSummary{Seq: seq}
+	}
+	sum := DeviceSummary{
+		Seq:        seq,
+		Wakes:      d.wakes,
+		Heartbeats: d.heartbeats,
+		Sheds:      d.sheds,
+		ShedMJ:     d.shedMJ,
+	}
+	for c, v := range d.energyMJ {
+		if v != 0 {
+			sum.Energy = append(sum.Energy, ComponentMJ{Component: telemetry.Component(c), MJ: v})
+		}
+	}
+	return sum
+}
+
+// restore seeds a device record from a checkpoint (startup only, before
+// any connection is accepted).
+func (r *Registry) restore(st DeviceStats) error {
+	if len(st.EnergyMJ) > r.ncomp {
+		return fmt.Errorf("fleetd: checkpoint device %d has %d energy components, registry supports %d",
+			st.ID, len(st.EnergyMJ), r.ncomp)
+	}
+	s := r.shardFor(st.ID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.get(r, st.ID)
+	d.wakes = st.Wakes
+	d.heartbeats = st.Heartbeats
+	d.sheds = st.Sheds
+	d.shedMJ = st.ShedMJ
+	copy(d.energyMJ, st.EnergyMJ)
+	d.lastSeq = st.LastSeq
+	d.epoch = st.Epoch
+	return nil
+}
+
+// Len returns the number of known devices across all shards.
+func (r *Registry) Len() int {
+	n := 0
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		n += len(s.devices)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Connected returns the number of devices with at least one live
+// connection.
+func (r *Registry) Connected() int {
+	n := 0
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		for _, d := range s.devices {
+			if d.conns > 0 {
+				n++
+			}
+		}
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Snapshot exports every device in ascending ID order. Shards are
+// snapshotted one at a time — the result is per-device consistent (each
+// record copied under its shard lock), which is the granularity the
+// checkpoint and the identity tests need.
+func (r *Registry) Snapshot() []DeviceStats {
+	var out []DeviceStats
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		for _, d := range s.devices {
+			st := DeviceStats{
+				ID:         d.id,
+				Wakes:      d.wakes,
+				Heartbeats: d.heartbeats,
+				Sheds:      d.sheds,
+				ShedMJ:     d.shedMJ,
+				EnergyMJ:   append([]float64(nil), d.energyMJ...),
+				LastSeq:    d.lastSeq,
+				Epoch:      d.epoch,
+				Connected:  d.conns > 0,
+			}
+			for _, v := range d.energyMJ {
+				st.TotalMJ += v
+			}
+			out = append(out, st)
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,158 @@
+package fleetd
+
+import (
+	"sync"
+	"testing"
+
+	"sidewinder/internal/telemetry"
+)
+
+func TestShardIndexConsistentAndSpread(t *testing.T) {
+	r := NewRegistry(16)
+	hits := make([]int, 16)
+	for id := uint64(1); id <= 1000; id++ {
+		s := r.ShardIndex(id)
+		if s != r.ShardIndex(id) {
+			t.Fatalf("shard index for %d not stable", id)
+		}
+		if s < 0 || s >= 16 {
+			t.Fatalf("shard index %d out of range", s)
+		}
+		hits[s]++
+	}
+	// FNV-1a over 1000 sequential IDs should not leave any shard starved:
+	// a uniform split is 62.5/shard; demand at least a third of that.
+	for i, n := range hits {
+		if n < 20 {
+			t.Fatalf("shard %d got only %d of 1000 devices — hashing is degenerate", i, n)
+		}
+	}
+}
+
+func TestRegistryLifecycle(t *testing.T) {
+	r := NewRegistry(4)
+	if !r.Connect(7) {
+		t.Fatal("first contact should be fresh")
+	}
+	if r.Connect(7) {
+		t.Fatal("second connection is not fresh")
+	}
+	if got := r.Connected(); got != 1 {
+		t.Fatalf("Connected() = %d, want 1", got)
+	}
+	r.Disconnect(7)
+	if got := r.Connected(); got != 1 {
+		t.Fatalf("Connected() after one of two disconnects = %d, want 1", got)
+	}
+	r.Disconnect(7)
+	if got := r.Connected(); got != 0 {
+		t.Fatalf("Connected() = %d, want 0", got)
+	}
+	if got := r.Len(); got != 1 {
+		t.Fatalf("Len() = %d, want 1 (disconnect keeps the record)", got)
+	}
+}
+
+func TestRegistryApplyAndSummarize(t *testing.T) {
+	r := NewRegistry(4)
+	r.Connect(42)
+	r.applyWake(42, WakeEvent{Seq: 1, Node: 0, Value: 1})
+	r.applyWake(42, WakeEvent{Seq: 2, Node: 1, Value: 2})
+	r.RecordHeartbeat(42, Heartbeat{Seq: 3, Epoch: 9})
+	r.applyEnergy(42, EnergyEvent{Seq: 4, Component: telemetry.PhoneAwake, MJ: 1.5})
+	r.applyEnergy(42, EnergyEvent{Seq: 5, Component: telemetry.PhoneAwake, MJ: 0.25})
+	r.applyEnergy(42, EnergyEvent{Seq: 6, Component: telemetry.HubDevice, MJ: 3})
+	r.RecordShed(42, 10)
+
+	sum := r.summarize(42, 99)
+	if sum.Seq != 99 || sum.Wakes != 2 || sum.Heartbeats != 1 || sum.Sheds != 1 || sum.ShedMJ != 10 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	want := map[telemetry.Component]float64{telemetry.PhoneAwake: 1.75, telemetry.HubDevice: 3}
+	if len(sum.Energy) != len(want) {
+		t.Fatalf("summary energy = %+v, want %v", sum.Energy, want)
+	}
+	for _, e := range sum.Energy {
+		if want[e.Component] != e.MJ {
+			t.Fatalf("component %s = %v, want %v", e.Component, e.MJ, want[e.Component])
+		}
+	}
+
+	snap := r.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot has %d devices, want 1", len(snap))
+	}
+	d := snap[0]
+	if d.ID != 42 || d.Wakes != 2 || d.TotalMJ != 4.75 || d.ShedMJ != 10 || d.LastSeq != 6 || d.Epoch != 9 {
+		t.Fatalf("snapshot device = %+v", d)
+	}
+
+	// Summarizing an unknown device returns an empty summary, not a panic.
+	if s := r.summarize(1000, 5); s.Seq != 5 || s.Wakes != 0 {
+		t.Fatalf("unknown device summary = %+v", s)
+	}
+}
+
+func TestRegistryRestoreRoundTrip(t *testing.T) {
+	r := NewRegistry(8)
+	r.Connect(1)
+	r.applyWake(1, WakeEvent{Seq: 1})
+	r.applyEnergy(1, EnergyEvent{Seq: 2, Component: telemetry.PhoneAsleep, MJ: 5})
+	r.Connect(2)
+	r.applyEnergy(2, EnergyEvent{Seq: 1, Component: telemetry.HubDevice, MJ: 7})
+
+	r2 := NewRegistry(3) // different shard count: restore must not care
+	for _, d := range r.Snapshot() {
+		if err := r2.restore(d); err != nil {
+			t.Fatalf("restore: %v", err)
+		}
+	}
+	a, b := r.Snapshot(), r2.Snapshot()
+	if len(a) != len(b) {
+		t.Fatalf("restored %d devices, want %d", len(b), len(a))
+	}
+	for i := range a {
+		// Connection state is runtime-only; everything else must survive.
+		a[i].Connected = false
+		got, want := b[i], a[i]
+		if got.ID != want.ID || got.Wakes != want.Wakes || got.TotalMJ != want.TotalMJ ||
+			got.LastSeq != want.LastSeq {
+			t.Fatalf("device %d: restored %+v, want %+v", want.ID, got, want)
+		}
+	}
+
+	// A checkpoint from a future registry with more components must be
+	// refused rather than silently truncated.
+	bad := DeviceStats{ID: 9, EnergyMJ: make([]float64, 64)}
+	if err := r2.restore(bad); err == nil {
+		t.Fatal("restore with oversized component vector should fail")
+	}
+}
+
+func TestRegistryConcurrentSafety(t *testing.T) {
+	r := NewRegistry(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := uint64(g*1000 + i)
+				r.Connect(id)
+				r.applyWake(id, WakeEvent{Seq: 1})
+				r.applyEnergy(id, EnergyEvent{Seq: 2, Component: telemetry.HubDevice, MJ: 1})
+				r.RecordShed(id, 0.5)
+				r.Disconnect(id)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Len(); got != 1600 {
+		t.Fatalf("Len() = %d, want 1600", got)
+	}
+	for _, d := range r.Snapshot() {
+		if d.Wakes != 1 || d.TotalMJ != 1 || d.ShedMJ != 0.5 {
+			t.Fatalf("device %d state after concurrent ops: %+v", d.ID, d)
+		}
+	}
+}

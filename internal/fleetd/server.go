@@ -1,0 +1,676 @@
+package fleetd
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sidewinder/internal/link"
+	"sidewinder/internal/telemetry"
+)
+
+// DefaultShedWakeCostMJ is the fallback energy billed when a wake event
+// is shed: the device must surface the wake locally, which on the paper's
+// Table 1 numbers costs one asleep→awake transition (384 mW · 1 s), one
+// second awake to deliver it (323 mW) and the fall back to sleep
+// (341 mW · 1 s) — about 1048 mJ of main-processor energy the hub-of-hubs
+// failed to absorb.
+const DefaultShedWakeCostMJ = 1048.0
+
+// Config parameterizes the ingest daemon.
+type Config struct {
+	// Addr is the TCP listen address (default 127.0.0.1:7473; use
+	// host:0 for an ephemeral port).
+	Addr string
+	// Shards is the registry/queue shard count (default 16).
+	Shards int
+	// QueueDepth bounds each shard's ingest queue (default 1024). A full
+	// queue sheds: the frame is refused with AckShed, counted and billed.
+	QueueDepth int
+	// FlushEvery batches this many energy deposits per shard before one
+	// ledger flush (default 64). Batches also flush whenever a shard
+	// queue empties, so the ledger never lags an idle fleet.
+	FlushEvery int
+	// CheckpointPath, when set, is loaded on startup (device totals
+	// survive restarts; the epoch bumps) and rewritten atomically every
+	// CheckpointEvery and on drain.
+	CheckpointPath string
+	// CheckpointEvery is the periodic checkpoint interval (default 10 s;
+	// ignored without CheckpointPath).
+	CheckpointEvery time.Duration
+	// HTTPAddr, when set, serves the observability endpoints: /metrics
+	// (registry text), /metrics.json, /ledger, /snapshot (checkpoint
+	// JSON), /healthz.
+	HTTPAddr string
+	// ShedWakeCostMJ overrides the fallback billing per shed wake
+	// (default DefaultShedWakeCostMJ).
+	ShedWakeCostMJ float64
+	// Telemetry supplies the sinks. Nil Metrics/Ledger fields are
+	// replaced with fresh ones: the daemon cannot run blind, its
+	// conservation contract is measured on these.
+	Telemetry telemetry.Set
+	// Logf receives operational log lines (nil: silent).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:7473"
+	}
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.FlushEvery <= 0 {
+		c.FlushEvery = 64
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 10 * time.Second
+	}
+	if c.ShedWakeCostMJ <= 0 {
+		c.ShedWakeCostMJ = DefaultShedWakeCostMJ
+	}
+	if c.Telemetry.Metrics == nil {
+		c.Telemetry.Metrics = telemetry.NewRegistry()
+	}
+	if c.Telemetry.Ledger == nil {
+		c.Telemetry.Ledger = telemetry.NewLedger()
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// item kinds on the shard queues.
+const (
+	itemWake = iota
+	itemEnergy
+	itemBye
+)
+
+// ingestItem is one queued unit of work for a shard worker.
+type ingestItem struct {
+	dev    uint64
+	kind   int
+	wake   WakeEvent
+	energy EnergyEvent
+	seq    uint32              // bye only
+	reply  chan DeviceSummary  // bye only
+	at     time.Time           // enqueue instant, for the queue-delay histogram
+}
+
+// DrainReport summarizes a graceful drain.
+type DrainReport struct {
+	Devices           int
+	Applied           uint64 // queued items applied by shard workers, lifetime
+	Wakes             uint64
+	Heartbeats        uint64
+	Sheds             uint64
+	LedgerTotalMJ     float64
+	DeviceTotalMJ     float64 // per-device energy + shed billing, summed
+	ConservationErrMJ float64
+	ConservationOK    bool
+	CheckpointPath    string // "" when checkpointing is disabled
+}
+
+// Server is the fleet ingest daemon: TCP listener, per-connection frame
+// readers, sharded registry, bounded per-shard queues drained by one
+// worker each, batched ledger deposits, periodic checkpoints and an
+// optional HTTP observability endpoint.
+type Server struct {
+	cfg      Config
+	registry *Registry
+	ledger   *telemetry.Ledger
+	epoch    uint32
+
+	ln     net.Listener
+	httpLn net.Listener
+	httpSv *http.Server
+
+	queues    []chan ingestItem
+	wgConns   sync.WaitGroup
+	wgWorkers sync.WaitGroup
+	wgLoops   sync.WaitGroup
+
+	connsMu sync.Mutex
+	conns   map[net.Conn]struct{}
+
+	drainCh   chan struct{}
+	drainOnce sync.Once
+	draining  atomic.Bool
+
+	applied atomic.Uint64
+
+	// Interned metric handles (nil-safe, but the registry always exists).
+	cConnsOpened, cConnsClosed         *telemetry.Counter
+	cRxFrames, cRxCorrupt, cRxMalformed *telemetry.Counter
+	cWakes, cHeartbeats, cEnergy, cByes *telemetry.Counter
+	cSheds, cCheckpoints                *telemetry.Counter
+	gDevices, gConnected                *telemetry.Gauge
+	hQueueDelayMS, hFlushBatch          *telemetry.Histogram
+}
+
+// NewServer builds a server (no sockets yet; Start opens them). When the
+// config names a checkpoint that exists, device totals are restored, the
+// ledger is re-seeded from them, and the epoch bumps past the
+// checkpoint's.
+func NewServer(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		registry: NewRegistry(cfg.Shards),
+		ledger:   cfg.Telemetry.Ledger,
+		epoch:    1,
+		conns:    make(map[net.Conn]struct{}),
+		drainCh:  make(chan struct{}),
+	}
+	reg := cfg.Telemetry.Metrics
+	s.cConnsOpened = reg.Counter("fleetd.conns_opened")
+	s.cConnsClosed = reg.Counter("fleetd.conns_closed")
+	s.cRxFrames = reg.Counter("fleetd.rx_frames")
+	s.cRxCorrupt = reg.Counter("fleetd.rx_corrupt")
+	s.cRxMalformed = reg.Counter("fleetd.rx_malformed")
+	s.cWakes = reg.Counter("fleetd.wakes")
+	s.cHeartbeats = reg.Counter("fleetd.heartbeats")
+	s.cEnergy = reg.Counter("fleetd.energy_frames")
+	s.cByes = reg.Counter("fleetd.byes")
+	s.cSheds = reg.Counter("fleetd.sheds")
+	s.cCheckpoints = reg.Counter("fleetd.checkpoints")
+	s.gDevices = reg.Gauge("fleetd.devices")
+	s.gConnected = reg.Gauge("fleetd.devices_connected")
+	s.hQueueDelayMS = reg.Histogram("fleetd.queue_delay_ms",
+		[]float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250})
+	s.hFlushBatch = reg.Histogram("fleetd.flush_batch",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256})
+
+	if cfg.CheckpointPath != "" {
+		cp, ok, err := LoadCheckpoint(cfg.CheckpointPath)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			for _, d := range cp.Devices {
+				if err := s.registry.restore(d); err != nil {
+					return nil, err
+				}
+				for c, v := range d.EnergyMJ {
+					s.ledger.AddEnergyMJ(telemetry.Component(c), v)
+				}
+				s.ledger.AddEnergyMJ(telemetry.PhoneFallback, d.ShedMJ)
+				s.applied.Add(d.Wakes) // best effort: restored work counts as applied
+			}
+			s.epoch = cp.Epoch + 1
+			cfg.Logf("fleetd: restored %d devices from %s (epoch %d)",
+				len(cp.Devices), cfg.CheckpointPath, s.epoch)
+		}
+	}
+
+	s.queues = make([]chan ingestItem, cfg.Shards)
+	for i := range s.queues {
+		s.queues[i] = make(chan ingestItem, cfg.QueueDepth)
+	}
+	return s, nil
+}
+
+// Start opens the TCP listener (and the HTTP endpoint, when configured)
+// and launches the accept loop, shard workers and checkpointer.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("fleetd: listen %s: %w", s.cfg.Addr, err)
+	}
+	s.ln = ln
+	for i := range s.queues {
+		s.wgWorkers.Add(1)
+		go s.shardWorker(i)
+	}
+	s.wgLoops.Add(1)
+	go s.acceptLoop()
+	if s.cfg.CheckpointPath != "" {
+		s.wgLoops.Add(1)
+		go s.checkpointLoop()
+	}
+	if s.cfg.HTTPAddr != "" {
+		if err := s.startHTTP(); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+	s.cfg.Logf("fleetd: listening on %s (%d shards, queue depth %d, epoch %d)",
+		ln.Addr(), s.cfg.Shards, s.cfg.QueueDepth, s.epoch)
+	return nil
+}
+
+// Addr returns the bound ingest address (empty before Start).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// HTTPAddr returns the bound observability address (empty when disabled).
+func (s *Server) HTTPAddr() string {
+	if s.httpLn == nil {
+		return ""
+	}
+	return s.httpLn.Addr().String()
+}
+
+// Ledger exposes the daemon's energy ledger.
+func (s *Server) Ledger() *telemetry.Ledger { return s.ledger }
+
+// Registry exposes the sharded device registry.
+func (s *Server) Registry() *Registry { return s.registry }
+
+// Epoch returns the server boot epoch.
+func (s *Server) Epoch() uint32 { return s.epoch }
+
+func (s *Server) acceptLoop() {
+	defer s.wgLoops.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed (drain) or fatal; either way stop accepting
+		}
+		if s.draining.Load() {
+			conn.Close()
+			continue
+		}
+		s.connsMu.Lock()
+		s.conns[conn] = struct{}{}
+		s.connsMu.Unlock()
+		s.wgConns.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// errBeforeHello reports an event frame on a connection that never
+// introduced itself.
+var errBeforeHello = errors.New("fleetd: event frame before hello")
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wgConns.Done()
+	defer func() {
+		conn.Close()
+		s.connsMu.Lock()
+		delete(s.conns, conn)
+		s.connsMu.Unlock()
+		s.cConnsClosed.Inc()
+	}()
+	s.cConnsOpened.Inc()
+
+	var dec link.Decoder
+	bw := bufio.NewWriterSize(conn, 1<<14)
+	buf := make([]byte, 1<<14)
+	var deviceID uint64
+	helloed := false
+	defer func() {
+		if helloed {
+			s.registry.Disconnect(deviceID)
+		}
+	}()
+	corrupt, malformed := 0, 0
+	for {
+		n, rerr := conn.Read(buf)
+		if n > 0 {
+			frames, _ := dec.Feed(buf[:n])
+			// The decoder's taxonomy counters classify damage for us:
+			// corrupt frames (line damage) are skipped — later frames in
+			// the same chunk still decode — while a malformed frame
+			// (CRC-valid nonsense) is a peer bug and tears the
+			// connection down below.
+			if d := dec.Corrupt() - corrupt; d > 0 {
+				s.cRxCorrupt.Add(int64(d))
+				corrupt = dec.Corrupt()
+			}
+			teardown := false
+			if d := dec.Malformed() - malformed; d > 0 {
+				s.cRxMalformed.Add(int64(d))
+				malformed = dec.Malformed()
+				teardown = true
+			}
+			for _, f := range frames {
+				if err := s.handleFrame(f, &deviceID, &helloed, bw); err != nil {
+					if link.IsMalformed(err) {
+						s.cRxMalformed.Inc()
+					}
+					s.cfg.Logf("fleetd: conn %v: %v", conn.RemoteAddr(), err)
+					bw.Flush()
+					return
+				}
+			}
+			if err := bw.Flush(); err != nil {
+				return
+			}
+			if teardown {
+				s.cfg.Logf("fleetd: conn %v: malformed frame, closing", conn.RemoteAddr())
+				return
+			}
+		}
+		if rerr != nil {
+			if rerr != io.EOF && !s.draining.Load() {
+				s.cfg.Logf("fleetd: conn %v: read: %v", conn.RemoteAddr(), rerr)
+			}
+			return
+		}
+	}
+}
+
+func (s *Server) handleFrame(f link.Frame, deviceID *uint64, helloed *bool, bw *bufio.Writer) error {
+	s.cRxFrames.Inc()
+	if f.Type == MsgHello {
+		h, err := DecodeHello(f.Payload)
+		if err != nil {
+			return err
+		}
+		if h.Version != ProtocolVersion {
+			return fmt.Errorf("fleetd: peer speaks protocol %d, want %d", h.Version, ProtocolVersion)
+		}
+		if *helloed {
+			return fmt.Errorf("fleetd: duplicate hello from device %d", h.DeviceID)
+		}
+		*deviceID, *helloed = h.DeviceID, true
+		s.registry.Connect(h.DeviceID)
+		ack := HelloAck{Epoch: s.epoch, Shard: uint16(s.registry.ShardIndex(h.DeviceID))}
+		return writeFrame(bw, MsgHelloAck, ack.Encode())
+	}
+	if !*helloed {
+		return fmt.Errorf("%w (type 0x%02x)", errBeforeHello, byte(f.Type))
+	}
+	switch f.Type {
+	case MsgDeviceHeartbeat:
+		hb, err := DecodeHeartbeat(f.Payload)
+		if err != nil {
+			return err
+		}
+		// Heartbeats are the liveness signal: they bypass the ingest
+		// queues entirely (a hub drowning in telemetry must still answer
+		// "are you alive") and are applied inline under the shard lock.
+		s.registry.RecordHeartbeat(*deviceID, hb)
+		s.cHeartbeats.Inc()
+		return writeAck(bw, hb.Seq, AckAccepted)
+	case MsgDeviceWake:
+		w, err := DecodeWakeEvent(f.Payload)
+		if err != nil {
+			return err
+		}
+		return s.ingest(bw, ingestItem{dev: *deviceID, kind: itemWake, wake: w},
+			w.Seq, s.cfg.ShedWakeCostMJ)
+	case MsgDeviceEnergy:
+		e, err := DecodeEnergyEvent(f.Payload)
+		if err != nil {
+			return err
+		}
+		return s.ingest(bw, ingestItem{dev: *deviceID, kind: itemEnergy, energy: e},
+			e.Seq, e.MJ)
+	case MsgBye:
+		b, err := DecodeBye(f.Payload)
+		if err != nil {
+			return err
+		}
+		item := ingestItem{dev: *deviceID, kind: itemBye, seq: b.Seq,
+			reply: make(chan DeviceSummary, 1), at: time.Now()}
+		// Bye must flush the device, so it blocks rather than sheds; a
+		// drain that wins the race tears the connection down instead
+		// (the client never saw a bye-ack, so nothing was promised).
+		select {
+		case s.queues[s.registry.ShardIndex(*deviceID)] <- item:
+		case <-s.drainCh:
+			return fmt.Errorf("fleetd: draining, bye from device %d refused", *deviceID)
+		}
+		sum := <-item.reply
+		return writeFrame(bw, MsgByeAck, sum.Encode())
+	default:
+		return fmt.Errorf("fleetd: unexpected frame type 0x%02x: %w", byte(f.Type), link.ErrLengthMismatch)
+	}
+}
+
+// ingest enqueues an event onto its shard queue, acking accepted on
+// success. A full queue is explicit backpressure: the event is refused
+// with AckShed, the refusal is counted, and the device's fallback cost is
+// billed to phone.fallback — the degradation is visible in every report,
+// never a silent drop. An accepted ack is a durability promise: the item
+// is in a queue, and drain applies every queued item before exit.
+func (s *Server) ingest(bw *bufio.Writer, item ingestItem, seq uint32, shedCostMJ float64) error {
+	item.at = time.Now()
+	select {
+	case s.queues[s.registry.ShardIndex(item.dev)] <- item:
+		return writeAck(bw, seq, AckAccepted)
+	default:
+		s.registry.RecordShed(item.dev, shedCostMJ)
+		s.ledger.AddEnergyMJ(telemetry.PhoneFallback, shedCostMJ)
+		s.cSheds.Inc()
+		return writeAck(bw, seq, AckShed)
+	}
+}
+
+// shardWorker drains one shard queue: applies items to the registry and
+// batches energy deposits into the shared ledger, flushing every
+// FlushEvery deposits or whenever the queue runs dry.
+func (s *Server) shardWorker(i int) {
+	defer s.wgWorkers.Done()
+	q := s.queues[i]
+	batch := make([]float64, s.registry.ncomp)
+	pending := 0
+	flush := func() {
+		if pending == 0 {
+			return
+		}
+		for c, v := range batch {
+			if v != 0 {
+				s.ledger.AddEnergyMJ(telemetry.Component(c), v)
+				batch[c] = 0
+			}
+		}
+		s.hFlushBatch.Observe(float64(pending))
+		pending = 0
+	}
+	for item := range q {
+		s.hQueueDelayMS.Observe(float64(time.Since(item.at).Microseconds()) / 1000)
+		switch item.kind {
+		case itemWake:
+			s.registry.applyWake(item.dev, item.wake)
+			s.cWakes.Inc()
+		case itemEnergy:
+			s.registry.applyEnergy(item.dev, item.energy)
+			batch[item.energy.Component] += item.energy.MJ
+			pending++
+		case itemBye:
+			// The summary must reflect every deposit this shard has seen,
+			// so the batch flushes first; per-device totals are already
+			// current (applied under the shard lock as items arrived).
+			flush()
+			item.reply <- s.registry.summarize(item.dev, item.seq)
+			s.cByes.Inc()
+		}
+		s.applied.Add(1)
+		if pending >= s.cfg.FlushEvery || len(q) == 0 {
+			flush()
+		}
+	}
+	flush()
+}
+
+func (s *Server) checkpointLoop() {
+	defer s.wgLoops.Done()
+	t := time.NewTicker(s.cfg.CheckpointEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := s.writeCheckpoint(); err != nil {
+				s.cfg.Logf("fleetd: periodic checkpoint: %v", err)
+			}
+		case <-s.drainCh:
+			return // drain writes the final checkpoint itself
+		}
+	}
+}
+
+func (s *Server) writeCheckpoint() error {
+	if s.cfg.CheckpointPath == "" {
+		return nil
+	}
+	if err := WriteCheckpoint(s.cfg.CheckpointPath, s.Snapshot()); err != nil {
+		return err
+	}
+	s.cCheckpoints.Inc()
+	return nil
+}
+
+// Snapshot builds a checkpoint of the current state. The live
+// conservation figure can lag by in-flight ledger batches; the figure in
+// the drain report, taken after every queue has been applied and flushed,
+// is the authoritative one.
+func (s *Server) Snapshot() Checkpoint {
+	devs := s.registry.Snapshot()
+	s.gDevices.Set(float64(len(devs)))
+	s.gConnected.Set(float64(s.registry.Connected()))
+	cp := Checkpoint{Epoch: s.epoch, Devices: devs, Ledger: s.ledger.Snapshot()}
+	var devTotal float64
+	for _, d := range devs {
+		devTotal += d.TotalMJ + d.ShedMJ
+	}
+	cp.ConservationErrMJ = math.Abs(cp.Ledger.TotalMJ - devTotal)
+	return cp
+}
+
+// conservationOK checks the drain invariant: the ledger total matches the
+// per-device totals (energy + shed billing) to one part in 1e9 — the
+// batched deposit path reorders float additions, so the tolerance is
+// relative, floored at 1e-9 mJ absolute for near-zero fleets.
+func conservationOK(errMJ, totalMJ float64) bool {
+	return errMJ <= 1e-9*math.Max(1, math.Abs(totalMJ))
+}
+
+// Drain performs the graceful shutdown: stop accepting, close every
+// connection (no new acks can be issued), apply every already-queued —
+// therefore acknowledged — item, flush the ledger batches, write the
+// final checkpoint and verify conservation. Safe to call once; returns
+// the final report.
+func (s *Server) Drain() (DrainReport, error) {
+	var rep DrainReport
+	var err error
+	s.drainOnce.Do(func() {
+		s.draining.Store(true)
+		close(s.drainCh)
+		if s.ln != nil {
+			s.ln.Close()
+		}
+		s.connsMu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.connsMu.Unlock()
+		s.wgConns.Wait() // readers exit; nothing can enqueue anymore
+		for _, q := range s.queues {
+			close(q)
+		}
+		s.wgWorkers.Wait() // every acknowledged item applied, batches flushed
+		if s.httpSv != nil {
+			s.httpSv.Close()
+		}
+		s.wgLoops.Wait()
+
+		cp := s.Snapshot()
+		var devTotal float64
+		for _, d := range cp.Devices {
+			devTotal += d.TotalMJ + d.ShedMJ
+		}
+		rep = DrainReport{
+			Devices:           len(cp.Devices),
+			Applied:           s.applied.Load(),
+			Wakes:             uint64(s.cWakes.Value()),
+			Heartbeats:        uint64(s.cHeartbeats.Value()),
+			Sheds:             uint64(s.cSheds.Value()),
+			LedgerTotalMJ:     cp.Ledger.TotalMJ,
+			DeviceTotalMJ:     devTotal,
+			ConservationErrMJ: cp.ConservationErrMJ,
+			ConservationOK:    conservationOK(cp.ConservationErrMJ, devTotal),
+			CheckpointPath:    s.cfg.CheckpointPath,
+		}
+		if s.cfg.CheckpointPath != "" {
+			if werr := WriteCheckpoint(s.cfg.CheckpointPath, cp); werr != nil {
+				err = werr
+			} else {
+				s.cCheckpoints.Inc()
+			}
+		}
+		s.cfg.Logf("fleetd: drained: %d devices, %d applied, %d shed, ledger %.6f mJ (conservation err %.3g mJ)",
+			rep.Devices, rep.Applied, rep.Sheds, rep.LedgerTotalMJ, rep.ConservationErrMJ)
+	})
+	return rep, err
+}
+
+// startHTTP opens the observability endpoint.
+func (s *Server) startHTTP() error {
+	ln, err := net.Listen("tcp", s.cfg.HTTPAddr)
+	if err != nil {
+		return fmt.Errorf("fleetd: http listen %s: %w", s.cfg.HTTPAddr, err)
+	}
+	s.httpLn = ln
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		s.cfg.Telemetry.Metrics.WriteText(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		s.cfg.Telemetry.Metrics.WriteJSON(w)
+	})
+	mux.HandleFunc("/ledger", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		s.ledger.WriteText(w)
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		writeJSON(w, s.Snapshot())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if s.draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	s.httpSv = &http.Server{Handler: mux}
+	s.wgLoops.Add(1)
+	go func() {
+		defer s.wgLoops.Done()
+		s.httpSv.Serve(ln)
+	}()
+	return nil
+}
+
+func writeJSON(w io.Writer, v any) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeFrame encodes and writes one protocol frame.
+func writeFrame(w io.Writer, t link.MsgType, payload []byte) error {
+	wire, err := link.Encode(link.Frame{Type: t, Payload: payload})
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(wire)
+	return err
+}
+
+// writeAck writes one event acknowledgement.
+func writeAck(w io.Writer, seq uint32, status byte) error {
+	return writeFrame(w, MsgEventAck, EventAck{Seq: seq, Status: status}.Encode())
+}

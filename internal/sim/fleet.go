@@ -92,6 +92,13 @@ type FleetCell struct {
 	HubEnergyMJ      float64
 	TotalMJ          float64
 	AvgMW            float64
+
+	// PhoneStateMJ splits PhoneEnergyMJ across the phone's four power
+	// states, indexed by power.State (Asleep, WakingUp, Awake,
+	// FallingAsleep). The four entries sum to PhoneEnergyMJ exactly, so a
+	// streaming replay (the fleet daemon's load generator) can re-deposit
+	// the precise per-component values batch FleetRun deposits.
+	PhoneStateMJ [4]float64
 }
 
 // FleetResult aggregates the population.
@@ -127,6 +134,20 @@ func (r *FleetResult) DegradationRate() float64 {
 // ratio, truncated to keep the constant an int64).
 const fleetCellSeed = 0x2545F4914F6CDD1D
 
+// DepositEnergy attributes the cell's recorded energy split to the
+// ledger: the four phone states, phone-side fallback, then the hub
+// device, in that fixed order. FleetRun calls it per cell in cell order;
+// the fleet daemon's identity test replays the same deposits over the
+// wire and compares per-device totals bit for bit.
+func (c *FleetCell) DepositEnergy(led *telemetry.Ledger) {
+	led.AddEnergyMJ(telemetry.PhoneAsleep, c.PhoneStateMJ[power.Asleep])
+	led.AddEnergyMJ(telemetry.PhoneWaking, c.PhoneStateMJ[power.WakingUp])
+	led.AddEnergyMJ(telemetry.PhoneAwake, c.PhoneStateMJ[power.Awake])
+	led.AddEnergyMJ(telemetry.PhoneFallingAsleep, c.PhoneStateMJ[power.FallingAsleep])
+	led.AddEnergyMJ(telemetry.PhoneFallback, c.FallbackEnergyMJ)
+	led.AddEnergyMJ(telemetry.HubDevice, c.HubEnergyMJ)
+}
+
 // FleetRun sweeps the population and returns per-cell placements and the
 // aggregate admission/energy picture.
 func FleetRun(cfg FleetRunConfig) (*FleetResult, error) {
@@ -144,14 +165,10 @@ func FleetRun(cfg FleetRunConfig) (*FleetResult, error) {
 		sleepSec = 10
 	}
 
-	type cellOut struct {
-		cell FleetCell
-		ph   *power.Phone
-	}
-	outs, err := parallel.Map(cfg.Workers, cfg.Devices, func(i int) (cellOut, error) {
+	outs, err := parallel.Map(cfg.Workers, cfg.Devices, func(i int) (FleetCell, error) {
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*fleetCellSeed))
-		cell, ph, err := fleetCell(cfg, rng, sleepSec)
-		return cellOut{cell, ph}, err
+		cell, err := fleetCell(cfg, rng, sleepSec)
+		return cell, err
 	})
 	if err != nil {
 		return nil, err
@@ -160,18 +177,18 @@ func FleetRun(cfg FleetRunConfig) (*FleetResult, error) {
 	res := &FleetResult{Cells: make([]FleetCell, 0, len(outs))}
 	led := cfg.Telemetry.LedgerSink()
 	var totalMW []float64
-	for _, o := range outs {
-		res.Cells = append(res.Cells, o.cell)
-		res.Conditions += o.cell.Admitted + o.cell.Degraded
-		res.Admitted += o.cell.Admitted
-		res.Degraded += o.cell.Degraded
-		totalMW = append(totalMW, o.cell.AvgMW)
+	for _, cell := range outs {
+		res.Cells = append(res.Cells, cell)
+		res.Conditions += cell.Admitted + cell.Degraded
+		res.Admitted += cell.Admitted
+		res.Degraded += cell.Degraded
+		totalMW = append(totalMW, cell.AvgMW)
 		// Ledger deposits run here, in cell order, never inside the
 		// parallel fan: float accumulation order is part of the
-		// determinism contract.
-		depositPhoneEnergy(led, o.ph)
-		led.AddEnergyMJ(telemetry.PhoneFallback, o.cell.FallbackEnergyMJ)
-		led.AddEnergyMJ(telemetry.HubDevice, o.cell.HubEnergyMJ)
+		// determinism contract. The deposits come from the cell's recorded
+		// split, which is exactly what a streaming replay of the cell must
+		// reproduce on the fleet daemon's ledger.
+		cell.DepositEnergy(led)
 	}
 	res.MeanMW = mean(totalMW)
 	res.P50MW = quantile(totalMW, 0.50)
@@ -180,7 +197,7 @@ func FleetRun(cfg FleetRunConfig) (*FleetResult, error) {
 }
 
 // fleetCell draws and replays one phone of the population.
-func fleetCell(cfg FleetRunConfig, rng *rand.Rand, sleepSec float64) (FleetCell, *power.Phone, error) {
+func fleetCell(cfg FleetRunConfig, rng *rand.Rand, sleepSec float64) (FleetCell, error) {
 	var cell FleetCell
 
 	// Draw the modality first: traces are single-modality, so the app mix
@@ -200,7 +217,7 @@ func fleetCell(cfg FleetRunConfig, rng *rand.Rand, sleepSec float64) (FleetCell,
 		app := pool[rng.Intn(len(pool))]
 		plan, err := app.Wake.Validate(cat)
 		if err != nil {
-			return cell, nil, fmt.Errorf("sim: fleet validating %s: %w", app.Name, err)
+			return cell, fmt.Errorf("sim: fleet validating %s: %w", app.Name, err)
 		}
 		plans = append(plans, plan)
 		cell.Apps = append(cell.Apps, app.Name)
@@ -216,7 +233,7 @@ func fleetCell(cfg FleetRunConfig, rng *rand.Rand, sleepSec float64) (FleetCell,
 		cs := sched.NewWithOptions(cand, sched.Options{DisableSharing: cfg.DisableCSE})
 		for j, plan := range plans {
 			if _, err := cs.Add(uint16(j+1), plan, cell.Priorities[j]); err != nil {
-				return cell, nil, err
+				return cell, err
 			}
 		}
 		s, dev = cs, cand
@@ -246,11 +263,11 @@ func fleetCell(cfg FleetRunConfig, rng *rand.Rand, sleepSec float64) (FleetCell,
 		}
 		sp, err := ir.CompilePlans(cat, copts, hubPlans...)
 		if err != nil {
-			return cell, nil, err
+			return cell, err
 		}
 		m, err := interp.NewShared(cfg.Precision, sp)
 		if err != nil {
-			return cell, nil, err
+			return cell, err
 		}
 		// Union of the admitted plans' channels, in first-use order.
 		var chNames []core.SensorChannel
@@ -264,7 +281,7 @@ func fleetCell(cfg FleetRunConfig, rng *rand.Rand, sleepSec float64) (FleetCell,
 				seen[ch] = true
 				samples, ok := tr.Channels[ch]
 				if !ok {
-					return cell, nil, fmt.Errorf("sim: trace %q lacks channel %s", tr.Name, ch)
+					return cell, fmt.Errorf("sim: trace %q lacks channel %s", tr.Name, ch)
 				}
 				chNames = append(chNames, ch)
 				channels = append(channels, samples)
@@ -321,12 +338,18 @@ func fleetCell(cfg FleetRunConfig, rng *rand.Rand, sleepSec float64) (FleetCell,
 		cell.FallbackEnergyMJ = (fallbackAvgMW(FallbackDutyCycle, sleepSec, profile) - profile.AsleepMW) * cell.DurationSec
 	}
 
+	cell.PhoneStateMJ = [4]float64{
+		power.Asleep:        ph.StateEnergyMJ(power.Asleep),
+		power.WakingUp:      ph.StateEnergyMJ(power.WakingUp),
+		power.Awake:         ph.StateEnergyMJ(power.Awake),
+		power.FallingAsleep: ph.StateEnergyMJ(power.FallingAsleep),
+	}
 	cell.PhoneEnergyMJ = ph.EnergyMJ()
 	cell.TotalMJ = cell.PhoneEnergyMJ + cell.FallbackEnergyMJ + cell.HubEnergyMJ
 	if cell.DurationSec > 0 {
 		cell.AvgMW = cell.TotalMJ / cell.DurationSec
 	}
-	return cell, ph, nil
+	return cell, nil
 }
 
 // mean of a sample (0 for empty).

@@ -186,3 +186,32 @@ func TestQuantile(t *testing.T) {
 		t.Errorf("empty mean = %g", got)
 	}
 }
+
+// TestFleetCellPhoneStateSplit pins the per-state phone energy split the
+// fleet daemon's streaming replay depends on: the four entries sum to
+// PhoneEnergyMJ exactly, and depositing a cell via DepositEnergy puts
+// precisely TotalMJ on a ledger.
+func TestFleetCellPhoneStateSplit(t *testing.T) {
+	accel, audio := fleetTraces(t)
+	res, err := FleetRun(FleetRunConfig{
+		Devices: 8, AppsPerDevice: 3, Seed: 9,
+		Accel: accel, Audio: audio,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range res.Cells {
+		var sum float64
+		for _, v := range c.PhoneStateMJ {
+			sum += v
+		}
+		if math.Abs(sum-c.PhoneEnergyMJ) > 1e-9 {
+			t.Errorf("cell %d: state split sums to %g, PhoneEnergyMJ %g", i, sum, c.PhoneEnergyMJ)
+		}
+		led := telemetry.NewLedger()
+		c.DepositEnergy(led)
+		if math.Abs(led.TotalMJ()-c.TotalMJ) > 1e-9 {
+			t.Errorf("cell %d: DepositEnergy total %g, cell TotalMJ %g", i, led.TotalMJ(), c.TotalMJ)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestQuantileUniform pins the interpolation against an exactly known
+// distribution: the integers 1..100 observed into decade buckets put ten
+// samples in each bucket, so every decile lands exactly on a bucket edge.
+func TestQuantileUniform(t *testing.T) {
+	r := NewRegistry()
+	bounds := []float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	h := r.Histogram("u", bounds)
+	for v := 1; v <= 100; v++ {
+		h.Observe(float64(v))
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.5, 50},
+		{0.1, 10},
+		{0.99, 99},
+		{1.0, 100},
+		{0.25, 25},
+		{0.999, 99.9},
+	} {
+		if got := h.Quantile(tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Quantile(%g) = %g, want %g", tc.q, got, tc.want)
+		}
+	}
+}
+
+// TestQuantileSkewed checks a heavily skewed distribution: estimates must
+// stay within one bucket width of the true sample quantile.
+func TestQuantileSkewed(t *testing.T) {
+	r := NewRegistry()
+	bounds := []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000}
+	h := r.Histogram("s", bounds)
+	rng := rand.New(rand.NewSource(7))
+	var samples []float64
+	for i := 0; i < 10000; i++ {
+		v := math.Exp(rng.NormFloat64()*1.5 + 2) // log-normal, long tail
+		if v > 1000 {
+			v = 1000
+		}
+		samples = append(samples, v)
+		h.Observe(v)
+	}
+	exact := func(q float64) float64 {
+		s := append([]float64(nil), samples...)
+		sortFloats(s)
+		return s[int(q*float64(len(s)-1))]
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		got, want := h.Quantile(q), exact(q)
+		// The estimate must land in the same bucket as the true value.
+		if bucketOf(bounds, got) != bucketOf(bounds, want) {
+			t.Errorf("Quantile(%g) = %g landed outside the true value's bucket (true %g)", q, got, want)
+		}
+	}
+}
+
+func sortFloats(s []float64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func bucketOf(bounds []float64, v float64) int {
+	for i, b := range bounds {
+		if v <= b {
+			return i
+		}
+	}
+	return len(bounds)
+}
+
+// TestQuantileEdges covers the degenerate shapes: nil and empty
+// histograms, clamped q, a distribution entirely in the overflow bucket,
+// negative-bound buckets, and a single-bucket histogram.
+func TestQuantileEdges(t *testing.T) {
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Errorf("nil histogram Quantile = %g, want 0", got)
+	}
+
+	r := NewRegistry()
+	empty := r.Histogram("empty", []float64{1, 2})
+	if got := empty.Quantile(0.9); got != 0 {
+		t.Errorf("empty histogram Quantile = %g, want 0", got)
+	}
+
+	over := r.Histogram("overflow", []float64{1, 2})
+	over.Observe(50)
+	over.Observe(60)
+	if got := over.Quantile(0.5); got != 2 {
+		t.Errorf("overflow-only Quantile = %g, want saturation at last bound 2", got)
+	}
+
+	clamp := r.Histogram("clamp", []float64{10})
+	clamp.Observe(5)
+	if got := clamp.Quantile(-3); got != 0 {
+		t.Errorf("q<0 should clamp to 0 (lower edge), got %g", got)
+	}
+	if got := clamp.Quantile(7); got != 10 {
+		t.Errorf("q>1 should clamp to 1 (upper bound), got %g", got)
+	}
+
+	neg := r.Histogram("neg", []float64{-10, 0, 10})
+	neg.Observe(-15) // first bucket, whose upper bound is negative
+	if got := neg.Quantile(0.5); got != -10 {
+		t.Errorf("non-positive first bound should return the bound, got %g", got)
+	}
+	neg.Observe(-5) // second bucket: interpolates between -10 and 0
+	if got := neg.Quantile(1.0); got != 0 {
+		t.Errorf("q=1 in (-10,0] bucket should return 0, got %g", got)
+	}
+
+	noBounds := r.Histogram("nobounds", nil)
+	noBounds.Observe(1)
+	if got := noBounds.Quantile(0.5); got != 0 {
+		t.Errorf("histogram with only the +Inf bucket should return 0, got %g", got)
+	}
+}
+
+// TestQuantileMonotone: for a fixed histogram, Quantile must be
+// non-decreasing in q.
+func TestQuantileMonotone(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("m", []float64{0.5, 1, 2, 4, 8, 16})
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 5000; i++ {
+		h.Observe(rng.ExpFloat64() * 3)
+	}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile not monotone: q=%g gave %g after %g", q, v, prev)
+		}
+		prev = v
+	}
+}

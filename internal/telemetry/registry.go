@@ -207,6 +207,76 @@ func (h *Histogram) Sum() float64 {
 	return h.sum.Value()
 }
 
+// Quantile returns a bucket-interpolated estimate of the q-quantile of
+// the observed distribution (q clamped to [0,1]; 0 on a nil or empty
+// histogram). Within the bucket holding the target rank the estimate
+// interpolates linearly between the bucket's edges; the first bucket's
+// lower edge is taken as 0 unless its upper bound is non-positive, and a
+// rank landing in the +Inf overflow bucket saturates at the largest
+// finite bound. Accuracy is therefore one bucket width — good enough for
+// the tail-latency reporting the fleet daemon and load generator do
+// without a streaming-quantile dependency.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// One consistent pass over the atomic bucket counts: concurrent
+	// Observe calls may land between loads, shifting the estimate by at
+	// most those late samples — fine for a monitoring read.
+	counts := make([]int64, len(h.counts))
+	var total int64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	target := q * float64(total)
+	var cum int64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) >= target {
+			if i == len(h.bounds) {
+				// Overflow bucket: no finite upper edge to interpolate
+				// toward. Saturate at the largest finite bound (0 when
+				// the histogram has no finite buckets at all).
+				if len(h.bounds) == 0 {
+					return 0
+				}
+				return h.bounds[len(h.bounds)-1]
+			}
+			upper := h.bounds[i]
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			} else if upper <= 0 {
+				return upper
+			}
+			frac := (target - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return lower + (upper-lower)*frac
+		}
+		cum += c
+	}
+	// Unreachable: the loop always terminates inside a bucket because
+	// target <= total. Kept for the compiler.
+	return 0
+}
+
 // HistogramBucket is one exported bucket: the count of observations at or
 // below UpperBound (IsInf for the overflow bucket).
 type HistogramBucket struct {

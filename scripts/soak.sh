@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# soak.sh SIDEWINDERD_BIN FLEETLOAD_BIN
+#
+# Boots the ingest daemon, replays a fleet population at it over
+# loopback, sends SIGTERM, and asserts the drain was clean: the daemon
+# must report "conservation: OK" and "drain: clean", and fleetload must
+# verify every device summary with zero mismatches. Intended to run on
+# -race builds (make soak / CI's race-soak job) so the whole socket path
+# gets race-checked under real concurrency.
+set -euo pipefail
+
+DAEMON=${1:?usage: soak.sh SIDEWINDERD_BIN FLEETLOAD_BIN}
+LOADGEN=${2:?usage: soak.sh SIDEWINDERD_BIN FLEETLOAD_BIN}
+DEVICES=${SOAK_DEVICES:-200}
+APPS=${SOAK_APPS:-2}
+SEED=${SOAK_SEED:-42}
+TRACE_SECONDS=${SOAK_TRACE_SECONDS:-5}
+
+workdir=$(mktemp -d)
+daemon_log="$workdir/sidewinderd.log"
+load_log="$workdir/fleetload.log"
+checkpoint="$workdir/fleet.checkpoint"
+
+cleanup() {
+    kill "$daemon_pid" 2>/dev/null || true
+    wait "$daemon_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+
+"$DAEMON" -addr 127.0.0.1:0 -checkpoint "$checkpoint" -quiet >"$daemon_log" 2>&1 &
+daemon_pid=$!
+trap cleanup EXIT
+
+# The daemon prints its bound (ephemeral) address on the first line.
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^sidewinderd: listening on \([^ ]*\).*/\1/p' "$daemon_log" | head -1)
+    [ -n "$addr" ] && break
+    kill -0 "$daemon_pid" 2>/dev/null || { echo "soak: daemon died on startup:"; cat "$daemon_log"; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "soak: daemon never reported its address:"; cat "$daemon_log"; exit 1; }
+echo "soak: daemon up on $addr (pid $daemon_pid)"
+
+if ! "$LOADGEN" -addr "$addr" -devices "$DEVICES" -apps "$APPS" -seed "$SEED" \
+        -trace-seconds "$TRACE_SECONDS" >"$load_log" 2>&1; then
+    echo "soak: fleetload failed:"; cat "$load_log"; exit 1
+fi
+cat "$load_log"
+grep -q 'mismatches=0' "$load_log" || { echo "soak: fleetload saw summary mismatches"; exit 1; }
+grep -q 'fleetload: summaries verified' "$load_log" || { echo "soak: fleetload did not verify summaries"; exit 1; }
+
+kill -TERM "$daemon_pid"
+drain_status=0
+wait "$daemon_pid" || drain_status=$?
+cat "$daemon_log"
+if [ "$drain_status" -ne 0 ]; then
+    echo "soak: daemon exited with status $drain_status"; exit 1
+fi
+grep -q 'sidewinderd: conservation: OK' "$daemon_log" || { echo "soak: conservation check missing or failed"; exit 1; }
+grep -q 'sidewinderd: drain: clean' "$daemon_log" || { echo "soak: drain did not complete cleanly"; exit 1; }
+[ -s "$checkpoint" ] || { echo "soak: final checkpoint missing"; exit 1; }
+echo "soak: PASS ($DEVICES devices, clean drain, ledger conserved)"
