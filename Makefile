@@ -19,7 +19,7 @@ PKG_FLOORS = sidewinder/internal/ir=85.0
 BENCH_PKGS = . ./internal/interp ./internal/telemetry
 
 .PHONY: verify build vet staticcheck test race bench bench-telemetry \
-	bench-baseline bench-check cover cover-check fuzz soak
+	bench-baseline bench-check cover cover-check fuzz soak chaos
 
 verify: build vet staticcheck race
 	@echo "verify clean — consider 'make fuzz' (FUZZTIME=$(FUZZTIME) per target) for parser/framing changes"
@@ -99,6 +99,21 @@ soak:
 	$(GO) build -race -o bin/sidewinderd-race ./cmd/sidewinderd
 	$(GO) build -race -o bin/fleetload-race ./cmd/fleetload
 	SOAK_DEVICES=$(SOAK_DEVICES) scripts/soak.sh bin/sidewinderd-race bin/fleetload-race
+
+# chaos runs the chaos soak: race-built fleetload -> chaosproxy ->
+# sidewinderd across every fault profile and seed in the sweep, each leg
+# asserting zero unrecovered devices, bit-for-bit per-device totals (the
+# bye handshake), and a clean conserving drain — plus a SIGKILL leg that
+# corrupts the newest checkpoint and recovers from the .bak
+# (scripts/chaos.sh; CI's chaos-soak gate). CHAOS_DEVICES scales the load,
+# CHAOS_PROFILES / CHAOS_SEEDS shape the sweep.
+CHAOS_DEVICES ?= 60
+chaos:
+	$(GO) build -race -o bin/sidewinderd-race ./cmd/sidewinderd
+	$(GO) build -race -o bin/fleetload-race ./cmd/fleetload
+	$(GO) build -race -o bin/chaosproxy-race ./cmd/chaosproxy
+	CHAOS_DEVICES=$(CHAOS_DEVICES) scripts/chaos.sh \
+		bin/sidewinderd-race bin/fleetload-race bin/chaosproxy-race
 
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeFrame$$' -fuzztime $(FUZZTIME) ./internal/link

@@ -1,0 +1,82 @@
+// Command chaosproxy is a seeded fault-injecting TCP proxy for chaos
+// soaks of the fleet ingest path. Point fleetload at the proxy and the
+// proxy at sidewinderd, pick a fault profile and a seed, and every
+// connection is subjected to the same reproducible sequence of resets,
+// mid-frame cuts, bit corruption, jitter, stalls, and blackhole
+// partitions.
+//
+// Usage:
+//
+//	chaosproxy -listen 127.0.0.1:7573 -target 127.0.0.1:7473 \
+//	    -profile combined -seed 3
+//
+// The process runs until signalled, then prints a JSON fault report to
+// stdout. The exit status is 0 when the proxy ran and shut down cleanly
+// — the faults it injects are the job, not an error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"sidewinder/internal/chaosproxy"
+	"sidewinder/internal/fleetd"
+)
+
+func main() {
+	cfg := chaosproxy.Config{}
+	var profile string
+	flag.StringVar(&cfg.ListenAddr, "listen", "127.0.0.1:7573", "client-facing listen address")
+	flag.StringVar(&cfg.TargetAddr, "target", "127.0.0.1:7473", "upstream sidewinderd ingest address")
+	flag.StringVar(&profile, "profile", "clean",
+		"fault profile: "+strings.Join(chaosproxy.Profiles(), ", "))
+	flag.Int64Var(&cfg.Seed, "seed", 1, "fault PRNG seed (same profile+seed, same faults)")
+	quiet := flag.Bool("quiet", false, "suppress per-fault log lines")
+	flag.Parse()
+
+	if !*quiet {
+		logger := log.New(os.Stderr, "chaosproxy: ", log.LstdFlags)
+		cfg.Logf = logger.Printf
+	}
+	d := fleetd.WatchSignals()
+	if err := run(cfg, profile, d, os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "chaosproxy:", err)
+		os.Exit(1)
+	}
+}
+
+// run resolves the profile, serves until the drainer fires, and prints
+// the fault report. ready, when non-nil, receives the bound address.
+func run(cfg chaosproxy.Config, profile string, d *fleetd.Drainer, out io.Writer, ready func(addr string)) error {
+	prof, err := chaosproxy.ProfileByName(profile)
+	if err != nil {
+		return err
+	}
+	cfg.Profile = prof
+	p, err := chaosproxy.New(cfg)
+	if err != nil {
+		return err
+	}
+	p.Start()
+	fmt.Fprintf(out, "chaosproxy: %s -> %s profile=%s seed=%d\n",
+		p.Addr(), cfg.TargetAddr, prof.Name, cfg.Seed)
+	if ready != nil {
+		ready(p.Addr())
+	}
+
+	<-d.C()
+	if err := p.Close(); err != nil {
+		return err
+	}
+	report, err := json.Marshal(p.Stats().Snapshot())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "chaosproxy: report %s\n", report)
+	return nil
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sidewinder/internal/chaosproxy"
+	"sidewinder/internal/fleetd"
+)
+
+// TestRunProxiesAndReports boots the proxy against an echo listener,
+// pushes bytes through the clean profile, drains, and checks the report.
+func TestRunProxiesAndReports(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("echo listen: %v", err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() { defer c.Close(); io.Copy(c, c) }()
+		}
+	}()
+
+	d := fleetd.WatchSignals()
+	defer d.Stop()
+	addrCh := make(chan string, 1)
+	var out strings.Builder
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var runErr error
+	go func() {
+		defer wg.Done()
+		mu.Lock()
+		defer mu.Unlock()
+		runErr = run(chaosproxy.Config{ListenAddr: "127.0.0.1:0", TargetAddr: ln.Addr().String()},
+			"clean", d, &out, func(a string) { addrCh <- a })
+	}()
+
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("proxy never became ready")
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial proxy: %v", err)
+	}
+	if _, err := conn.Write([]byte("ping")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	buf := make([]byte, 4)
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if string(buf) != "ping" {
+		t.Fatalf("echo through proxy: %q", buf)
+	}
+	conn.Close()
+
+	d.Request()
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if runErr != nil {
+		t.Fatalf("run: %v\n%s", runErr, out.String())
+	}
+	text := out.String()
+	for _, marker := range []string{"profile=clean", "chaosproxy: report", `"conns":1`} {
+		if !strings.Contains(text, marker) {
+			t.Fatalf("output missing %q:\n%s", marker, text)
+		}
+	}
+}
+
+// TestRunRejectsUnknownProfile fails fast on a bad -profile.
+func TestRunRejectsUnknownProfile(t *testing.T) {
+	var out strings.Builder
+	err := run(chaosproxy.Config{ListenAddr: "127.0.0.1:0", TargetAddr: "127.0.0.1:1"},
+		"no-such-profile", nil, &out, nil)
+	if err == nil || !strings.Contains(err.Error(), "unknown profile") {
+		t.Fatalf("expected unknown-profile error, got %v", err)
+	}
+}

@@ -3,13 +3,30 @@ package main
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"sidewinder/internal/fleetd"
 	"sidewinder/internal/telemetry"
 )
 
+func testOpts(addr string) loadOpts {
+	return loadOpts{
+		addr:        addr,
+		devices:     12,
+		apps:        2,
+		seed:        7,
+		traceSec:    2,
+		window:      64,
+		hbEvery:     25,
+		reconnect:   4,
+		backoffBase: 5 * time.Millisecond,
+		backoffCap:  50 * time.Millisecond,
+		ackTimeout:  5 * time.Second,
+	}
+}
+
 // TestRunAgainstLiveDaemon boots an in-process fleetd server and replays
-// a small population at it end to end.
+// a small population at it end to end, in resilient (resume) mode.
 func TestRunAgainstLiveDaemon(t *testing.T) {
 	s, err := fleetd.NewServer(fleetd.Config{
 		Addr:      "127.0.0.1:0",
@@ -24,11 +41,12 @@ func TestRunAgainstLiveDaemon(t *testing.T) {
 	defer s.Drain()
 
 	var out strings.Builder
-	if err := run(s.Addr(), 12, 2, 7, 2, 64, 25, 0, &out); err != nil {
+	if err := run(testOpts(s.Addr()), &out); err != nil {
 		t.Fatalf("run: %v\n%s", err, out.String())
 	}
 	text := out.String()
-	for _, marker := range []string{"events/s", "latency ms:", "mismatches=0", "fleetload: summaries verified"} {
+	for _, marker := range []string{"events/s", "latency ms:", "mismatches=0",
+		"unrecovered=0", "fleetload: summaries verified"} {
 		if !strings.Contains(text, marker) {
 			t.Fatalf("output missing %q:\n%s", marker, text)
 		}
@@ -46,10 +64,40 @@ func TestRunAgainstLiveDaemon(t *testing.T) {
 	}
 }
 
-// TestRunRejectsDeadAddress: no daemon, prompt failure.
-func TestRunRejectsDeadAddress(t *testing.T) {
+// TestRunLegacyMode: reconnect 0 keeps the single-shot Hello session
+// working against a live daemon.
+func TestRunLegacyMode(t *testing.T) {
+	s, err := fleetd.NewServer(fleetd.Config{
+		Addr:      "127.0.0.1:0",
+		Telemetry: telemetry.Set{Ledger: telemetry.NewLedger()},
+	})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer s.Drain()
+
+	o := testOpts(s.Addr())
+	o.devices, o.reconnect = 6, 0
 	var out strings.Builder
-	if err := run("127.0.0.1:1", 2, 1, 1, 1, 8, 10, 0, &out); err == nil {
+	if err := run(o, &out); err != nil {
+		t.Fatalf("run (legacy): %v\n%s", err, out.String())
+	}
+}
+
+// TestRunRejectsDeadAddress: no daemon, prompt failure once the
+// reconnect budget is exhausted.
+func TestRunRejectsDeadAddress(t *testing.T) {
+	o := testOpts("127.0.0.1:1")
+	o.devices, o.apps, o.traceSec = 2, 1, 1
+	o.reconnect = 2
+	var out strings.Builder
+	if err := run(o, &out); err == nil {
 		t.Fatal("run against a dead address should fail")
+	}
+	if !strings.Contains(out.String(), "unrecovered=2") {
+		t.Fatalf("report should count both devices unrecovered:\n%s", out.String())
 	}
 }

@@ -38,6 +38,12 @@ func main() {
 	flag.DurationVar(&cfg.CheckpointEvery, "checkpoint-every", 10*time.Second, "periodic checkpoint interval")
 	flag.Float64Var(&cfg.ShedWakeCostMJ, "shed-wake-cost", fleetd.DefaultShedWakeCostMJ,
 		"fallback energy billed per shed wake event (mJ)")
+	flag.DurationVar(&cfg.IdleTimeout, "idle-timeout", fleetd.DefaultIdleTimeout,
+		"reap sessions silent for longer than this")
+	flag.DurationVar(&cfg.WriteTimeout, "write-timeout", fleetd.DefaultWriteTimeout,
+		"per-flush ack write deadline")
+	flag.IntVar(&cfg.MaxSessions, "max-sessions", fleetd.DefaultMaxSessions,
+		"concurrent session cap (excess connections are rejected)")
 	quiet := flag.Bool("quiet", false, "suppress operational log lines")
 	flag.Parse()
 

@@ -1,0 +1,129 @@
+package chaosproxy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Profile is one fault mix. Probabilities are per delivered chunk (one
+// socket read's worth of bytes); the zero value forwards everything
+// untouched.
+type Profile struct {
+	// Name identifies the profile in reports and flags.
+	Name string `json:"name"`
+	// ResetProb kills the connection pair abruptly (RST where the
+	// platform allows) before the chunk is forwarded.
+	ResetProb float64 `json:"reset_prob,omitempty"`
+	// CutProb forwards a strict prefix of the chunk and then kills the
+	// pair — a mid-frame cut that leaves the receiver holding a torn
+	// frame.
+	CutProb float64 `json:"cut_prob,omitempty"`
+	// CorruptProb flips one random bit of one random byte in the chunk
+	// (the link CRC turns this into a counted corrupt frame, or — if it
+	// hits framing — a malformed-stream teardown).
+	CorruptProb float64 `json:"corrupt_prob,omitempty"`
+	// DelayProb holds the chunk back by uniform jitter in (0, DelayMax].
+	DelayProb float64       `json:"delay_prob,omitempty"`
+	DelayMax  time.Duration `json:"delay_max,omitempty"`
+	// StallProb freezes the pump for StallDur before forwarding — the
+	// slow-loris that exercises ack timeouts and idle reaping.
+	StallProb float64       `json:"stall_prob,omitempty"`
+	StallDur  time.Duration `json:"stall_dur,omitempty"`
+	// PartitionAfter/PartitionDur open a timed blackhole window relative
+	// to proxy start: during it, every byte in either direction silently
+	// vanishes.
+	PartitionAfter time.Duration `json:"partition_after,omitempty"`
+	PartitionDur   time.Duration `json:"partition_dur,omitempty"`
+}
+
+// Validate checks probabilities and durations.
+func (p Profile) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"ResetProb", p.ResetProb},
+		{"CutProb", p.CutProb},
+		{"CorruptProb", p.CorruptProb},
+		{"DelayProb", p.DelayProb},
+		{"StallProb", p.StallProb},
+	} {
+		if f.v < 0 || f.v > 1 {
+			return fmt.Errorf("chaosproxy: %s must be in [0,1], got %g", f.name, f.v)
+		}
+	}
+	for _, d := range []struct {
+		name string
+		v    time.Duration
+	}{
+		{"DelayMax", p.DelayMax},
+		{"StallDur", p.StallDur},
+		{"PartitionAfter", p.PartitionAfter},
+		{"PartitionDur", p.PartitionDur},
+	} {
+		if d.v < 0 {
+			return fmt.Errorf("chaosproxy: %s must be >= 0, got %v", d.name, d.v)
+		}
+	}
+	return nil
+}
+
+// builtins is the named profile registry used by the chaosproxy daemon
+// and the chaos soak. Probabilities are tuned so a few-thousand-frame
+// fleet replay sees every fault class several times without drowning.
+var builtins = map[string]Profile{
+	"clean": {Name: "clean"},
+	"resets": {
+		Name:      "resets",
+		ResetProb: 0.002,
+		CutProb:   0.002,
+	},
+	"corrupt": {
+		Name:        "corrupt",
+		CorruptProb: 0.01,
+	},
+	"slow": {
+		Name:      "slow",
+		DelayProb: 0.2,
+		DelayMax:  2 * time.Millisecond,
+	},
+	"stall": {
+		Name:      "stall",
+		StallProb: 0.001,
+		StallDur:  1500 * time.Millisecond,
+	},
+	"partition": {
+		Name:           "partition",
+		PartitionAfter: 400 * time.Millisecond,
+		PartitionDur:   700 * time.Millisecond,
+	},
+	"combined": {
+		Name:        "combined",
+		ResetProb:   0.001,
+		CutProb:     0.001,
+		CorruptProb: 0.003,
+		DelayProb:   0.05,
+		DelayMax:    time.Millisecond,
+	},
+}
+
+// Profiles lists the built-in profile names, sorted.
+func Profiles() []string {
+	names := make([]string, 0, len(builtins))
+	for n := range builtins {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ProfileByName resolves a built-in profile.
+func ProfileByName(name string) (Profile, error) {
+	if p, ok := builtins[name]; ok {
+		return p, nil
+	}
+	return Profile{}, fmt.Errorf("chaosproxy: unknown profile %q (have: %s)",
+		name, strings.Join(Profiles(), ", "))
+}

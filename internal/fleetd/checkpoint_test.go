@@ -1,0 +1,173 @@
+package fleetd
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sidewinder/internal/telemetry"
+)
+
+func testCheckpoint(epoch uint32, wakes uint64) Checkpoint {
+	return Checkpoint{
+		Epoch: epoch,
+		Devices: []DeviceStats{{
+			ID: 7, Wakes: wakes, EnergyMJ: []float64{1.5, 0, 2.25}, TotalMJ: 3.75,
+			LastSeq: 40, AppliedSeq: 40,
+		}},
+		Ledger: telemetry.LedgerSnapshot{TotalMJ: 3.75},
+	}
+}
+
+func TestCheckpointRoundTripAndRotation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fleet.checkpoint")
+
+	if err := WriteCheckpoint(path, testCheckpoint(1, 10)); err != nil {
+		t.Fatalf("WriteCheckpoint #1: %v", err)
+	}
+	if _, err := os.Stat(path + BakSuffix); !os.IsNotExist(err) {
+		t.Fatalf("first write must not create a .bak (err %v)", err)
+	}
+	if err := WriteCheckpoint(path, testCheckpoint(2, 20)); err != nil {
+		t.Fatalf("WriteCheckpoint #2: %v", err)
+	}
+
+	cp, ok, err := LoadCheckpoint(path)
+	if err != nil || !ok {
+		t.Fatalf("LoadCheckpoint: ok=%v err=%v", ok, err)
+	}
+	if cp.Epoch != 2 || cp.Devices[0].Wakes != 20 {
+		t.Fatalf("newest checkpoint = epoch %d wakes %d, want 2/20", cp.Epoch, cp.Devices[0].Wakes)
+	}
+	if math.Float64bits(cp.Devices[0].EnergyMJ[2]) != math.Float64bits(2.25) {
+		t.Fatalf("energy not bit-exact after round trip: %v", cp.Devices[0].EnergyMJ)
+	}
+	bak, _, err := LoadCheckpointDetail(path + BakSuffix)
+	if err != nil || bak.Epoch != 1 {
+		t.Fatalf(".bak should hold the previous snapshot (epoch %d, err %v)", bak.Epoch, err)
+	}
+}
+
+func TestLoadCheckpointMissingChain(t *testing.T) {
+	cp, ok, err := LoadCheckpoint(filepath.Join(t.TempDir(), "nope.checkpoint"))
+	if err != nil || ok {
+		t.Fatalf("missing chain: ok=%v err=%v", ok, err)
+	}
+	if cp.Epoch != 0 {
+		t.Fatalf("missing chain returned a checkpoint: %+v", cp)
+	}
+}
+
+func TestLoadCheckpointCorruptFallsBackToBak(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fleet.checkpoint")
+	if err := WriteCheckpoint(path, testCheckpoint(1, 10)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := WriteCheckpoint(path, testCheckpoint(2, 20)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+
+	for name, damage := range map[string]func([]byte) []byte{
+		"truncated JSON": func(b []byte) []byte { return b[:len(b)/2] },
+		"garbage":        func([]byte) []byte { return []byte("!!not json at all##") },
+		"empty":          func([]byte) []byte { return nil },
+		"bit flip": func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			// Flip a bit inside the embedded checkpoint body, past the
+			// envelope header, so the CRC — not the JSON parser — catches it.
+			c[len(c)/2] ^= 0x01
+			return c
+		},
+	} {
+		orig, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: read: %v", name, err)
+		}
+		if err := os.WriteFile(path, damage(orig), 0o644); err != nil {
+			t.Fatalf("%s: write: %v", name, err)
+		}
+		cp, info, err := LoadCheckpointDetail(path)
+		if err != nil {
+			t.Fatalf("%s: chain with intact .bak must load: %v", name, err)
+		}
+		if !info.FellBack || info.Source != path+BakSuffix {
+			t.Fatalf("%s: expected fallback to .bak, got %+v", name, info)
+		}
+		if info.MainErr == nil || cp.Epoch != 1 {
+			t.Fatalf("%s: fallback loaded epoch %d (mainErr %v), want 1", name, cp.Epoch, info.MainErr)
+		}
+		if err := os.WriteFile(path, orig, 0o644); err != nil {
+			t.Fatalf("%s: restore: %v", name, err)
+		}
+	}
+}
+
+func TestLoadCheckpointWholeChainCorruptIsAnError(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fleet.checkpoint")
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := os.WriteFile(path+BakSuffix, []byte("{\"torn\":"), 0o644); err != nil {
+		t.Fatalf("write bak: %v", err)
+	}
+	_, ok, err := LoadCheckpoint(path)
+	if err == nil {
+		t.Fatalf("whole chain corrupt must be an error (ok=%v) — a daemon must not silently reset totals", ok)
+	}
+	if !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Fatalf("error should wrap ErrCheckpointCorrupt: %v", err)
+	}
+}
+
+func TestLoadCheckpointBakOnlyIsClean(t *testing.T) {
+	// Crash between the two rotation renames: main is missing, .bak is the
+	// newest intact snapshot. Loading it is not a degraded fallback.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fleet.checkpoint")
+	if err := WriteCheckpoint(path+BakSuffix, testCheckpoint(3, 30)); err != nil {
+		t.Fatalf("write bak: %v", err)
+	}
+	cp, info, err := LoadCheckpointDetail(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if info.FellBack {
+		t.Fatalf("bak-only chain must not count as a fallback: %+v", info)
+	}
+	if info.Source != path+BakSuffix || cp.Epoch != 3 {
+		t.Fatalf("loaded %+v epoch %d, want .bak epoch 3", info, cp.Epoch)
+	}
+}
+
+func TestLoadCheckpointLegacyBareJSON(t *testing.T) {
+	// Checkpoints written before the CRC envelope: bare Checkpoint JSON at
+	// the top level. Still loadable — but only with a non-zero epoch, the
+	// marker that distinguishes a real legacy file from damage.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fleet.checkpoint")
+	data, err := json.Marshal(testCheckpoint(5, 50))
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	cp, ok, err := LoadCheckpoint(path)
+	if err != nil || !ok || cp.Epoch != 5 {
+		t.Fatalf("legacy load: ok=%v err=%v epoch=%d, want true/nil/5", ok, err, cp.Epoch)
+	}
+
+	// Zero-epoch "legacy" content is damage, not an empty fleet.
+	if err := os.WriteFile(path, []byte(`{"epoch":0,"devices":null}`), 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, _, err := LoadCheckpoint(path); !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Fatalf("zero-epoch bare JSON should be corrupt, got %v", err)
+	}
+}

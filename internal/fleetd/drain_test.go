@@ -66,6 +66,37 @@ func TestDrainerSignal(t *testing.T) {
 	}
 }
 
+// TestDrainerRequestThenSignalsHardExit covers the mixed path: the
+// drain starts programmatically (internal fatal condition), then the
+// operator signals twice — the second signal must still hard-exit even
+// though the drain was already underway.
+func TestDrainerRequestThenSignalsHardExit(t *testing.T) {
+	hard := make(chan int, 1)
+	d := watchSignalsWithExit(func(code int) { hard <- code }, syscall.SIGUSR1)
+	defer d.Stop()
+
+	d.Request() // drain already in progress before any signal
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGUSR1); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	select {
+	case code := <-hard:
+		t.Fatalf("first signal after Request must not hard-exit (code %d)", code)
+	case <-time.After(100 * time.Millisecond):
+	}
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGUSR1); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	select {
+	case code := <-hard:
+		if code != 1 {
+			t.Fatalf("hard exit code = %d, want 1", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("second signal did not hard-exit")
+	}
+}
+
 func TestDrainerStopDetaches(t *testing.T) {
 	d := WatchSignals(syscall.SIGUSR2)
 	d.Stop()

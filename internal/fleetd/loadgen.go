@@ -73,6 +73,27 @@ type LoadConfig struct {
 	// Telemetry receives the client-side ingest latency histogram
 	// (fleetload.ack_latency_ms). Nil metrics get a fresh registry.
 	Telemetry telemetry.Set
+	// Reconnect enables the resilient session mode: sessions open with a
+	// resume handshake and survive up to this many consecutive
+	// no-progress connection failures before giving up. Zero keeps the
+	// legacy single-shot Hello session (any error is fatal for the
+	// device).
+	Reconnect int
+	// BackoffBase/BackoffCap bound the capped exponential reconnect
+	// backoff (defaults 25ms / 1s). Progress on a connection resets the
+	// backoff to its base.
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// AckTimeout bounds every socket read and flush in resilient mode
+	// (default 10s): a stalled or blackholed server turns into a
+	// reconnect instead of a hung device.
+	AckTimeout time.Duration
+	// Pace inserts this delay between consecutive frame sends on each
+	// device session (default: none — full blast). Pacing stretches a
+	// replay over wall-clock time, which is what crash-mid-soak tests
+	// need: an unpaced loopback replay finishes before anyone can pull
+	// a plug.
+	Pace time.Duration
 }
 
 // LoadReport aggregates a replay.
@@ -94,6 +115,20 @@ type LoadReport struct {
 	// Mismatches counts devices whose bye-ack disagreed with the
 	// client-side record of accepted frames — must be zero.
 	Mismatches int
+	// Reconnects counts session re-dials across all devices (resilient
+	// mode only).
+	Reconnects uint64
+	// DupAcks counts retransmitted frames the server answered with
+	// AckDup — proof the dedup path, not a re-apply, absorbed them.
+	DupAcks uint64
+	// Resumed counts frames resolved by a resume-ack watermark instead
+	// of an individually observed ack (the ack was lost with the old
+	// connection).
+	Resumed uint64
+	// Unrecovered counts devices that exhausted their reconnect budget
+	// (or, in legacy mode, hit any session error). Only these make the
+	// run fail.
+	Unrecovered int
 }
 
 // outFrame is one scheduled frame of a device session.
@@ -112,6 +147,10 @@ type deviceOutcome struct {
 	id                        uint64
 	wakes, heartbeats, energy uint64 // accepted, by kind
 	shed                      uint64
+	reconnects                uint64
+	dup                       uint64
+	resumed                   uint64
+	gaveUp                    bool
 	summary                   DeviceSummary
 	mismatch                  string // non-empty: bye-ack disagreed with us
 	err                       error
@@ -163,16 +202,24 @@ func mustFrame(t link.MsgType, payload []byte) []byte {
 	return wire
 }
 
-// frameReader pulls whole protocol frames off a connection.
+// frameReader pulls whole protocol frames off a connection. A non-zero
+// timeout re-arms a read deadline before every read, so a stalled peer
+// surfaces as a timeout error instead of a hang.
 type frameReader struct {
-	conn  net.Conn
-	dec   link.Decoder
-	buf   []byte
-	queue []link.Frame
+	conn    net.Conn
+	dec     link.Decoder
+	buf     []byte
+	queue   []link.Frame
+	timeout time.Duration
 }
 
 func (r *frameReader) next() (link.Frame, error) {
 	for len(r.queue) == 0 {
+		if r.timeout > 0 {
+			if err := r.conn.SetReadDeadline(time.Now().Add(r.timeout)); err != nil {
+				return link.Frame{}, err
+			}
+		}
 		n, err := r.conn.Read(r.buf)
 		if n > 0 {
 			frames, ferr := r.dec.Feed(r.buf[:n])
@@ -190,68 +237,186 @@ func (r *frameReader) next() (link.Frame, error) {
 	return f, nil
 }
 
-// runDevice replays one cell as a full device session and verifies the
-// bye-ack against the client-side record of what was acknowledged.
-func runDevice(cfg LoadConfig, id uint64, cell *sim.FleetCell, lat *telemetry.Histogram) deviceOutcome {
-	out := deviceOutcome{id: id}
-	conn, err := net.Dial("tcp", cfg.Addr)
+// devSession is a device's client-side state, persistent across
+// connection attempts. frames[i] stays scheduled until resolved[i]: a
+// frame resolves when its ack is read, or — after a cut ate the ack —
+// when a resume-ack watermark covers it. Resolution is what increments
+// the accepted counters, so a frame is counted exactly once no matter
+// how many times the wire carried it.
+type devSession struct {
+	frames         []outFrame
+	resolved       []bool
+	nResolved      int
+	maxResolved    uint32 // highest seq resolved (resume handshake's LastAcked)
+	wakes          uint64
+	heartbeats     uint64
+	energy         uint64
+	shed           uint64
+	dup            uint64
+	resumed        uint64
+	energyAccepted []float64 // client-side mirror of server accumulation
+	summary        DeviceSummary
+	mismatch       string
+}
+
+// resolve marks frame i resolved with the given ack status and counts it.
+// Idempotent: retransmit acks for already-resolved frames are ignored.
+func (st *devSession) resolve(i int, status byte) {
+	if st.resolved[i] {
+		return
+	}
+	st.resolved[i] = true
+	st.nResolved++
+	f := &st.frames[i]
+	if f.seq > st.maxResolved {
+		st.maxResolved = f.seq
+	}
+	if status == AckShed {
+		st.shed++
+		return
+	}
+	// Accepted or duplicate: either way the event is in the server.
+	if status == AckDup {
+		st.dup++
+	}
+	switch f.kind {
+	case itemWake:
+		st.wakes++
+	case frameHeartbeat:
+		st.heartbeats++
+	case itemEnergy:
+		st.energy++
+		st.energyAccepted[f.component] += f.mj
+	}
+}
+
+// attempt runs one connection's worth of the session: handshake, send
+// everything unresolved past the server's watermark, read acks, and —
+// when every frame is resolved — the bye exchange. Returns done=true
+// only after a verified bye-ack; any error leaves the session state
+// ready for the next attempt.
+func (st *devSession) attempt(cfg LoadConfig, id uint64, lat *telemetry.Histogram, resume bool) (done bool, err error) {
+	var conn net.Conn
+	if cfg.AckTimeout > 0 {
+		conn, err = net.DialTimeout("tcp", cfg.Addr, cfg.AckTimeout)
+	} else {
+		conn, err = net.Dial("tcp", cfg.Addr)
+	}
 	if err != nil {
-		out.err = fmt.Errorf("device %d: dial: %w", id, err)
-		return out
+		return false, fmt.Errorf("dial: %w", err)
 	}
 	defer conn.Close()
-	fr := &frameReader{conn: conn, buf: make([]byte, 1<<13)}
+	fr := &frameReader{conn: conn, buf: make([]byte, 1<<13), timeout: cfg.AckTimeout}
 
-	if _, err := conn.Write(mustFrame(MsgHello, Hello{Version: ProtocolVersion, DeviceID: id}.Encode())); err != nil {
-		out.err = fmt.Errorf("device %d: hello: %w", id, err)
-		return out
+	// write sends one frame honoring the ack timeout as a write deadline.
+	write := func(wire []byte) error {
+		if cfg.AckTimeout > 0 {
+			if err := conn.SetWriteDeadline(time.Now().Add(cfg.AckTimeout)); err != nil {
+				return err
+			}
+		}
+		_, werr := conn.Write(wire)
+		return werr
 	}
-	f, err := fr.next()
-	if err != nil || f.Type != MsgHelloAck {
-		out.err = fmt.Errorf("device %d: waiting for hello-ack (got %v): %v", id, f.Type, err)
-		return out
+
+	var watermark uint32
+	if resume {
+		if err := write(mustFrame(MsgResume, Resume{Version: ProtocolVersion, DeviceID: id, LastAcked: st.maxResolved}.Encode())); err != nil {
+			return false, fmt.Errorf("resume: %w", err)
+		}
+		f, err := fr.next()
+		if err != nil || f.Type != MsgResumeAck {
+			return false, fmt.Errorf("waiting for resume-ack (got %v): %v", f.Type, err)
+		}
+		ra, err := DecodeResumeAck(f.Payload)
+		if err != nil {
+			return false, err
+		}
+		watermark = ra.AckedSeq
+		// Everything at or below the server's contiguous watermark was
+		// accepted — including frames whose acks were lost with the old
+		// connection. Resolve them as accepted; never retransmit them.
+		for i := range st.frames {
+			if st.frames[i].seq <= watermark && !st.resolved[i] {
+				st.resolve(i, AckAccepted)
+				st.resumed++
+			}
+		}
+	} else {
+		if err := write(mustFrame(MsgHello, Hello{Version: ProtocolVersion, DeviceID: id}.Encode())); err != nil {
+			return false, fmt.Errorf("hello: %w", err)
+		}
+		f, err := fr.next()
+		if err != nil || f.Type != MsgHelloAck {
+			return false, fmt.Errorf("waiting for hello-ack (got %v): %v", f.Type, err)
+		}
+		if _, err := DecodeHelloAck(f.Payload); err != nil {
+			return false, err
+		}
 	}
-	if _, err := DecodeHelloAck(f.Payload); err != nil {
-		out.err = fmt.Errorf("device %d: %w", id, err)
-		return out
+
+	// Send every frame above the watermark — resolved ones included: a
+	// server restarted from a checkpoint rolls its watermark back to the
+	// durable applied seq, and anything above it must be re-offered (the
+	// dedup path answers AckDup for what it still has).
+	toSend := make([]int, 0, len(st.frames))
+	for i := range st.frames {
+		if st.frames[i].seq > watermark {
+			toSend = append(toSend, i)
+		}
 	}
 
 	window := cfg.Window
 	if window <= 0 {
 		window = 64
 	}
-	epoch := cfg.Epoch
-	if epoch == 0 {
-		epoch = 1
-	}
-	frames := schedule(cell, cfg.HeartbeatEvery, epoch)
-
 	type inflight struct {
-		frame outFrame
-		at    time.Time
+		idx int
+		at  time.Time
 	}
 	pending := make(chan inflight, window)
 	writeErr := make(chan error, 1)
+	stop := make(chan struct{})
+	defer close(stop) // unblocks the writer if the reader bails early
 	go func() {
 		bw := bufio.NewWriterSize(conn, 1<<13)
-		for i := range frames {
-			pending <- inflight{frame: frames[i], at: time.Now()}
-			if _, err := bw.Write(frames[i].wire); err != nil {
+		flush := func() error {
+			if cfg.AckTimeout > 0 {
+				if err := conn.SetWriteDeadline(time.Now().Add(cfg.AckTimeout)); err != nil {
+					return err
+				}
+			}
+			return bw.Flush()
+		}
+		for n, i := range toSend {
+			select {
+			case pending <- inflight{idx: i, at: time.Now()}:
+			case <-stop:
+				writeErr <- nil
+				close(pending)
+				return
+			}
+			if _, err := bw.Write(st.frames[i].wire); err != nil {
 				writeErr <- err
 				close(pending)
 				return
 			}
-			// Flush when the window has room to spare is wasted syscalls;
-			// flush when the writer is about to block keeps acks flowing.
-			if len(pending) >= window-1 || i == len(frames)-1 {
-				if err := bw.Flush(); err != nil {
+			// Flushing with window room to spare is wasted syscalls;
+			// flushing when the writer is about to block keeps acks flowing.
+			// A paced frame always flushes — it must be on the wire before
+			// the writer goes to sleep.
+			if cfg.Pace > 0 || len(pending) >= window-1 || n == len(toSend)-1 || bw.Available() < 64 {
+				if err := flush(); err != nil {
 					writeErr <- err
 					close(pending)
 					return
 				}
-			} else if bw.Available() < 64 {
-				if err := bw.Flush(); err != nil {
-					writeErr <- err
+			}
+			if cfg.Pace > 0 && n < len(toSend)-1 {
+				select {
+				case <-time.After(cfg.Pace):
+				case <-stop:
+					writeErr <- nil
 					close(pending)
 					return
 				}
@@ -261,89 +426,141 @@ func runDevice(cfg LoadConfig, id uint64, cell *sim.FleetCell, lat *telemetry.Hi
 		close(pending)
 	}()
 
-	// energyAccepted mirrors, client-side, what the server should have
-	// accumulated per component for this device.
-	energyAccepted := make([]float64, len(telemetry.Components()))
 	for inf := range pending {
 		f, err := fr.next()
 		if err != nil {
-			out.err = fmt.Errorf("device %d: reading ack for seq %d: %w", id, inf.frame.seq, err)
-			return out
+			return false, fmt.Errorf("reading ack for seq %d: %w", st.frames[inf.idx].seq, err)
 		}
 		if f.Type != MsgEventAck {
-			out.err = fmt.Errorf("device %d: expected ack, got frame type 0x%02x", id, byte(f.Type))
-			return out
+			return false, fmt.Errorf("expected ack, got frame type 0x%02x", byte(f.Type))
 		}
 		ack, err := DecodeEventAck(f.Payload)
 		if err != nil {
-			out.err = fmt.Errorf("device %d: %w", id, err)
-			return out
+			return false, err
 		}
-		if ack.Seq != inf.frame.seq {
-			out.err = fmt.Errorf("device %d: ack seq %d, want %d (acks must arrive in send order)", id, ack.Seq, inf.frame.seq)
-			return out
+		if ack.Seq != st.frames[inf.idx].seq {
+			return false, fmt.Errorf("ack seq %d, want %d (acks must arrive in send order)", ack.Seq, st.frames[inf.idx].seq)
 		}
 		lat.Observe(float64(time.Since(inf.at).Microseconds()) / 1000)
-		switch {
-		case ack.Status == AckShed:
-			out.shed++
-		case inf.frame.kind == itemWake:
-			out.wakes++
-		case inf.frame.kind == frameHeartbeat:
-			out.heartbeats++
-		case inf.frame.kind == itemEnergy:
-			out.energy++
-			energyAccepted[inf.frame.component] += inf.frame.mj
-		}
+		st.resolve(inf.idx, ack.Status)
 	}
 	if err := <-writeErr; err != nil {
-		out.err = fmt.Errorf("device %d: writing: %w", id, err)
-		return out
+		return false, fmt.Errorf("writing: %w", err)
 	}
 
-	byeSeq := uint32(len(frames) + 1)
-	if _, err := conn.Write(mustFrame(MsgBye, Bye{Seq: byeSeq}.Encode())); err != nil {
-		out.err = fmt.Errorf("device %d: bye: %w", id, err)
-		return out
+	byeSeq := uint32(len(st.frames) + 1)
+	if err := write(mustFrame(MsgBye, Bye{Seq: byeSeq}.Encode())); err != nil {
+		return false, fmt.Errorf("bye: %w", err)
 	}
-	f, err = fr.next()
+	f, err := fr.next()
 	if err != nil || f.Type != MsgByeAck {
-		out.err = fmt.Errorf("device %d: waiting for bye-ack (got %v): %v", id, f.Type, err)
-		return out
+		return false, fmt.Errorf("waiting for bye-ack (got %v): %v", f.Type, err)
 	}
 	sum, err := DecodeDeviceSummary(f.Payload)
 	if err != nil {
-		out.err = fmt.Errorf("device %d: %w", id, err)
-		return out
+		return false, err
 	}
-	out.summary = sum
+	st.summary = sum
 
 	// The bye-ack is the no-side-channel proof that every acknowledged
-	// frame landed: counts must match exactly, energy bit for bit.
+	// frame landed: counts must match exactly, energy bit for bit. One
+	// relaxation in resilient mode: the server may have shed the same
+	// retransmitted frame more than once (each one billed), so its shed
+	// count may exceed ours — it must never be lower.
+	shedsDisagree := sum.Sheds != st.shed
+	if resume {
+		shedsDisagree = sum.Sheds < st.shed
+	}
 	switch {
 	case sum.Seq != byeSeq:
-		out.mismatch = fmt.Sprintf("bye seq %d, want %d", sum.Seq, byeSeq)
-	case sum.Wakes != out.wakes:
-		out.mismatch = fmt.Sprintf("server wakes %d, client acked %d", sum.Wakes, out.wakes)
-	case sum.Heartbeats != out.heartbeats:
-		out.mismatch = fmt.Sprintf("server heartbeats %d, client acked %d", sum.Heartbeats, out.heartbeats)
-	case sum.Sheds != out.shed:
-		out.mismatch = fmt.Sprintf("server sheds %d, client saw %d", sum.Sheds, out.shed)
+		st.mismatch = fmt.Sprintf("bye seq %d, want %d", sum.Seq, byeSeq)
+	case sum.Wakes != st.wakes:
+		st.mismatch = fmt.Sprintf("server wakes %d, client acked %d", sum.Wakes, st.wakes)
+	case sum.Heartbeats != st.heartbeats:
+		st.mismatch = fmt.Sprintf("server heartbeats %d, client acked %d", sum.Heartbeats, st.heartbeats)
+	case shedsDisagree:
+		st.mismatch = fmt.Sprintf("server sheds %d, client saw %d", sum.Sheds, st.shed)
 	default:
-		got := make([]float64, len(energyAccepted))
+		got := make([]float64, len(st.energyAccepted))
 		for _, e := range sum.Energy {
 			if int(e.Component) < len(got) {
 				got[e.Component] = e.MJ
 			}
 		}
-		for c := range energyAccepted {
-			if math.Float64bits(got[c]) != math.Float64bits(energyAccepted[c]) {
-				out.mismatch = fmt.Sprintf("component %s: server %v, client %v",
-					telemetry.Component(c), got[c], energyAccepted[c])
+		for c := range st.energyAccepted {
+			if math.Float64bits(got[c]) != math.Float64bits(st.energyAccepted[c]) {
+				st.mismatch = fmt.Sprintf("component %s: server %v, client %v",
+					telemetry.Component(c), got[c], st.energyAccepted[c])
 				break
 			}
 		}
 	}
+	return true, nil
+}
+
+// runDevice replays one cell as a full device session. With
+// cfg.Reconnect == 0 it is the legacy single-shot Hello session; with a
+// reconnect budget it opens with a resume handshake and rides through
+// connection failures on capped exponential backoff, resetting the
+// budget whenever an attempt makes progress.
+func runDevice(cfg LoadConfig, id uint64, cell *sim.FleetCell, lat *telemetry.Histogram) deviceOutcome {
+	out := deviceOutcome{id: id}
+	epoch := cfg.Epoch
+	if epoch == 0 {
+		epoch = 1
+	}
+	frames := schedule(cell, cfg.HeartbeatEvery, epoch)
+	st := &devSession{
+		frames:         frames,
+		resolved:       make([]bool, len(frames)),
+		energyAccepted: make([]float64, len(telemetry.Components())),
+	}
+
+	if cfg.Reconnect <= 0 {
+		if _, err := st.attempt(cfg, id, lat, false); err != nil {
+			out.err = fmt.Errorf("device %d: %w", id, err)
+		}
+	} else {
+		base := cfg.BackoffBase
+		if base <= 0 {
+			base = 25 * time.Millisecond
+		}
+		capd := cfg.BackoffCap
+		if capd < base {
+			capd = time.Second
+		}
+		backoff := base
+		fails := 0
+		for {
+			before := st.nResolved
+			done, err := st.attempt(cfg, id, lat, true)
+			if done {
+				break
+			}
+			if st.nResolved > before {
+				// Progress: the fleet is alive, just rude. Reset the budget.
+				fails = 0
+				backoff = base
+			} else {
+				fails++
+			}
+			if fails > cfg.Reconnect {
+				out.gaveUp = true
+				out.err = fmt.Errorf("device %d: giving up after %d consecutive failed attempts: %w", id, fails, err)
+				break
+			}
+			out.reconnects++
+			time.Sleep(backoff)
+			backoff *= 2
+			if backoff > capd {
+				backoff = capd
+			}
+		}
+	}
+
+	out.wakes, out.heartbeats, out.energy = st.wakes, st.heartbeats, st.energy
+	out.shed, out.dup, out.resumed = st.shed, st.dup, st.resumed
+	out.summary, out.mismatch = st.summary, st.mismatch
 	return out
 }
 
@@ -392,7 +609,11 @@ func RunLoad(cfg LoadConfig, cells []sim.FleetCell) (*LoadReport, error) {
 	var firstErr error
 	for i := range outs {
 		o := &outs[i]
+		rep.Reconnects += o.reconnects
+		rep.DupAcks += o.dup
+		rep.Resumed += o.resumed
 		if o.err != nil {
+			rep.Unrecovered++
 			if firstErr == nil {
 				firstErr = o.err
 			}

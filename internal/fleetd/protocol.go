@@ -66,6 +66,14 @@ const (
 	MsgBye link.MsgType = 0x26
 	// MsgByeAck carries the server-side device summary back.
 	MsgByeAck link.MsgType = 0x27
+	// MsgResume opens (or re-opens) a device session with the client's
+	// last-acked sequence number, arming server-side dedup so retransmits
+	// after a connection cut are idempotent.
+	MsgResume link.MsgType = 0x28
+	// MsgResumeAck confirms a resume: server epoch, assigned shard, and
+	// the server's acked-seq watermark — the client retransmits everything
+	// after it and nothing at or below it.
+	MsgResumeAck link.MsgType = 0x29
 )
 
 // Ack statuses.
@@ -77,6 +85,11 @@ const (
 	// refusal is counted (fleetd.sheds) and billed to phone.fallback, and
 	// the device is expected to handle the event locally.
 	AckShed byte = 1
+	// AckDup: the frame's sequence number is at or below the device's
+	// acked watermark — a retransmit of an event the server already
+	// accepted. Nothing was re-applied; the client can resolve the frame
+	// as accepted. This is what makes post-cut retransmission idempotent.
+	AckDup byte = 2
 )
 
 // errTruncated builds a malformed-payload error that the link taxonomy
@@ -135,6 +148,72 @@ func DecodeHelloAck(p []byte) (HelloAck, error) {
 	return HelloAck{
 		Epoch: binary.LittleEndian.Uint32(p[0:4]),
 		Shard: binary.LittleEndian.Uint16(p[4:6]),
+	}, nil
+}
+
+// Resume opens a device session carrying the client's resume state. A
+// first contact sends LastAcked 0; a reconnect after a cut sends the
+// highest sequence number the device saw acknowledged, so the server can
+// report its own watermark back and retransmits stay idempotent.
+type Resume struct {
+	Version   byte
+	DeviceID  uint64
+	LastAcked uint32 // client-side: highest seq it saw acked (any status)
+}
+
+const resumeSize = 13
+
+// Encode serializes the resume (1 + 8 + 4 bytes, little-endian).
+func (r Resume) Encode() []byte {
+	out := make([]byte, resumeSize)
+	out[0] = r.Version
+	binary.LittleEndian.PutUint64(out[1:9], r.DeviceID)
+	binary.LittleEndian.PutUint32(out[9:13], r.LastAcked)
+	return out
+}
+
+// DecodeResume parses a resume payload.
+func DecodeResume(p []byte) (Resume, error) {
+	if len(p) != resumeSize {
+		return Resume{}, errTruncated("resume", len(p), resumeSize)
+	}
+	return Resume{
+		Version:   p[0],
+		DeviceID:  binary.LittleEndian.Uint64(p[1:9]),
+		LastAcked: binary.LittleEndian.Uint32(p[9:13]),
+	}, nil
+}
+
+// ResumeAck confirms a resume. AckedSeq is the server's authoritative
+// dedup watermark for the device: every frame with seq <= AckedSeq is
+// already accepted server-side (the client resolves them without
+// resending); everything above it must be (re)transmitted.
+type ResumeAck struct {
+	Epoch    uint32 // server boot epoch (bumps across restarts)
+	Shard    uint16 // registry shard the device hashed to
+	AckedSeq uint32 // server acked-seq watermark for the device
+}
+
+const resumeAckSize = 10
+
+// Encode serializes the resume ack.
+func (r ResumeAck) Encode() []byte {
+	out := make([]byte, resumeAckSize)
+	binary.LittleEndian.PutUint32(out[0:4], r.Epoch)
+	binary.LittleEndian.PutUint16(out[4:6], r.Shard)
+	binary.LittleEndian.PutUint32(out[6:10], r.AckedSeq)
+	return out
+}
+
+// DecodeResumeAck parses a resume-ack payload.
+func DecodeResumeAck(p []byte) (ResumeAck, error) {
+	if len(p) != resumeAckSize {
+		return ResumeAck{}, errTruncated("resume-ack", len(p), resumeAckSize)
+	}
+	return ResumeAck{
+		Epoch:    binary.LittleEndian.Uint32(p[0:4]),
+		Shard:    binary.LittleEndian.Uint16(p[4:6]),
+		AckedSeq: binary.LittleEndian.Uint32(p[6:10]),
 	}, nil
 }
 

@@ -36,6 +36,42 @@ type deviceState struct {
 	lastSeq    uint32
 	epoch      uint32 // device-reported boot epoch (from heartbeats)
 	conns      int    // live connections for this device
+	// ackedSeq is the dedup watermark: the highest CONTIGUOUS seq the
+	// server has acknowledged as accepted (enqueued or applied). A frame
+	// at or below it — or in ackedAbove — is a retransmit and must not be
+	// re-applied. Contiguity matters because sheds punch holes in the seq
+	// space: a shed frame was never accepted, so the watermark must not
+	// sweep past it and dedup a legitimate retry.
+	ackedSeq   uint32
+	ackedAbove map[uint32]struct{} // accepted seqs above ackedSeq (holes from sheds)
+	// appliedSeq is the durability watermark: the highest contiguous seq
+	// a shard worker has actually applied to this record. It is what
+	// checkpoints persist — after an ungraceful restart the acked
+	// watermark rolls back to it, so acked-but-unapplied events are
+	// retransmitted and re-applied rather than lost.
+	appliedSeq   uint32
+	appliedAbove map[uint32]struct{}
+}
+
+// advance merges seq into a contiguous watermark plus sparse-above set,
+// returning the new watermark. Duplicate and below-watermark seqs are
+// no-ops.
+func advance(mark uint32, above map[uint32]struct{}, seq uint32) uint32 {
+	if seq <= mark {
+		return mark
+	}
+	if seq != mark+1 {
+		above[seq] = struct{}{}
+		return mark
+	}
+	mark = seq
+	for {
+		if _, ok := above[mark+1]; !ok {
+			return mark
+		}
+		mark++
+		delete(above, mark)
+	}
 }
 
 // DeviceStats is one device's exported state.
@@ -50,6 +86,8 @@ type DeviceStats struct {
 	LastSeq    uint32    `json:"last_seq"`
 	Epoch      uint32    `json:"epoch,omitempty"`
 	Connected  bool      `json:"connected,omitempty"`
+	AckedSeq   uint32    `json:"acked_seq,omitempty"`   // in-memory dedup watermark
+	AppliedSeq uint32    `json:"applied_seq,omitempty"` // durable resume watermark
 }
 
 // NewRegistry returns a registry with the given shard count (minimum 1).
@@ -97,7 +135,12 @@ func (s *registryShard) get(r *Registry, id uint64) *deviceState {
 	if d, ok := s.devices[id]; ok {
 		return d
 	}
-	d := &deviceState{id: id, energyMJ: make([]float64, r.ncomp)}
+	d := &deviceState{
+		id:           id,
+		energyMJ:     make([]float64, r.ncomp),
+		ackedAbove:   make(map[uint32]struct{}),
+		appliedAbove: make(map[uint32]struct{}),
+	}
 	s.devices[id] = d
 	return d
 }
@@ -126,9 +169,9 @@ func (r *Registry) Disconnect(deviceID uint64) {
 }
 
 // RecordHeartbeat applies a device heartbeat: bumps the count, tracks the
-// latest seq and the device's boot epoch. Heartbeats bypass the ingest
-// queues — they are tiny, latency-critical liveness signals — so this is
-// called straight off the connection reader.
+// latest seq and the device's boot epoch. Heartbeats ride the shard queue
+// like every other event so each device's state mutations happen in
+// sequence order — the property the resume watermark depends on.
 func (r *Registry) RecordHeartbeat(deviceID uint64, hb Heartbeat) {
 	s := r.shardFor(deviceID)
 	s.mu.Lock()
@@ -137,6 +180,51 @@ func (r *Registry) RecordHeartbeat(deviceID uint64, hb Heartbeat) {
 	d.heartbeats++
 	d.lastSeq = hb.Seq
 	d.epoch = hb.Epoch
+	d.appliedSeq = advance(d.appliedSeq, d.appliedAbove, hb.Seq)
+}
+
+// MarkAcked advances the device's acked watermark. Called by the
+// connection reader the moment an accepted acknowledgement is issued
+// (i.e. the event is durably enqueued): from then on the same seq is a
+// duplicate and will never be re-applied.
+func (r *Registry) MarkAcked(deviceID uint64, seq uint32) {
+	s := r.shardFor(deviceID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.get(r, deviceID)
+	d.ackedSeq = advance(d.ackedSeq, d.ackedAbove, seq)
+}
+
+// AlreadyAcked reports whether the seq was already accepted — at or below
+// the device's contiguous acked watermark, or in the sparse accepted set
+// above it. Such a frame is a retransmit the server must acknowledge
+// without re-applying.
+func (r *Registry) AlreadyAcked(deviceID uint64, seq uint32) bool {
+	s := r.shardFor(deviceID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.devices[deviceID]
+	if !ok {
+		return false
+	}
+	if seq <= d.ackedSeq {
+		return true
+	}
+	_, above := d.ackedAbove[seq]
+	return above
+}
+
+// AckedSeq returns the device's acked watermark (0 for unknown devices):
+// the figure a resume-ack hands back so the client knows exactly where to
+// restart its transmission.
+func (r *Registry) AckedSeq(deviceID uint64) uint32 {
+	s := r.shardFor(deviceID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d, ok := s.devices[deviceID]; ok {
+		return d.ackedSeq
+	}
+	return 0
 }
 
 // RecordShed counts a backpressure refusal and bills its fallback energy
@@ -159,6 +247,7 @@ func (r *Registry) applyWake(deviceID uint64, w WakeEvent) {
 	d := s.get(r, deviceID)
 	d.wakes++
 	d.lastSeq = w.Seq
+	d.appliedSeq = advance(d.appliedSeq, d.appliedAbove, w.Seq)
 }
 
 // applyEnergy applies one queued energy deposit (shard worker only). The
@@ -171,6 +260,7 @@ func (r *Registry) applyEnergy(deviceID uint64, e EnergyEvent) {
 	d := s.get(r, deviceID)
 	d.energyMJ[e.Component] += e.MJ
 	d.lastSeq = e.Seq
+	d.appliedSeq = advance(d.appliedSeq, d.appliedAbove, e.Seq)
 }
 
 // summarize builds the bye-ack summary for a device under the shard lock.
@@ -215,6 +305,11 @@ func (r *Registry) restore(st DeviceStats) error {
 	copy(d.energyMJ, st.EnergyMJ)
 	d.lastSeq = st.LastSeq
 	d.epoch = st.Epoch
+	// Both watermarks restart at the durable applied seq: anything acked
+	// beyond it before the restart was lost with the process, so it must
+	// be retransmitted and re-applied — never deduplicated away.
+	d.ackedSeq = st.AppliedSeq
+	d.appliedSeq = st.AppliedSeq
 	return nil
 }
 
@@ -267,6 +362,8 @@ func (r *Registry) Snapshot() []DeviceStats {
 				LastSeq:    d.lastSeq,
 				Epoch:      d.epoch,
 				Connected:  d.conns > 0,
+				AckedSeq:   d.ackedSeq,
+				AppliedSeq: d.appliedSeq,
 			}
 			for _, v := range d.energyMJ {
 				st.TotalMJ += v

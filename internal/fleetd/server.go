@@ -25,6 +25,15 @@ import (
 // failed to absorb.
 const DefaultShedWakeCostMJ = 1048.0
 
+// Self-protection defaults: a silent session holds a goroutine and a
+// registry slot, so it is reaped; a stuck client must not block a flush
+// forever; and the session cap bounds daemon memory under a dial storm.
+const (
+	DefaultIdleTimeout  = 2 * time.Minute
+	DefaultWriteTimeout = 10 * time.Second
+	DefaultMaxSessions  = 8192
+)
+
 // Config parameterizes the ingest daemon.
 type Config struct {
 	// Addr is the TCP listen address (default 127.0.0.1:7473; use
@@ -41,7 +50,8 @@ type Config struct {
 	FlushEvery int
 	// CheckpointPath, when set, is loaded on startup (device totals
 	// survive restarts; the epoch bumps) and rewritten atomically every
-	// CheckpointEvery and on drain.
+	// CheckpointEvery and on drain. Each write rotates the previous file
+	// to CheckpointPath+".bak"; a corrupt newest file falls back to it.
 	CheckpointPath string
 	// CheckpointEvery is the periodic checkpoint interval (default 10 s;
 	// ignored without CheckpointPath).
@@ -53,6 +63,19 @@ type Config struct {
 	// ShedWakeCostMJ overrides the fallback billing per shed wake
 	// (default DefaultShedWakeCostMJ).
 	ShedWakeCostMJ float64
+	// IdleTimeout reaps sessions that go silent: every read arms a
+	// deadline this far out, so a half-open or stalled client releases
+	// its goroutine and connection instead of pinning them forever
+	// (default 2 min; counted as fleetd.idle_reaps).
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each flush toward a client (default 10 s): a
+	// peer that stops reading its acks cannot wedge a server goroutine.
+	WriteTimeout time.Duration
+	// MaxSessions caps concurrent device connections (default 8192).
+	// Connections beyond the cap are closed immediately and counted
+	// (fleetd.session_rejects) — explicit, visible load shedding rather
+	// than unbounded goroutine growth.
+	MaxSessions int
 	// Telemetry supplies the sinks. Nil Metrics/Ledger fields are
 	// replaced with fresh ones: the daemon cannot run blind, its
 	// conservation contract is measured on these.
@@ -80,6 +103,15 @@ func (c Config) withDefaults() Config {
 	if c.ShedWakeCostMJ <= 0 {
 		c.ShedWakeCostMJ = DefaultShedWakeCostMJ
 	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = DefaultIdleTimeout
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = DefaultWriteTimeout
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = DefaultMaxSessions
+	}
 	if c.Telemetry.Metrics == nil {
 		c.Telemetry.Metrics = telemetry.NewRegistry()
 	}
@@ -97,6 +129,7 @@ const (
 	itemWake = iota
 	itemEnergy
 	itemBye
+	itemHeartbeat
 )
 
 // ingestItem is one queued unit of work for a shard worker.
@@ -105,9 +138,10 @@ type ingestItem struct {
 	kind   int
 	wake   WakeEvent
 	energy EnergyEvent
-	seq    uint32              // bye only
-	reply  chan DeviceSummary  // bye only
-	at     time.Time           // enqueue instant, for the queue-delay histogram
+	hb     Heartbeat
+	seq    uint32             // bye only
+	reply  chan DeviceSummary // bye only
+	at     time.Time          // enqueue instant, for the queue-delay histogram
 }
 
 // DrainReport summarizes a graceful drain.
@@ -146,25 +180,41 @@ type Server struct {
 	connsMu sync.Mutex
 	conns   map[net.Conn]struct{}
 
+	// sessions maps a device to its one live connection: a second
+	// connection for the same device takes the session over (newest
+	// wins) and the old connection is torn down.
+	sessMu   sync.Mutex
+	sessions map[uint64]*sessionHandle
+
+	nSessions atomic.Int64 // live connections, for the MaxSessions cap
+
 	drainCh   chan struct{}
 	drainOnce sync.Once
 	draining  atomic.Bool
 
+	killCh   chan struct{}
+	killOnce sync.Once
+	killed   atomic.Bool
+
 	applied atomic.Uint64
 
 	// Interned metric handles (nil-safe, but the registry always exists).
-	cConnsOpened, cConnsClosed         *telemetry.Counter
+	cConnsOpened, cConnsClosed          *telemetry.Counter
 	cRxFrames, cRxCorrupt, cRxMalformed *telemetry.Counter
 	cWakes, cHeartbeats, cEnergy, cByes *telemetry.Counter
 	cSheds, cCheckpoints                *telemetry.Counter
+	cIdleReaps, cTakeovers              *telemetry.Counter
+	cSessionRejects, cDedupAcks         *telemetry.Counter
+	cResumes, cCheckpointFallbacks      *telemetry.Counter
 	gDevices, gConnected                *telemetry.Gauge
 	hQueueDelayMS, hFlushBatch          *telemetry.Histogram
 }
 
 // NewServer builds a server (no sockets yet; Start opens them). When the
-// config names a checkpoint that exists, device totals are restored, the
-// ledger is re-seeded from them, and the epoch bumps past the
-// checkpoint's.
+// config names a checkpoint chain with an intact snapshot, device totals
+// are restored, the ledger is re-seeded from them, and the epoch bumps
+// past the checkpoint's; a corrupt newest file falls back to the .bak
+// snapshot (counted in fleetd.checkpoint_fallbacks).
 func NewServer(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
@@ -173,7 +223,9 @@ func NewServer(cfg Config) (*Server, error) {
 		ledger:   cfg.Telemetry.Ledger,
 		epoch:    1,
 		conns:    make(map[net.Conn]struct{}),
+		sessions: make(map[uint64]*sessionHandle),
 		drainCh:  make(chan struct{}),
+		killCh:   make(chan struct{}),
 	}
 	reg := cfg.Telemetry.Metrics
 	s.cConnsOpened = reg.Counter("fleetd.conns_opened")
@@ -187,6 +239,12 @@ func NewServer(cfg Config) (*Server, error) {
 	s.cByes = reg.Counter("fleetd.byes")
 	s.cSheds = reg.Counter("fleetd.sheds")
 	s.cCheckpoints = reg.Counter("fleetd.checkpoints")
+	s.cIdleReaps = reg.Counter("fleetd.idle_reaps")
+	s.cTakeovers = reg.Counter("fleetd.takeovers")
+	s.cSessionRejects = reg.Counter("fleetd.session_rejects")
+	s.cDedupAcks = reg.Counter("fleetd.dedup_acks")
+	s.cResumes = reg.Counter("fleetd.resumes")
+	s.cCheckpointFallbacks = reg.Counter("fleetd.checkpoint_fallbacks")
 	s.gDevices = reg.Gauge("fleetd.devices")
 	s.gConnected = reg.Gauge("fleetd.devices_connected")
 	s.hQueueDelayMS = reg.Histogram("fleetd.queue_delay_ms",
@@ -195,11 +253,15 @@ func NewServer(cfg Config) (*Server, error) {
 		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256})
 
 	if cfg.CheckpointPath != "" {
-		cp, ok, err := LoadCheckpoint(cfg.CheckpointPath)
+		cp, info, err := LoadCheckpointDetail(cfg.CheckpointPath)
 		if err != nil {
 			return nil, err
 		}
-		if ok {
+		if info.FellBack {
+			s.cCheckpointFallbacks.Inc()
+			cfg.Logf("fleetd: newest checkpoint rejected (%v), fell back to %s", info.MainErr, info.Source)
+		}
+		if info.Source != "" {
 			for _, d := range cp.Devices {
 				if err := s.registry.restore(d); err != nil {
 					return nil, err
@@ -212,7 +274,7 @@ func NewServer(cfg Config) (*Server, error) {
 			}
 			s.epoch = cp.Epoch + 1
 			cfg.Logf("fleetd: restored %d devices from %s (epoch %d)",
-				len(cp.Devices), cfg.CheckpointPath, s.epoch)
+				len(cp.Devices), info.Source, s.epoch)
 		}
 	}
 
@@ -247,8 +309,8 @@ func (s *Server) Start() error {
 			return err
 		}
 	}
-	s.cfg.Logf("fleetd: listening on %s (%d shards, queue depth %d, epoch %d)",
-		ln.Addr(), s.cfg.Shards, s.cfg.QueueDepth, s.epoch)
+	s.cfg.Logf("fleetd: listening on %s (%d shards, queue depth %d, epoch %d, idle timeout %s, max sessions %d)",
+		ln.Addr(), s.cfg.Shards, s.cfg.QueueDepth, s.epoch, s.cfg.IdleTimeout, s.cfg.MaxSessions)
 	return nil
 }
 
@@ -288,6 +350,13 @@ func (s *Server) acceptLoop() {
 			conn.Close()
 			continue
 		}
+		if s.nSessions.Add(1) > int64(s.cfg.MaxSessions) {
+			s.nSessions.Add(-1)
+			s.cSessionRejects.Inc()
+			s.cfg.Logf("fleetd: conn %v: session cap %d reached, rejecting", conn.RemoteAddr(), s.cfg.MaxSessions)
+			conn.Close()
+			continue
+		}
 		s.connsMu.Lock()
 		s.conns[conn] = struct{}{}
 		s.connsMu.Unlock()
@@ -296,12 +365,61 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// sessionHandle identifies one connection's claim on a device identity.
+// done closes when the connection's reader goroutine has fully exited.
+type sessionHandle struct {
+	conn net.Conn
+	done chan struct{}
+}
+
+// adoptSession makes conn the device's one live session. If an older
+// connection holds the session, newest wins: the old one is closed and
+// counted as a takeover — a device that reconnects after a cut must not
+// find its identity held hostage by a half-open ghost. Adoption then
+// WAITS for the old reader to exit: the dedup check and watermark
+// advance in ingest are two registry calls, so two readers ingesting
+// the same device concurrently could double-enqueue a retransmitted
+// seq. One reader per device at a time makes check-then-mark atomic.
+func (s *Server) adoptSession(deviceID uint64, h *sessionHandle) {
+	s.sessMu.Lock()
+	old := s.sessions[deviceID]
+	s.sessions[deviceID] = h
+	s.sessMu.Unlock()
+	if old != nil && old.conn != h.conn {
+		s.cTakeovers.Inc()
+		s.cfg.Logf("fleetd: device %d: session takeover by %v, closing %v",
+			deviceID, h.conn.RemoteAddr(), old.conn.RemoteAddr())
+		old.conn.Close()
+		<-old.done
+	}
+}
+
+// releaseSession drops the device→handle mapping, but only if the
+// mapping is still ours (a takeover may have already replaced it).
+func (s *Server) releaseSession(deviceID uint64, h *sessionHandle) {
+	s.sessMu.Lock()
+	if s.sessions[deviceID] == h {
+		delete(s.sessions, deviceID)
+	}
+	s.sessMu.Unlock()
+}
+
 // errBeforeHello reports an event frame on a connection that never
 // introduced itself.
 var errBeforeHello = errors.New("fleetd: event frame before hello")
 
+// session is one connection's protocol state.
+type session struct {
+	conn    net.Conn
+	bw      *bufio.Writer
+	dev     uint64
+	helloed bool
+	handle  *sessionHandle
+}
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wgConns.Done()
+	defer s.nSessions.Add(-1)
 	defer func() {
 		conn.Close()
 		s.connsMu.Lock()
@@ -312,17 +430,32 @@ func (s *Server) serveConn(conn net.Conn) {
 	s.cConnsOpened.Inc()
 
 	var dec link.Decoder
-	bw := bufio.NewWriterSize(conn, 1<<14)
+	sess := &session{
+		conn:   conn,
+		bw:     bufio.NewWriterSize(conn, 1<<14),
+		handle: &sessionHandle{conn: conn, done: make(chan struct{})},
+	}
 	buf := make([]byte, 1<<14)
-	var deviceID uint64
-	helloed := false
+	defer close(sess.handle.done) // after this, the reader ingests nothing more
 	defer func() {
-		if helloed {
-			s.registry.Disconnect(deviceID)
+		if sess.helloed {
+			s.registry.Disconnect(sess.dev)
+			s.releaseSession(sess.dev, sess.handle)
 		}
 	}()
+	flush := func() error {
+		if s.cfg.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		}
+		return sess.bw.Flush()
+	}
 	corrupt, malformed := 0, 0
 	for {
+		// Arm the idle deadline before every read: a session is entitled
+		// to exactly one quiet IdleTimeout, then it is reaped.
+		if s.cfg.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		}
 		n, rerr := conn.Read(buf)
 		if n > 0 {
 			frames, _ := dec.Feed(buf[:n])
@@ -342,16 +475,16 @@ func (s *Server) serveConn(conn net.Conn) {
 				teardown = true
 			}
 			for _, f := range frames {
-				if err := s.handleFrame(f, &deviceID, &helloed, bw); err != nil {
+				if err := s.handleFrame(f, sess); err != nil {
 					if link.IsMalformed(err) {
 						s.cRxMalformed.Inc()
 					}
 					s.cfg.Logf("fleetd: conn %v: %v", conn.RemoteAddr(), err)
-					bw.Flush()
+					flush()
 					return
 				}
 			}
-			if err := bw.Flush(); err != nil {
+			if err := flush(); err != nil {
 				return
 			}
 			if teardown {
@@ -360,6 +493,13 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 		}
 		if rerr != nil {
+			var nerr net.Error
+			if errors.As(rerr, &nerr) && nerr.Timeout() {
+				s.cIdleReaps.Inc()
+				s.cfg.Logf("fleetd: conn %v: idle for %s, reaping session (device %d)",
+					conn.RemoteAddr(), s.cfg.IdleTimeout, sess.dev)
+				return
+			}
 			if rerr != io.EOF && !s.draining.Load() {
 				s.cfg.Logf("fleetd: conn %v: read: %v", conn.RemoteAddr(), rerr)
 			}
@@ -368,25 +508,52 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-func (s *Server) handleFrame(f link.Frame, deviceID *uint64, helloed *bool, bw *bufio.Writer) error {
+// openSession runs the shared hello/resume bookkeeping: version check,
+// single-introduction check, registry connect and session takeover.
+func (s *Server) openSession(sess *session, version byte, deviceID uint64) error {
+	if version != ProtocolVersion {
+		return fmt.Errorf("fleetd: peer speaks protocol %d, want %d", version, ProtocolVersion)
+	}
+	if sess.helloed {
+		return fmt.Errorf("fleetd: duplicate hello from device %d", deviceID)
+	}
+	sess.dev, sess.helloed = deviceID, true
+	s.registry.Connect(deviceID)
+	s.adoptSession(deviceID, sess.handle)
+	return nil
+}
+
+func (s *Server) handleFrame(f link.Frame, sess *session) error {
 	s.cRxFrames.Inc()
-	if f.Type == MsgHello {
+	bw := sess.bw
+	switch f.Type {
+	case MsgHello:
 		h, err := DecodeHello(f.Payload)
 		if err != nil {
 			return err
 		}
-		if h.Version != ProtocolVersion {
-			return fmt.Errorf("fleetd: peer speaks protocol %d, want %d", h.Version, ProtocolVersion)
+		if err := s.openSession(sess, h.Version, h.DeviceID); err != nil {
+			return err
 		}
-		if *helloed {
-			return fmt.Errorf("fleetd: duplicate hello from device %d", h.DeviceID)
-		}
-		*deviceID, *helloed = h.DeviceID, true
-		s.registry.Connect(h.DeviceID)
 		ack := HelloAck{Epoch: s.epoch, Shard: uint16(s.registry.ShardIndex(h.DeviceID))}
 		return writeFrame(bw, MsgHelloAck, ack.Encode())
+	case MsgResume:
+		r, err := DecodeResume(f.Payload)
+		if err != nil {
+			return err
+		}
+		if err := s.openSession(sess, r.Version, r.DeviceID); err != nil {
+			return err
+		}
+		s.cResumes.Inc()
+		ack := ResumeAck{
+			Epoch:    s.epoch,
+			Shard:    uint16(s.registry.ShardIndex(r.DeviceID)),
+			AckedSeq: s.registry.AckedSeq(r.DeviceID),
+		}
+		return writeFrame(bw, MsgResumeAck, ack.Encode())
 	}
-	if !*helloed {
+	if !sess.helloed {
 		return fmt.Errorf("%w (type 0x%02x)", errBeforeHello, byte(f.Type))
 	}
 	switch f.Type {
@@ -395,40 +562,42 @@ func (s *Server) handleFrame(f link.Frame, deviceID *uint64, helloed *bool, bw *
 		if err != nil {
 			return err
 		}
-		// Heartbeats are the liveness signal: they bypass the ingest
-		// queues entirely (a hub drowning in telemetry must still answer
-		// "are you alive") and are applied inline under the shard lock.
-		s.registry.RecordHeartbeat(*deviceID, hb)
-		s.cHeartbeats.Inc()
-		return writeAck(bw, hb.Seq, AckAccepted)
+		// Heartbeats ride the shard queue like every other event so the
+		// device's state mutations stay in sequence order — the invariant
+		// the resume watermark depends on. Acks are still issued at
+		// enqueue, so liveness answers do not wait for the worker. A shed
+		// heartbeat bills nothing: it carries no energy.
+		return s.ingest(bw, ingestItem{dev: sess.dev, kind: itemHeartbeat, hb: hb}, hb.Seq, 0)
 	case MsgDeviceWake:
 		w, err := DecodeWakeEvent(f.Payload)
 		if err != nil {
 			return err
 		}
-		return s.ingest(bw, ingestItem{dev: *deviceID, kind: itemWake, wake: w},
+		return s.ingest(bw, ingestItem{dev: sess.dev, kind: itemWake, wake: w},
 			w.Seq, s.cfg.ShedWakeCostMJ)
 	case MsgDeviceEnergy:
 		e, err := DecodeEnergyEvent(f.Payload)
 		if err != nil {
 			return err
 		}
-		return s.ingest(bw, ingestItem{dev: *deviceID, kind: itemEnergy, energy: e},
+		return s.ingest(bw, ingestItem{dev: sess.dev, kind: itemEnergy, energy: e},
 			e.Seq, e.MJ)
 	case MsgBye:
 		b, err := DecodeBye(f.Payload)
 		if err != nil {
 			return err
 		}
-		item := ingestItem{dev: *deviceID, kind: itemBye, seq: b.Seq,
+		item := ingestItem{dev: sess.dev, kind: itemBye, seq: b.Seq,
 			reply: make(chan DeviceSummary, 1), at: time.Now()}
 		// Bye must flush the device, so it blocks rather than sheds; a
 		// drain that wins the race tears the connection down instead
 		// (the client never saw a bye-ack, so nothing was promised).
 		select {
-		case s.queues[s.registry.ShardIndex(*deviceID)] <- item:
+		case s.queues[s.registry.ShardIndex(sess.dev)] <- item:
 		case <-s.drainCh:
-			return fmt.Errorf("fleetd: draining, bye from device %d refused", *deviceID)
+			return fmt.Errorf("fleetd: draining, bye from device %d refused", sess.dev)
+		case <-s.killCh:
+			return fmt.Errorf("fleetd: killed, bye from device %d refused", sess.dev)
 		}
 		sum := <-item.reply
 		return writeFrame(bw, MsgByeAck, sum.Encode())
@@ -438,19 +607,30 @@ func (s *Server) handleFrame(f link.Frame, deviceID *uint64, helloed *bool, bw *
 }
 
 // ingest enqueues an event onto its shard queue, acking accepted on
-// success. A full queue is explicit backpressure: the event is refused
-// with AckShed, the refusal is counted, and the device's fallback cost is
-// billed to phone.fallback — the degradation is visible in every report,
-// never a silent drop. An accepted ack is a durability promise: the item
-// is in a queue, and drain applies every queued item before exit.
+// success. A retransmitted seq (at or below the device's acked watermark)
+// is answered AckDup without touching state — exactly-once delivery into
+// the ledger survives connection cuts. A full queue is explicit
+// backpressure: the event is refused with AckShed, the refusal is
+// counted, and the device's fallback cost is billed to phone.fallback —
+// the degradation is visible in every report, never a silent drop. An
+// accepted ack is a durability promise: the item is in a queue, the
+// acked watermark has advanced past it, and drain applies every queued
+// item before exit.
 func (s *Server) ingest(bw *bufio.Writer, item ingestItem, seq uint32, shedCostMJ float64) error {
+	if s.registry.AlreadyAcked(item.dev, seq) {
+		s.cDedupAcks.Inc()
+		return writeAck(bw, seq, AckDup)
+	}
 	item.at = time.Now()
 	select {
 	case s.queues[s.registry.ShardIndex(item.dev)] <- item:
+		s.registry.MarkAcked(item.dev, seq)
 		return writeAck(bw, seq, AckAccepted)
 	default:
 		s.registry.RecordShed(item.dev, shedCostMJ)
-		s.ledger.AddEnergyMJ(telemetry.PhoneFallback, shedCostMJ)
+		if shedCostMJ > 0 {
+			s.ledger.AddEnergyMJ(telemetry.PhoneFallback, shedCostMJ)
+		}
 		s.cSheds.Inc()
 		return writeAck(bw, seq, AckShed)
 	}
@@ -477,7 +657,21 @@ func (s *Server) shardWorker(i int) {
 		s.hFlushBatch.Observe(float64(pending))
 		pending = 0
 	}
-	for item := range q {
+	for {
+		var item ingestItem
+		var ok bool
+		select {
+		case item, ok = <-q:
+			if !ok {
+				flush()
+				return
+			}
+		case <-s.killCh:
+			// Ungraceful stop: abandon the queue mid-flight. Acked items
+			// die with the process — exactly the loss a SIGKILL inflicts,
+			// which the checkpoint chain and resume rewind must absorb.
+			return
+		}
 		s.hQueueDelayMS.Observe(float64(time.Since(item.at).Microseconds()) / 1000)
 		switch item.kind {
 		case itemWake:
@@ -487,6 +681,9 @@ func (s *Server) shardWorker(i int) {
 			s.registry.applyEnergy(item.dev, item.energy)
 			batch[item.energy.Component] += item.energy.MJ
 			pending++
+		case itemHeartbeat:
+			s.registry.RecordHeartbeat(item.dev, item.hb)
+			s.cHeartbeats.Inc()
 		case itemBye:
 			// The summary must reflect every deposit this shard has seen,
 			// so the batch flushes first; per-device totals are already
@@ -500,7 +697,6 @@ func (s *Server) shardWorker(i int) {
 			flush()
 		}
 	}
-	flush()
 }
 
 func (s *Server) checkpointLoop() {
@@ -515,6 +711,8 @@ func (s *Server) checkpointLoop() {
 			}
 		case <-s.drainCh:
 			return // drain writes the final checkpoint itself
+		case <-s.killCh:
+			return
 		}
 	}
 }
@@ -555,6 +753,33 @@ func conservationOK(errMJ, totalMJ float64) bool {
 	return errMJ <= 1e-9*math.Max(1, math.Abs(totalMJ))
 }
 
+// Kill stops the server the way SIGKILL would, minus the process exit:
+// listener and connections closed, shard queues abandoned mid-flight, no
+// final checkpoint. Recovery then starts from whatever the checkpoint
+// chain last persisted — exactly the scenario the crash-recovery tests
+// must reproduce in-process. Safe to call once; Drain after Kill errors.
+func (s *Server) Kill() {
+	s.killOnce.Do(func() {
+		s.killed.Store(true)
+		s.draining.Store(true)
+		close(s.killCh)
+		if s.ln != nil {
+			s.ln.Close()
+		}
+		s.connsMu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.connsMu.Unlock()
+		if s.httpSv != nil {
+			s.httpSv.Close()
+		}
+		s.wgConns.Wait()
+		s.wgWorkers.Wait()
+		s.wgLoops.Wait()
+	})
+}
+
 // Drain performs the graceful shutdown: stop accepting, close every
 // connection (no new acks can be issued), apply every already-queued —
 // therefore acknowledged — item, flush the ledger batches, write the
@@ -563,6 +788,9 @@ func conservationOK(errMJ, totalMJ float64) bool {
 func (s *Server) Drain() (DrainReport, error) {
 	var rep DrainReport
 	var err error
+	if s.killed.Load() {
+		return rep, errors.New("fleetd: server was killed, nothing to drain")
+	}
 	s.drainOnce.Do(func() {
 		s.draining.Store(true)
 		close(s.drainCh)

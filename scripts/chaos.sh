@@ -1,0 +1,182 @@
+#!/usr/bin/env bash
+# chaos.sh SIDEWINDERD_BIN FLEETLOAD_BIN CHAOSPROXY_BIN
+#
+# The chaos soak: for every fault profile and seed in the sweep, boot a
+# fresh ingest daemon, put the seeded fault-injecting proxy in front of
+# it, and replay a fleet population through the faults. Every leg must
+# end with zero unrecovered devices, zero bye-handshake mismatches (the
+# bit-for-bit per-device energy check), and a clean conserving drain —
+# i.e. results identical to a fault-free run. A final leg SIGKILLs the
+# daemon mid-replay, corrupts the newest checkpoint, restarts on the
+# same address, and demands the same outcome via the .bak fallback.
+#
+# Intended for -race builds (make chaos / CI's chaos-soak job).
+set -euo pipefail
+
+DAEMON=${1:?usage: chaos.sh SIDEWINDERD_BIN FLEETLOAD_BIN CHAOSPROXY_BIN}
+LOADGEN=${2:?usage: chaos.sh SIDEWINDERD_BIN FLEETLOAD_BIN CHAOSPROXY_BIN}
+PROXY=${3:?usage: chaos.sh SIDEWINDERD_BIN FLEETLOAD_BIN CHAOSPROXY_BIN}
+DEVICES=${CHAOS_DEVICES:-60}
+APPS=${CHAOS_APPS:-2}
+POP_SEED=${CHAOS_POP_SEED:-42}
+TRACE_SECONDS=${CHAOS_TRACE_SECONDS:-4}
+PROFILES=${CHAOS_PROFILES:-"resets corrupt combined"}
+SEEDS=${CHAOS_SEEDS:-"1 2 3"}
+
+workdir=$(mktemp -d)
+daemon_pid=""
+proxy_pid=""
+total_faults=0
+
+cleanup() {
+    kill "$proxy_pid" "$daemon_pid" 2>/dev/null || true
+    wait 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+# wait_for_line FILE SED_PATTERN PID LABEL — polls FILE until the sed
+# capture yields output, dying if PID exits first. Leaves the capture in
+# $ready_addr (no subshell: callers need the pid globals too).
+wait_for_line() {
+    local file=$1 pat=$2 pid=$3 label=$4
+    ready_addr=""
+    for _ in $(seq 1 100); do
+        ready_addr=$(sed -n "$pat" "$file" | head -1)
+        [ -n "$ready_addr" ] && return 0
+        kill -0 "$pid" 2>/dev/null || { echo "chaos: $label died on startup:" >&2; cat "$file" >&2; return 1; }
+        sleep 0.1
+    done
+    echo "chaos: $label never became ready:" >&2; cat "$file" >&2; return 1
+}
+
+start_daemon() { # start_daemon LOG CHECKPOINT [ADDR] — sets daemon_pid, daemon_addr
+    local log=$1 checkpoint=$2 addr=${3:-127.0.0.1:0}
+    "$DAEMON" -addr "$addr" -checkpoint "$checkpoint" -checkpoint-every 250ms -quiet \
+        >"$log" 2>&1 &
+    daemon_pid=$!
+    wait_for_line "$log" 's/^sidewinderd: listening on \([^ ]*\).*/\1/p' "$daemon_pid" sidewinderd
+    daemon_addr=$ready_addr
+}
+
+start_proxy() { # start_proxy LOG TARGET PROFILE SEED — sets proxy_pid, proxy_addr
+    local log=$1 target=$2 profile=$3 seed=$4
+    "$PROXY" -listen 127.0.0.1:0 -target "$target" -profile "$profile" -seed "$seed" -quiet \
+        >"$log" 2>&1 &
+    proxy_pid=$!
+    wait_for_line "$log" 's/^chaosproxy: \([^ ]*\) ->.*/\1/p' "$proxy_pid" chaosproxy
+    proxy_addr=$ready_addr
+}
+
+run_load() { # run_load LOG ADDR [EXTRA_FLAGS...]
+    local log=$1 addr=$2; shift 2
+    if ! "$LOADGEN" -addr "$addr" -devices "$DEVICES" -apps "$APPS" -seed "$POP_SEED" \
+            -trace-seconds "$TRACE_SECONDS" -reconnect 40 \
+            -backoff-base 10ms -backoff-cap 250ms -ack-timeout 5s "$@" >"$log" 2>&1; then
+        echo "chaos: fleetload failed:"; cat "$log"; return 1
+    fi
+    grep -q 'mismatches=0' "$log" || { echo "chaos: bye handshake saw mismatches:"; cat "$log"; return 1; }
+    grep -q 'unrecovered=0' "$log" || { echo "chaos: devices gave up:"; cat "$log"; return 1; }
+    grep -q 'shed=0' "$log" || { echo "chaos: queues shed (totals would diverge):"; cat "$log"; return 1; }
+    grep -q 'fleetload: summaries verified' "$log" || { echo "chaos: summaries not verified:"; cat "$log"; return 1; }
+}
+
+drain_daemon() { # drain_daemon LOG
+    local log=$1 status=0
+    kill -TERM "$daemon_pid"
+    wait "$daemon_pid" || status=$?
+    daemon_pid=""
+    if [ "$status" -ne 0 ]; then
+        echo "chaos: daemon exited with status $status:"; cat "$log"; return 1
+    fi
+    grep -q 'sidewinderd: conservation: OK' "$log" || { echo "chaos: conservation failed:"; cat "$log"; return 1; }
+    grep -q 'sidewinderd: drain: clean' "$log" || { echo "chaos: drain not clean:"; cat "$log"; return 1; }
+}
+
+stop_proxy() { # stop_proxy LOG — drains the proxy and accumulates its fault count
+    local log=$1
+    kill -TERM "$proxy_pid"
+    wait "$proxy_pid" || { echo "chaos: proxy exited dirty:"; cat "$log"; return 1; }
+    proxy_pid=""
+    local faults
+    faults=$(sed -n 's/^chaosproxy: report //p' "$log" |
+        grep -o '"\(resets\|cuts\|corrupt_chunks\|delays\|stalls\)":[0-9]*' |
+        awk -F: '{s += $2} END {print s + 0}')
+    total_faults=$((total_faults + ${faults:-0}))
+}
+
+echo "chaos: sweep: profiles [$PROFILES] x seeds [$SEEDS], $DEVICES devices"
+leg=0
+for profile in $PROFILES; do
+    for seed in $SEEDS; do
+        leg=$((leg + 1))
+        dlog="$workdir/daemon-$leg.log"; plog="$workdir/proxy-$leg.log"; llog="$workdir/load-$leg.log"
+        start_daemon "$dlog" "$workdir/cp-$leg.checkpoint"
+        start_proxy "$plog" "$daemon_addr" "$profile" "$seed"
+        run_load "$llog" "$proxy_addr"
+        stop_proxy "$plog"
+        drain_daemon "$dlog"
+        echo "chaos: leg $leg PASS (profile=$profile seed=$seed): $(grep 'reconnects=' "$llog")"
+    done
+done
+
+if [ "$total_faults" -eq 0 ]; then
+    echo "chaos: the whole sweep injected zero faults — it proved nothing"; exit 1
+fi
+echo "chaos: sweep injected $total_faults faults total; every leg bit-for-bit clean"
+
+# --- Kill-and-restart leg -------------------------------------------------
+# SIGKILL the daemon mid-replay, corrupt the newest checkpoint, restart on
+# the same address. The resume protocol plus the .bak fallback must make
+# the crash invisible to the final totals.
+leg=$((leg + 1))
+dlog="$workdir/daemon-kill.log"; dlog2="$workdir/daemon-restart.log"; llog="$workdir/load-kill.log"
+checkpoint="$workdir/cp-kill.checkpoint"
+start_daemon "$dlog" "$checkpoint"
+addr=$daemon_addr
+kill_daemon_pid=$daemon_pid
+
+# -pace stretches the replay to >= frames-per-device * pace of wall
+# clock (~11 frames/device at the default sweep size -> well over 1.5s),
+# so the kill below is guaranteed to land mid-stream.
+"$LOADGEN" -addr "$addr" -devices "$DEVICES" -apps "$APPS" -seed "$POP_SEED" \
+    -trace-seconds "$TRACE_SECONDS" -reconnect 60 -pace 150ms \
+    -backoff-base 25ms -backoff-cap 500ms -ack-timeout 5s >"$llog" 2>&1 &
+load_pid=$!
+
+# Give the replay time to stream and the daemon time to rotate at least
+# one periodic checkpoint (250ms cadence), then pull the plug.
+sleep 1
+kill -KILL "$kill_daemon_pid"
+wait "$kill_daemon_pid" 2>/dev/null || true
+daemon_pid=""
+[ -s "$checkpoint" ] || { echo "chaos: no checkpoint written before the kill"; exit 1; }
+[ -s "$checkpoint.bak" ] || { echo "chaos: checkpoint never rotated a .bak"; exit 1; }
+
+# Corrupt the newest checkpoint: flip a byte in the middle.
+python3 - "$checkpoint" <<'EOF' 2>/dev/null || dd if=/dev/zero of="$checkpoint" bs=1 seek=64 count=4 conv=notrunc status=none
+import sys
+p = sys.argv[1]
+b = bytearray(open(p, "rb").read())
+b[len(b) // 2] ^= 0x10
+open(p, "wb").write(b)
+EOF
+
+start_daemon "$dlog2" "$checkpoint" "$addr"
+[ "$daemon_addr" = "$addr" ] || { echo "chaos: restart bound $daemon_addr, wanted $addr"; exit 1; }
+# Epoch >= 2 proves the restart loaded a checkpoint (the .bak, since the
+# main file is corrupt) instead of silently starting fresh — a fresh
+# start would also double-apply everything and fail the mismatch check.
+epoch=$(sed -n 's/^sidewinderd: listening on .*epoch \([0-9]*\).*/\1/p' "$dlog2" | head -1)
+[ "${epoch:-0}" -ge 2 ] || { echo "chaos: restart epoch ${epoch:-?}, wanted >= 2 (checkpoint not loaded):"; cat "$dlog2"; exit 1; }
+
+wait "$load_pid" || { echo "chaos: fleetload failed across the kill:"; cat "$llog"; exit 1; }
+grep -q 'mismatches=0' "$llog" || { echo "chaos: post-restart totals diverged:"; cat "$llog"; exit 1; }
+grep -q 'unrecovered=0' "$llog" || { echo "chaos: devices never recovered from the kill:"; cat "$llog"; exit 1; }
+grep -q 'fleetload: summaries verified' "$llog" || { echo "chaos: summaries not verified:"; cat "$llog"; exit 1; }
+reconnects=$(sed -n 's/.*reconnects=\([0-9]*\).*/\1/p' "$llog" | head -1)
+[ "${reconnects:-0}" -gt 0 ] || { echo "chaos: a SIGKILL without reconnects is not a test:"; cat "$llog"; exit 1; }
+drain_daemon "$dlog2"
+echo "chaos: leg $leg PASS (SIGKILL + corrupted checkpoint + restart): $(grep 'reconnects=' "$llog")"
+
+echo "chaos: PASS ($leg legs, $DEVICES devices each, all bit-for-bit clean)"
