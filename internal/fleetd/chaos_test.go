@@ -570,3 +570,65 @@ func TestWatermarkRespectsShedHoles(t *testing.T) {
 		t.Fatalf("watermark after filling the hole = %d, want 3", got)
 	}
 }
+
+// TestChaosShedsWithReconnectsStayConsistent closes the gap the default
+// chaos sweeps leave open: their deep queues never shed, so shed × cut
+// interplay went unexercised. Here a depth-1 queue sheds constantly while
+// the proxy cuts connections, so shed frames and reconnects coincide on
+// every seed. The exactly-once contract under test: a frame the client
+// resolved as shed is settled — it must never ride a later connection and
+// get accepted (double-billing energy the fallback path already charged).
+// The bye-ack cross-check (counts exact, energy bit-for-bit, server sheds
+// >= client sheds) is what catches any violation.
+func TestChaosShedsWithReconnectsStayConsistent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos shed sweep is not short")
+	}
+	const devices = 3
+	cells := make([]sim.FleetCell, devices)
+	for i := range cells {
+		cells[i] = *testCell(2000)
+	}
+	var sheds, reconnects uint64
+	for seed := int64(1); seed <= 3; seed++ {
+		led := telemetry.NewLedger()
+		s := startTestServer(t, Config{
+			Shards:      1,
+			QueueDepth:  1, // full-blast senders against a depth-1 queue: constant sheds
+			IdleTimeout: 2 * time.Second,
+			Telemetry:   telemetry.Set{Ledger: led},
+		})
+		p, err := chaosproxy.New(chaosproxy.Config{
+			ListenAddr: "127.0.0.1:0", TargetAddr: s.Addr(),
+			Profile: chaosproxy.Profile{Name: "shed-cuts", ResetProb: 0.01, CutProb: 0.01},
+			Seed:    seed,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: proxy: %v", seed, err)
+		}
+		p.Start()
+
+		rep, err := RunLoad(chaosLoadConfig(p.Addr()), cells)
+		if err != nil {
+			t.Fatalf("seed %d: RunLoad: %v", seed, err)
+		}
+		if rep.Unrecovered != 0 || rep.Mismatches != 0 {
+			t.Fatalf("seed %d: unrecovered=%d mismatches=%d, want 0/0 — shed/reconnect interplay broke the ledger contract",
+				seed, rep.Unrecovered, rep.Mismatches)
+		}
+		drain, err := s.Drain()
+		if err != nil {
+			t.Fatalf("seed %d: Drain: %v", seed, err)
+		}
+		if !drain.ConservationOK {
+			t.Fatalf("seed %d: conservation failed: err %g mJ", seed, drain.ConservationErrMJ)
+		}
+		sheds += rep.Shed
+		reconnects += rep.Reconnects
+		p.Close()
+	}
+	if sheds == 0 || reconnects == 0 {
+		t.Fatalf("sweep saw %d sheds and %d reconnects across 3 seeds — it proved nothing; crank the pressure",
+			sheds, reconnects)
+	}
+}

@@ -95,13 +95,20 @@ func WriteCheckpoint(path string, cp Checkpoint) error {
 		return fmt.Errorf("fleetd: writing checkpoint: %w", werr)
 	}
 	// Rotate the current checkpoint to .bak before committing the new
-	// one. A crash between the two renames leaves .bak as the newest
-	// intact snapshot, which LoadCheckpoint falls back to.
-	if _, err := os.Stat(path); err == nil {
+	// one — but only after verifying it: rotating a corrupt newest file
+	// (the very one startup fell back past) would bury the last good .bak
+	// under damage, and a crash before the final rename would then leave
+	// the whole chain corrupt. A damaged newest file is deleted instead,
+	// so at every instant the chain holds at least one intact snapshot; a
+	// crash between the two renames leaves .bak as the newest intact
+	// snapshot, which LoadCheckpoint accepts cleanly.
+	if _, err := readCheckpointFile(path); err == nil {
 		if err := os.Rename(path, path+BakSuffix); err != nil {
 			os.Remove(tmpName)
 			return fmt.Errorf("fleetd: rotating checkpoint: %w", err)
 		}
+	} else if !os.IsNotExist(err) {
+		os.Remove(path)
 	}
 	if err := os.Rename(tmpName, path); err != nil {
 		os.Remove(tmpName)

@@ -16,7 +16,7 @@ func testCheckpoint(epoch uint32, wakes uint64) Checkpoint {
 		Epoch: epoch,
 		Devices: []DeviceStats{{
 			ID: 7, Wakes: wakes, EnergyMJ: []float64{1.5, 0, 2.25}, TotalMJ: 3.75,
-			LastSeq: 40, AppliedSeq: 40,
+			LastSeq: 45, AppliedSeq: 40, AppliedAbove: []uint32{43, 45},
 		}},
 		Ledger: telemetry.LedgerSnapshot{TotalMJ: 3.75},
 	}
@@ -45,6 +45,9 @@ func TestCheckpointRoundTripAndRotation(t *testing.T) {
 	}
 	if math.Float64bits(cp.Devices[0].EnergyMJ[2]) != math.Float64bits(2.25) {
 		t.Fatalf("energy not bit-exact after round trip: %v", cp.Devices[0].EnergyMJ)
+	}
+	if got := cp.Devices[0].AppliedAbove; len(got) != 2 || got[0] != 43 || got[1] != 45 {
+		t.Fatalf("applied-above set did not survive the round trip: %v", got)
 	}
 	bak, _, err := LoadCheckpointDetail(path + BakSuffix)
 	if err != nil || bak.Epoch != 1 {
@@ -104,6 +107,40 @@ func TestLoadCheckpointCorruptFallsBackToBak(t *testing.T) {
 		if err := os.WriteFile(path, orig, 0o644); err != nil {
 			t.Fatalf("%s: restore: %v", name, err)
 		}
+	}
+}
+
+// TestWriteCheckpointDoesNotRotateCorruptNewest: after a startup that
+// fell back to .bak because the newest file was damaged, the next write
+// must not rename that damaged file over the last good .bak — a crash
+// between the rotation renames would then leave the whole chain corrupt.
+// Damage is deleted, not rotated.
+func TestWriteCheckpointDoesNotRotateCorruptNewest(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fleet.checkpoint")
+	if err := WriteCheckpoint(path, testCheckpoint(1, 10)); err != nil {
+		t.Fatalf("write #1: %v", err)
+	}
+	if err := WriteCheckpoint(path, testCheckpoint(2, 20)); err != nil {
+		t.Fatalf("write #2: %v", err)
+	}
+	if err := os.WriteFile(path, []byte("!!bit damage!!"), 0o644); err != nil {
+		t.Fatalf("corrupt newest: %v", err)
+	}
+
+	if err := WriteCheckpoint(path, testCheckpoint(3, 30)); err != nil {
+		t.Fatalf("write over corrupt newest: %v", err)
+	}
+	bak, err := readCheckpointFile(path + BakSuffix)
+	if err != nil {
+		t.Fatalf(".bak destroyed by rotating a corrupt newest file: %v", err)
+	}
+	if bak.Epoch != 1 {
+		t.Fatalf(".bak epoch = %d, want 1 (the last good snapshot, not the damage)", bak.Epoch)
+	}
+	cp, ok, err := LoadCheckpoint(path)
+	if err != nil || !ok || cp.Epoch != 3 {
+		t.Fatalf("newest after write = ok=%v err=%v epoch=%d, want true/nil/3", ok, err, cp.Epoch)
 	}
 }
 

@@ -244,9 +244,16 @@ func (r *frameReader) next() (link.Frame, error) {
 // the accepted counters, so a frame is counted exactly once no matter
 // how many times the wire carried it.
 type devSession struct {
-	frames         []outFrame
-	resolved       []bool
-	nResolved      int
+	frames   []outFrame
+	resolved []bool
+	// resolvedShed marks frames whose resolution was AckShed. A shed is a
+	// settled transaction — the server billed the fallback cost, we
+	// counted the shed — so the frame must never be re-offered on a later
+	// connection: the server kept no record of the refusal (a shed seq is
+	// a hole in its watermark), and a retry it accepts would double-count
+	// the event on top of the fallback billing.
+	resolvedShed []bool
+	nResolved    int
 	maxResolved    uint32 // highest seq resolved (resume handshake's LastAcked)
 	wakes          uint64
 	heartbeats     uint64
@@ -272,6 +279,7 @@ func (st *devSession) resolve(i int, status byte) {
 		st.maxResolved = f.seq
 	}
 	if status == AckShed {
+		st.resolvedShed[i] = true
 		st.shed++
 		return
 	}
@@ -288,6 +296,25 @@ func (st *devSession) resolve(i int, status byte) {
 		st.energy++
 		st.energyAccepted[f.component] += f.mj
 	}
+}
+
+// unsentAbove is the retransmission set for a connection whose resume
+// watermark is the given seq: every frame above the watermark — resolved
+// accepted ones included, because a server restarted from a checkpoint
+// rolls its watermark back to the durable applied seq and anything above
+// it must be re-offered (the dedup path answers AckDup for what it still
+// has) — EXCEPT frames resolved as shed. A shed was billed on both sides
+// when it happened; re-offering it after a reconnect could get it
+// accepted this time, double-counting the event on top of the fallback
+// billing and breaking the bye-ack cross-check.
+func (st *devSession) unsentAbove(watermark uint32) []int {
+	toSend := make([]int, 0, len(st.frames))
+	for i := range st.frames {
+		if st.frames[i].seq > watermark && !st.resolvedShed[i] {
+			toSend = append(toSend, i)
+		}
+	}
+	return toSend
 }
 
 // attempt runs one connection's worth of the session: handshake, send
@@ -355,16 +382,7 @@ func (st *devSession) attempt(cfg LoadConfig, id uint64, lat *telemetry.Histogra
 		}
 	}
 
-	// Send every frame above the watermark — resolved ones included: a
-	// server restarted from a checkpoint rolls its watermark back to the
-	// durable applied seq, and anything above it must be re-offered (the
-	// dedup path answers AckDup for what it still has).
-	toSend := make([]int, 0, len(st.frames))
-	for i := range st.frames {
-		if st.frames[i].seq > watermark {
-			toSend = append(toSend, i)
-		}
-	}
+	toSend := st.unsentAbove(watermark)
 
 	window := cfg.Window
 	if window <= 0 {
@@ -513,6 +531,7 @@ func runDevice(cfg LoadConfig, id uint64, cell *sim.FleetCell, lat *telemetry.Hi
 	st := &devSession{
 		frames:         frames,
 		resolved:       make([]bool, len(frames)),
+		resolvedShed:   make([]bool, len(frames)),
 		energyAccepted: make([]float64, len(telemetry.Components())),
 	}
 

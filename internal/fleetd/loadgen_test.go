@@ -1,0 +1,63 @@
+package fleetd
+
+import (
+	"reflect"
+	"testing"
+
+	"sidewinder/internal/telemetry"
+)
+
+// testSession builds a devSession over n wake frames with seqs 1..n.
+func testSession(n int) *devSession {
+	frames := make([]outFrame, n)
+	for i := range frames {
+		seq := uint32(i + 1)
+		frames[i] = outFrame{kind: itemWake, seq: seq,
+			wire: mustFrame(MsgDeviceWake, WakeEvent{Seq: seq, Node: uint16(i), Value: 1}.Encode())}
+	}
+	return &devSession{
+		frames:         frames,
+		resolved:       make([]bool, n),
+		resolvedShed:   make([]bool, n),
+		energyAccepted: make([]float64, len(telemetry.Components())),
+	}
+}
+
+// TestShedFramesNotRetransmitted pins the reconnect contract for sheds: a
+// frame resolved as AckShed is a settled transaction (fallback billed on
+// both sides), so the next attempt's retransmission set must skip it —
+// re-offering it could get it accepted this time and double-count the
+// event. Resolved-accepted frames above the watermark, by contrast, MUST
+// be re-offered (a checkpoint-restarted server may have lost them).
+func TestShedFramesNotRetransmitted(t *testing.T) {
+	st := testSession(4)
+	st.resolve(0, AckAccepted) // seq 1
+	st.resolve(1, AckShed)     // seq 2: hole in the server watermark
+	st.resolve(2, AckAccepted) // seq 3: accepted above the hole
+	// seq 4 unresolved: its ack died with the old connection.
+
+	if st.shed != 1 || st.wakes != 2 {
+		t.Fatalf("shed=%d wakes=%d, want 1/2", st.shed, st.wakes)
+	}
+
+	// Reconnect. The server's contiguous watermark stops below the shed
+	// hole, so it hands back 1: everything above must be re-offered except
+	// the shed frame.
+	got := st.unsentAbove(1)
+	if want := []int{2, 3}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("unsentAbove(1) = %v, want %v (shed seq 2 must not ride again)", got, want)
+	}
+
+	// A duplicate ack for the re-offered accepted frame must not re-count.
+	st.resolve(2, AckDup)
+	if st.wakes != 2 || st.dup != 0 {
+		t.Fatalf("re-resolving an already-resolved frame changed counters: wakes=%d dup=%d", st.wakes, st.dup)
+	}
+
+	// After a full server restart the watermark can roll back to zero;
+	// the shed frame still stays off the wire.
+	got = st.unsentAbove(0)
+	if want := []int{0, 2, 3}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("unsentAbove(0) = %v, want %v", got, want)
+	}
+}

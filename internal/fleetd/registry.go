@@ -88,6 +88,12 @@ type DeviceStats struct {
 	Connected  bool      `json:"connected,omitempty"`
 	AckedSeq   uint32    `json:"acked_seq,omitempty"`   // in-memory dedup watermark
 	AppliedSeq uint32    `json:"applied_seq,omitempty"` // durable resume watermark
+	// AppliedAbove lists applied seqs above AppliedSeq (sheds punch holes
+	// in the contiguous watermark). The checkpointed totals include these
+	// events, so the set must persist with them: without it a restart
+	// would treat their retransmits as fresh and double-count energy the
+	// checkpoint already holds.
+	AppliedAbove []uint32 `json:"applied_above,omitempty"`
 }
 
 // NewRegistry returns a registry with the given shard count (minimum 1).
@@ -305,11 +311,18 @@ func (r *Registry) restore(st DeviceStats) error {
 	copy(d.energyMJ, st.EnergyMJ)
 	d.lastSeq = st.LastSeq
 	d.epoch = st.Epoch
-	// Both watermarks restart at the durable applied seq: anything acked
-	// beyond it before the restart was lost with the process, so it must
-	// be retransmitted and re-applied — never deduplicated away.
+	// Both watermarks restart at the durable applied state: anything
+	// acked beyond it before the restart was lost with the process, so it
+	// must be retransmitted and re-applied — never deduplicated away. The
+	// applied state includes the sparse above-hole set: those events are
+	// in the checkpointed totals, so their retransmits must dedup as
+	// duplicates, not re-apply.
 	d.ackedSeq = st.AppliedSeq
 	d.appliedSeq = st.AppliedSeq
+	for _, seq := range st.AppliedAbove {
+		d.appliedSeq = advance(d.appliedSeq, d.appliedAbove, seq)
+		d.ackedSeq = advance(d.ackedSeq, d.ackedAbove, seq)
+	}
 	return nil
 }
 
@@ -364,6 +377,14 @@ func (r *Registry) Snapshot() []DeviceStats {
 				Connected:  d.conns > 0,
 				AckedSeq:   d.ackedSeq,
 				AppliedSeq: d.appliedSeq,
+			}
+			if len(d.appliedAbove) > 0 {
+				st.AppliedAbove = make([]uint32, 0, len(d.appliedAbove))
+				for seq := range d.appliedAbove {
+					st.AppliedAbove = append(st.AppliedAbove, seq)
+				}
+				// Sorted for a deterministic checkpoint encoding.
+				sort.Slice(st.AppliedAbove, func(i, j int) bool { return st.AppliedAbove[i] < st.AppliedAbove[j] })
 			}
 			for _, v := range d.energyMJ {
 				st.TotalMJ += v

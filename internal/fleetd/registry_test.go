@@ -1,6 +1,7 @@
 package fleetd
 
 import (
+	"reflect"
 	"sync"
 	"testing"
 
@@ -126,6 +127,47 @@ func TestRegistryRestoreRoundTrip(t *testing.T) {
 	bad := DeviceStats{ID: 9, EnergyMJ: make([]float64, 64)}
 	if err := r2.restore(bad); err == nil {
 		t.Fatal("restore with oversized component vector should fail")
+	}
+}
+
+// TestRegistryRestorePersistsAppliedAboveHoles: events applied above a
+// shed hole are inside the checkpointed totals, so after a restore their
+// retransmits must dedup as duplicates — re-applying them would
+// double-count energy the checkpoint already holds. The hole itself must
+// stay open so the client's legitimate retry is accepted.
+func TestRegistryRestorePersistsAppliedAboveHoles(t *testing.T) {
+	r := NewRegistry(2)
+	r.Connect(9)
+	r.MarkAcked(9, 1)
+	r.applyWake(9, WakeEvent{Seq: 1})
+	// seq 2 shed: never acked, never applied — a watermark hole.
+	r.MarkAcked(9, 3)
+	r.applyWake(9, WakeEvent{Seq: 3})
+	r.MarkAcked(9, 4)
+	r.applyEnergy(9, EnergyEvent{Seq: 4, Component: telemetry.HubDevice, MJ: 2})
+
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0].AppliedSeq != 1 {
+		t.Fatalf("snapshot = %+v, want one device with applied watermark 1", snap)
+	}
+	if want := []uint32{3, 4}; !reflect.DeepEqual(snap[0].AppliedAbove, want) {
+		t.Fatalf("AppliedAbove = %v, want %v", snap[0].AppliedAbove, want)
+	}
+
+	r2 := NewRegistry(5)
+	if err := r2.restore(snap[0]); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if !r2.AlreadyAcked(9, 1) || !r2.AlreadyAcked(9, 3) || !r2.AlreadyAcked(9, 4) {
+		t.Fatal("applied seqs must dedup after restore — re-applying double-counts checkpointed energy")
+	}
+	if r2.AlreadyAcked(9, 2) {
+		t.Fatal("shed hole wrongly deduped after restore — its retry would be refused")
+	}
+	// The retry of the hole lands: the watermark sweeps the restored set.
+	r2.MarkAcked(9, 2)
+	if got := r2.AckedSeq(9); got != 4 {
+		t.Fatalf("watermark after filling the hole = %d, want 4", got)
 	}
 }
 

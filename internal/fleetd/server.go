@@ -599,7 +599,17 @@ func (s *Server) handleFrame(f link.Frame, sess *session) error {
 		case <-s.killCh:
 			return fmt.Errorf("fleetd: killed, bye from device %d refused", sess.dev)
 		}
-		sum := <-item.reply
+		// The reply wait needs the same kill escape as the enqueue: a
+		// killed shard worker exits without replying, and the reply must
+		// not pin this reader past wgConns.Wait (a Kill deadlock). The
+		// reply channel is buffered, so a worker that does answer after we
+		// bail never blocks on it.
+		var sum DeviceSummary
+		select {
+		case sum = <-item.reply:
+		case <-s.killCh:
+			return fmt.Errorf("fleetd: killed, bye from device %d dropped", sess.dev)
+		}
 		return writeFrame(bw, MsgByeAck, sum.Encode())
 	default:
 		return fmt.Errorf("fleetd: unexpected frame type 0x%02x: %w", byte(f.Type), link.ErrLengthMismatch)

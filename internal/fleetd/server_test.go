@@ -488,3 +488,31 @@ func TestScheduleMatchesDepositOrder(t *testing.T) {
 		}
 	}
 }
+
+// TestByeWaitReleasedByKill: a bye can be enqueued just before Kill fires,
+// in which case the shard worker exits via killCh without ever replying.
+// The connection reader's reply wait must take the same kill escape —
+// otherwise it blocks forever and Kill's wgConns.Wait deadlocks. The
+// server here is never Started, so no worker will ever answer the bye:
+// without the escape this test hangs on the 5s guard.
+func TestByeWaitReleasedByKill(t *testing.T) {
+	s, err := NewServer(Config{Shards: 1})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	sess := &session{bw: bufio.NewWriter(io.Discard), dev: 5, helloed: true}
+	done := make(chan error, 1)
+	go func() {
+		done <- s.handleFrame(link.Frame{Type: MsgBye, Payload: Bye{Seq: 9}.Encode()}, sess)
+	}()
+	time.Sleep(20 * time.Millisecond) // let the bye enqueue and park on the reply
+	s.Kill()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("bye during kill must error, not fabricate a bye-ack")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("bye reply wait not released by Kill — reader goroutine leaked, Kill would deadlock")
+	}
+}
