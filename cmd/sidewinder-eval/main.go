@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	sidewinder-eval [-experiment table1|table2|fig5|fig6|fig7|savings|battery|ablations|link|crash|fleet|all]
+//	sidewinder-eval [-experiment table1|table2|fig5|fig6|fig7|savings|battery|ablations|link|crash|fleet|adaptive|all]
 //	                [-seed N] [-robot-min M] [-audio-min M] [-human-min M]
 //	                [-workers N] [-speedup] [-cpuprofile FILE]
 //	                [-metrics FILE] [-trace FILE] [-precision float64|q15]
@@ -126,7 +126,7 @@ func main() {
 // opt-in keeps "all" output stable for existing consumers.
 var experimentNames = []string{
 	"table1", "table2", "fig5", "fig6", "fig7",
-	"savings", "battery", "ablations", "link", "crash", "fleet", "all",
+	"savings", "battery", "ablations", "link", "crash", "fleet", "adaptive", "all",
 }
 
 func validExperiment(name string) bool {
@@ -344,6 +344,15 @@ func run(out, progress io.Writer, experiment string, opts eval.Options) error {
 			return err
 		}
 		fmt.Fprintln(out, fc.Table.Render())
+	}
+	// Opt-in only, like "crash": the closed-loop sweep bills the hub
+	// load-proportionally, which the paper's tables do not assume.
+	if experiment == "adaptive" {
+		ar, err := eval.Adaptive(w)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, ar.Table.Render())
 	}
 	return nil
 }

@@ -260,3 +260,67 @@ func TestRunSmallFigure6(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRunAdaptiveGolden pins the closed-loop adaptation sweep at a small
+// workload scale. Opt-in like "crash" and "fleet", so it carries its own
+// golden file. The audio traces run four minutes — long enough for the
+// policy engine to earn its rungs, which is what the table is about.
+func TestRunAdaptiveGolden(t *testing.T) {
+	opts := eval.Options{
+		Seed:             1,
+		RobotRunDuration: 2 * time.Minute,
+		AudioDuration:    4 * time.Minute,
+		HumanDuration:    2 * time.Minute,
+		SleepIntervals:   []float64{2, 10, 30},
+	}
+	var out strings.Builder
+	if err := run(&out, io.Discard, "adaptive", opts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Closed-loop adaptation") {
+		t.Fatalf("missing adaptation table:\n%s", out.String())
+	}
+	golden := filepath.Join("testdata", "adaptive_small.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(out.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create): %v", err)
+	}
+	if got := out.String(); got != string(want) {
+		t.Errorf("output differs from %s (run with -update if the change is intended)\ngot:\n%s\nwant:\n%s",
+			golden, got, want)
+	}
+}
+
+// TestRunAdaptiveWorkerInvariance reruns the adaptation sweep serially and
+// with a large pool: the policy engine is driven only by the trace and
+// cells aggregate in enqueue order, so the table must be byte-identical
+// at any worker count — the contract the CI determinism leg re-checks
+// against the committed golden.
+func TestRunAdaptiveWorkerInvariance(t *testing.T) {
+	base := eval.Options{
+		Seed:             1,
+		RobotRunDuration: 2 * time.Minute,
+		AudioDuration:    4 * time.Minute,
+		HumanDuration:    2 * time.Minute,
+		SleepIntervals:   []float64{2, 10, 30},
+	}
+	render := func(workers int) string {
+		t.Helper()
+		opts := base
+		opts.Workers = workers
+		var out strings.Builder
+		if err := run(&out, io.Discard, "adaptive", opts); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	serial, wide := render(1), render(8)
+	if serial != wide {
+		t.Errorf("adaptive output depends on worker count:\n1 worker:\n%s\n8 workers:\n%s", serial, wide)
+	}
+}

@@ -73,6 +73,9 @@ const (
 	KindRatio AlgorithmKind = "ratio"
 	KindAnd   AlgorithmKind = "and"
 
+	// Rate adaptation.
+	KindDecimate AlgorithmKind = "decimate"
+
 	// Admission control.
 	KindMinThreshold  AlgorithmKind = "minThreshold"
 	KindMaxThreshold  AlgorithmKind = "maxThreshold"
@@ -514,6 +517,18 @@ func DefaultCatalog() *Catalog {
 			Cost:       func(Params, int) CostEstimate { return CostEstimate{IntOps: 8} },
 			Memory:     fixedMemory(64),
 			RateFactor: unitRate,
+		},
+		{
+			Kind:      KindDecimate,
+			Summary:   "rate adaptation: keep every factor-th sample, dropping the rest",
+			MinInputs: 1, MaxInputs: 1, In: Scalar, Out: Scalar,
+			Params: []ParamSpec{
+				{Name: "factor", Type: IntParam, Required: true, Min: 1, Max: 1 << 12},
+			},
+			OutLen:     scalarOut,
+			Cost:       func(Params, int) CostEstimate { return CostEstimate{IntOps: 2} },
+			Memory:     fixedMemory(8),
+			RateFactor: func(p Params) float64 { return 1 / float64(p.Int("factor")) },
 		},
 		{
 			Kind:      KindMinThreshold,

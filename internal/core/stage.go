@@ -118,6 +118,14 @@ func Ratio() Stage { return Stage{Kind: KindRatio} }
 // every branch produced a value for the same emission index.
 func And() Stage { return Stage{Kind: KindAnd} }
 
+// Decimate keeps every factor-th sample of a scalar stream and drops the
+// rest, reducing the effective sampling rate by the factor. Factor 1 is the
+// identity. The adaptive policy engine (internal/adapt) inserts it at
+// branch heads to trade detection latency for hub energy.
+func Decimate(factor int) Stage {
+	return Stage{Kind: KindDecimate, Params: Params{"factor": Number(float64(factor))}}
+}
+
 // MinThreshold admits values >= min.
 func MinThreshold(min float64) Stage {
 	return Stage{Kind: KindMinThreshold, Params: Params{"min": Number(min)}}

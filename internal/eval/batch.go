@@ -81,6 +81,13 @@ func (b *runBatch) run(workers int, tele telemetry.Set, prec interp.Precision) {
 			}
 			s = sw
 		}
+		// Adaptive cells take telemetry but NOT the precision override:
+		// precision is one of the axes the policy engine drives.
+		if sw, ok := s.(sim.AdaptiveSidewinder); ok && tele.Enabled() {
+			sw.Telemetry = tele
+			sw.TraceLabel = fmt.Sprintf("%s/%s/%s/", sw.Name(), j.app.Name, j.tr.Name)
+			s = sw
+		}
 		r, err := s.Run(j.tr, j.app)
 		if err != nil {
 			err = fmt.Errorf("eval: %s/%s on %s: %w", j.s.Name(), j.app.Name, j.tr.Name, err)

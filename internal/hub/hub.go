@@ -101,6 +101,29 @@ func (d Device) Utilization(plan *core.Plan) float64 {
 	return d.CyclesPerSecond(plan) / d.ClockHz
 }
 
+// IdleFraction is the share of a device's active draw that does not scale
+// with compute load: sleep clocks, SRAM retention, the sampling front-end
+// and the interpreter's idle loop. The remainder scales linearly with duty
+// cycle (race-to-sleep between samples). ActivePowerMW remains the
+// measured worst case; LoadPowerMW refines it for load-sensitive billing.
+const IdleFraction = 0.30
+
+// LoadPowerMW returns the device's draw at the given operation demand:
+// the idle floor plus a dynamic share proportional to duty cycle (demand
+// over the device's usable cycle budget, clamped to 1). At full budget it
+// equals ActivePowerMW, so static billing is the upper bound.
+func (d Device) LoadPowerMW(floatOpsPerSec, intOpsPerSec float64) float64 {
+	budget := d.ClockHz * d.MaxUtilization
+	if budget <= 0 {
+		return d.ActivePowerMW
+	}
+	duty := (floatOpsPerSec*d.CyclesPerFloatOp + intOpsPerSec*d.CyclesPerIntOp) / budget
+	if duty > 1 {
+		duty = 1
+	}
+	return d.ActivePowerMW * (IdleFraction + (1-IdleFraction)*duty)
+}
+
 // CheckFeasible verifies the plan fits the device's real-time budget and
 // RAM. The returned error wraps ErrNotRealTime or ErrOutOfMemory.
 func (d Device) CheckFeasible(plan *core.Plan) error {

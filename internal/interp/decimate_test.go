@@ -1,0 +1,97 @@
+package interp
+
+import (
+	"testing"
+
+	"sidewinder/internal/core"
+)
+
+// decimatePipeline routes a channel through decimate(k) into a window
+// chain, the shape adapt.Reparameterize produces.
+func decimatePipeline(k int) *core.Pipeline {
+	p := core.NewPipeline("decimate-chain")
+	p.AddBranch(core.NewBranch(core.AccelX).
+		Add(core.Decimate(k)).
+		Add(core.Window(25, 12, "")).
+		Add(core.Stat("stddev")).
+		Add(core.MinThreshold(0.7)))
+	return p
+}
+
+// TestDecimateKeepsEveryKth pins the stage semantics: sample indices
+// 0, k, 2k, ... pass through, everything else is dropped, and the
+// decimated stream gets its own dense sequence numbers.
+func TestDecimateKeepsEveryKth(t *testing.T) {
+	p := core.NewPipeline("decimate-only")
+	p.AddBranch(core.NewBranch(core.AccelX).
+		Add(core.Decimate(3)).
+		Add(core.MinThreshold(-1e9))) // passes everything: observe the stream
+	plan := mustPlan(t, p)
+	m, err := New(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []float64
+	var seqs []int64
+	for i := 0; i < 10; i++ {
+		for _, w := range m.PushSample(core.AccelX, float64(i)) {
+			got = append(got, w.Value)
+			seqs = append(seqs, w.Seq)
+		}
+	}
+	want := []float64{0, 3, 6, 9}
+	if len(got) != len(want) {
+		t.Fatalf("decimate(3) emitted %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("decimate(3) emitted %v, want %v", got, want)
+		}
+		if seqs[i] != int64(i) {
+			t.Fatalf("decimated seq domain %v not dense from 0", seqs)
+		}
+	}
+}
+
+// TestDecimateBlockMatchesPerSample checks the decimate stage's
+// consumeBlock against the per-sample reference at several chunkings and
+// both precisions — the equivalence that keeps the simulator's block
+// fast path byte-identical when adaptation inserts decimators.
+func TestDecimateBlockMatchesPerSample(t *testing.T) {
+	sig := blockSignal(4096, 11)
+	for _, k := range []int{1, 2, 4, 7} {
+		plan := mustPlan(t, decimatePipeline(k))
+		for _, prec := range []Precision{Float64, Q15} {
+			ref, err := NewPrecision(plan, prec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := machineWakesPerSample(ref, core.AccelX, sig)
+			for _, chunk := range []int{1, 3, 64, 1024, len(sig)} {
+				m, err := NewPrecision(plan, prec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := machineWakesBlocked(m, core.AccelX, sig, chunk)
+				compareWakes(t, prec.String(), want, got)
+				if ref.Work() != m.Work() {
+					t.Fatalf("k=%d chunk %d: work meter diverged", k, chunk)
+				}
+			}
+		}
+	}
+}
+
+// TestDecimateReset checks the phase and sequence state clears.
+func TestDecimateReset(t *testing.T) {
+	plan := mustPlan(t, decimatePipeline(4))
+	m, err := New(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := blockSignal(512, 3)
+	first := machineWakesPerSample(m, core.AccelX, sig)
+	m.Reset()
+	second := machineWakesPerSample(m, core.AccelX, sig)
+	compareWakes(t, "reset", first, second)
+}

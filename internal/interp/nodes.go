@@ -116,6 +116,9 @@ func newInstance(n *core.PlanNode, prec Precision) (instance, error) {
 		}
 		return &blockFilterInst{f: bf}, nil
 
+	case core.KindDecimate:
+		return &decimateInst{k: p.Int("factor")}, nil
+
 	case core.KindVectorMagnitude:
 		return newJoinInst(len(n.Inputs), func(vals []float64) (float64, bool) {
 			return dsp.VectorMagnitude(vals...), true
@@ -425,6 +428,42 @@ func (i *goertzelInst) consumeBlock(src []float64) (int, Value, bool) {
 		return n, Value{}, false
 	}
 	out := Value{Seq: i.seq, Scalar: score}
+	i.seq++
+	return n, out, true
+}
+
+// decimateInst keeps every k-th sample starting with the first. The output
+// stream has its own (slower) clock, so like windowing it opens a fresh
+// sequence domain. Decimation is value-agnostic: it passes Q15-grid values
+// through untouched, so it behaves identically in both precisions.
+type decimateInst struct {
+	k     int
+	phase int // samples to drop before the next kept sample
+	seq   int64
+}
+
+func (i *decimateInst) Push(_ int, v Value) (Value, bool) {
+	if i.phase > 0 {
+		i.phase--
+		return Value{}, false
+	}
+	i.phase = i.k - 1
+	out := Value{Seq: i.seq, Scalar: v.Scalar}
+	i.seq++
+	return out, true
+}
+
+func (i *decimateInst) Reset() { i.phase, i.seq = 0, 0 }
+
+func (i *decimateInst) consumeBlock(src []float64) (int, Value, bool) {
+	if i.phase >= len(src) {
+		i.phase -= len(src)
+		return len(src), Value{}, false
+	}
+	n := i.phase + 1
+	v := src[i.phase]
+	i.phase = i.k - 1
+	out := Value{Seq: i.seq, Scalar: v}
 	i.seq++
 	return n, out, true
 }

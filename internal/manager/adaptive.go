@@ -1,0 +1,200 @@
+package manager
+
+import (
+	"fmt"
+
+	"sidewinder/internal/adapt"
+	"sidewinder/internal/core"
+	"sidewinder/internal/ir"
+	"sidewinder/internal/link"
+	"sidewinder/internal/sched"
+)
+
+// This file wires the adaptive policy engine (package adapt) into the
+// sensor manager, closing the feedback loop end to end:
+//
+//	Feedback/ReportMissedWake -> engine.Observe -> Reparameterize ->
+//	sched re-admission -> MsgConfigPush update -> hub in-place rebuild
+//
+// The policy lives on the phone, not the hub: the phone sees the missed
+// wakes the hub cannot, and keeping st.irText current means post-crash
+// re-provisioning pushes the *adapted* program — adaptation survives hub
+// reboots with no extra protocol.
+//
+// Re-admission contract: an adaptation is applied only if (a) the attached
+// scheduler re-admits the mutated plan without displacing any other tenant
+// and without falling off the hub itself, and (b) the hub's own rebuild
+// accepts it. Either rejection rolls the condition back to its last good
+// program and clamps the engine (Veto) so the offending rung is never
+// proposed again.
+
+// adaptState is one condition under adaptive management.
+type adaptState struct {
+	engine *adapt.Engine
+	base   *core.Plan // the developer's plan, the reparameterization root
+
+	applied     *core.Plan // last program the hub confirmed (nil = base)
+	appliedText string
+	pending     *core.Plan // update pushed but not yet acked
+	pendingText string
+}
+
+// settleAck records a confirmed adaptive update.
+func (as *adaptState) settleAck() {
+	if as.pending != nil {
+		as.applied, as.appliedText = as.pending, as.pendingText
+		as.pending, as.pendingText = nil, ""
+	}
+}
+
+// EnableAdaptive puts a previously pushed condition under adaptive
+// management with the given policy bounds. Subsequent Feedback verdicts
+// feed the policy engine instead of the hub's legacy tuner, and
+// ReportMissedWake becomes meaningful. The condition must have settled
+// (acked by the hub or degraded to fallback).
+func (m *Manager) EnableAdaptive(id uint16, cfg adapt.Config) error {
+	st, ok := m.pushes[id]
+	if !ok {
+		return fmt.Errorf("manager: unknown condition %d", id)
+	}
+	if !st.acked || st.err != nil {
+		return fmt.Errorf("manager: condition %d has not settled; enable adaptation after the push is acked", id)
+	}
+	base, err := ir.ParseAndBind(st.irText, m.cat)
+	if err != nil {
+		return fmt.Errorf("manager: condition %d: cannot rebind pushed program: %w", id, err)
+	}
+	m.adaptive[id] = &adaptState{
+		engine:      adapt.NewEngine(cfg),
+		base:        base,
+		applied:     base,
+		appliedText: st.irText,
+	}
+	return nil
+}
+
+// AdaptiveEnabled reports whether a condition is under adaptive
+// management.
+func (m *Manager) AdaptiveEnabled(id uint16) bool { return m.adaptive[id] != nil }
+
+// AdaptiveStats returns the policy engine's history for a condition.
+func (m *Manager) AdaptiveStats(id uint16) (adapt.Stats, bool) {
+	as := m.adaptive[id]
+	if as == nil {
+		return adapt.Stats{}, false
+	}
+	return as.engine.Stats(), true
+}
+
+// AdaptiveKnobs returns the engine's current proposal for a condition.
+func (m *Manager) AdaptiveKnobs(id uint16) (adapt.Knobs, bool) {
+	as := m.adaptive[id]
+	if as == nil {
+		return adapt.Knobs{}, false
+	}
+	return as.engine.Knobs(), true
+}
+
+// AdaptivePlan returns the last hub-confirmed program of an adaptively
+// managed condition.
+func (m *Manager) AdaptivePlan(id uint16) (*core.Plan, bool) {
+	as := m.adaptive[id]
+	if as == nil {
+		return nil, false
+	}
+	return as.applied, true
+}
+
+// ReportMissedWake reports that an event of interest passed without a
+// wake — the signal only the application layer can observe (ground truth,
+// user annotation, a heavier duty-cycled classifier). For a condition
+// under adaptive management it drives the policy toward its baseline
+// configuration; for any other known condition it is accepted and
+// dropped, mirroring Feedback on a degraded condition.
+func (m *Manager) ReportMissedWake(id uint16) error {
+	st, ok := m.pushes[id]
+	if !ok {
+		return fmt.Errorf("manager: unknown condition %d", id)
+	}
+	as := m.adaptive[id]
+	if as == nil {
+		return nil
+	}
+	as.engine.Observe(adapt.MissedWake)
+	return m.applyAdaptation(id, st, as)
+}
+
+// applyAdaptation turns a dirty engine proposal into a hub update: mutate
+// the base plan, re-check admission, and push the new program. Called
+// after every Observe; a clean engine is a no-op.
+func (m *Manager) applyAdaptation(id uint16, st *pushState, as *adaptState) error {
+	if !as.engine.TakeDirty() {
+		return nil
+	}
+	if st.degraded {
+		// The condition runs phone-side; there is no hub program to
+		// mutate. The engine keeps observing so a later promotion starts
+		// from an informed state.
+		return nil
+	}
+	knobs := as.engine.Knobs()
+	plan, err := adapt.Reparameterize(m.cat, as.base, knobs)
+	if err != nil {
+		// A proposal the catalog itself rejects (e.g. a scaled window
+		// collapsing) is a bad rung, not a broken manager: clamp and
+		// retry with the fallback proposal (bounded by the ladder).
+		as.engine.Veto()
+		return m.applyAdaptation(id, st, as)
+	}
+	if m.sched != nil {
+		delta, err := m.sched.Update(id, plan)
+		if err != nil {
+			return err
+		}
+		placement, _ := m.sched.Placement(id)
+		if placement != sched.PlacedHub || len(delta.Demoted) > 0 {
+			// Adaptation must never displace a tenant or degrade itself:
+			// re-register the last good program and clamp the engine.
+			if _, rerr := m.sched.Update(id, as.applied); rerr != nil {
+				return rerr
+			}
+			as.engine.Veto()
+			// The veto dropped the engine one rung; apply that fallback
+			// proposal now rather than waiting for the next verdict. Each
+			// veto strictly lowers the reachable rung, so this recursion
+			// is bounded by the ladder length.
+			return m.applyAdaptation(id, st, as)
+		}
+	}
+	irText := compileIR(plan)
+	if irText == st.irText {
+		// Knob change with no program-level effect (e.g. a precision
+		// proposal: the IR carries no precision, the hub executes its
+		// native substrate). Nothing to push.
+		as.applied, as.appliedText = plan, irText
+		return nil
+	}
+	st.irText = irText // crash re-provisioning now re-pushes the adapted program
+	st.acked = false
+	st.err = nil
+	as.pending, as.pendingText = plan, irText
+	m.trace.Instant2("adapt.update", "phone", "cond", float64(id), "rung", float64(as.engine.Stats().Rung))
+	return m.ep.Send(link.Frame{Type: link.MsgConfigPush, Payload: encodeConfigPush(id, irText)})
+}
+
+// rollbackAdaptation undoes a rejected adaptive update: the hub kept its
+// previous program, so the manager's view and the scheduler's
+// registration return to the last good plan and the engine is clamped.
+func (m *Manager) rollbackAdaptation(id uint16, st *pushState, as *adaptState) {
+	st.irText = as.appliedText
+	st.err = nil
+	as.pending, as.pendingText = nil, ""
+	if m.sched != nil {
+		// Best-effort: the last good plan was admitted before, so
+		// re-registering it cannot fail structurally.
+		if _, err := m.sched.Update(id, as.applied); err != nil {
+			m.trace.Instant1("adapt.rollback_error", "phone", "cond", float64(id))
+		}
+	}
+	as.engine.Veto()
+}

@@ -135,5 +135,6 @@ func (m *Manager) removeScheduled(id uint16) error {
 	}
 	delete(m.pushes, id)
 	delete(m.pendingData, id)
+	delete(m.adaptive, id)
 	return m.applyDelta(delta)
 }

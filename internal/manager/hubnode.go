@@ -302,7 +302,31 @@ func (h *HubNode) handlePush(payload []byte) error {
 			// double-load.
 			return h.ep.Send(link.Frame{Type: link.MsgConfigAck, Payload: encodeIDText(id, h.device.Name)})
 		}
-		return fail(fmt.Errorf("condition %d already loaded", id))
+		// In-place update: the phone re-parameterized a resident condition
+		// (adaptive sensing). Bind the new program and swap it in, keeping
+		// the condition's raw-data rings and tuner state. A failed rebuild
+		// restores the previous program — an update can never take down a
+		// running set.
+		plan, err := ir.ParseAndBind(irText, h.cat)
+		if err != nil {
+			return fail(err)
+		}
+		oldPlan, oldText := prev.plan, prev.pushText
+		prev.plan, prev.pushText = plan, irText
+		if err := h.rebuild(); err != nil {
+			prev.plan, prev.pushText = oldPlan, oldText
+			if rerr := h.rebuild(); rerr != nil {
+				return fmt.Errorf("manager: hub cannot restore previous condition set: %w", rerr)
+			}
+			return fail(err)
+		}
+		for _, ch := range plan.Channels {
+			if h.rings[ch] == nil {
+				h.rings[ch] = newRing(h.bufSize)
+			}
+		}
+		h.trace.Instant1("config.update", "hub", "cond", float64(id))
+		return h.ep.Send(link.Frame{Type: link.MsgConfigAck, Payload: encodeIDText(id, h.device.Name)})
 	}
 	plan, err := ir.ParseAndBind(irText, h.cat)
 	if err != nil {

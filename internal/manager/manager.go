@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"sidewinder/internal/adapt"
 	"sidewinder/internal/core"
 	"sidewinder/internal/ir"
 	"sidewinder/internal/link"
@@ -75,6 +76,11 @@ type Manager struct {
 	// capacity.go.
 	sched *sched.Scheduler
 
+	// adaptive holds the per-condition policy engines for conditions
+	// under adaptive management (adaptive.go); nil entries mean the
+	// legacy hub-side tuner handles feedback instead.
+	adaptive map[uint16]*adaptState
+
 	// Telemetry handles, nil (no-op) until SetTelemetry attaches them.
 	cWakes    *telemetry.Counter
 	cDropped  *telemetry.Counter
@@ -142,6 +148,7 @@ func New(ep link.Port, cat *core.Catalog) (*Manager, error) {
 		nextID:      1,
 		pushes:      make(map[uint16]*pushState),
 		pendingData: make(map[uint16]map[core.SensorChannel][]float64),
+		adaptive:    make(map[uint16]*adaptState),
 	}, nil
 }
 
@@ -193,14 +200,24 @@ func (m *Manager) Repush(id uint16) error {
 	return m.ep.Send(link.Frame{Type: link.MsgConfigPush, Payload: encodeConfigPush(id, st.irText)})
 }
 
-// Feedback reports a wake-up verdict to the hub (paper §7): falsePositive
-// true means the main-CPU classifier found no event of interest in the
-// delivered data. The hub's tuner tightens or relaxes the condition's
-// final threshold accordingly.
+// Feedback reports a wake-up verdict (paper §7): falsePositive true means
+// the main-CPU classifier found no event of interest in the delivered
+// data. For a condition under adaptive management the verdict feeds the
+// phone-side policy engine (which subsumes the hub tuner — no MsgFeedback
+// goes out, so the two loops never tighten the same threshold twice);
+// otherwise it is forwarded to the hub's legacy tuner.
 func (m *Manager) Feedback(id uint16, falsePositive bool) error {
 	st, ok := m.pushes[id]
 	if !ok {
 		return fmt.Errorf("manager: unknown condition %d", id)
+	}
+	if as := m.adaptive[id]; as != nil {
+		sig := adapt.TrueWake
+		if falsePositive {
+			sig = adapt.FalseWake
+		}
+		as.engine.Observe(sig)
+		return m.applyAdaptation(id, st, as)
 	}
 	if st.degraded {
 		// The hub does not run this condition, so there is no hub-side
@@ -227,6 +244,7 @@ func (m *Manager) Remove(id uint16) error {
 	}
 	delete(m.pushes, id)
 	delete(m.pendingData, id)
+	delete(m.adaptive, id)
 	return nil
 }
 
@@ -259,6 +277,9 @@ func (m *Manager) Service() error {
 			if st := m.pushes[id]; st != nil {
 				st.acked = true
 				st.device = device
+				if as := m.adaptive[id]; as != nil {
+					as.settleAck()
+				}
 			}
 		case link.MsgConfigError:
 			id, msg, err := decodeIDText(f.Payload)
@@ -267,6 +288,14 @@ func (m *Manager) Service() error {
 				continue
 			}
 			if st := m.pushes[id]; st != nil {
+				if as := m.adaptive[id]; as != nil && as.pending != nil {
+					// The hub rejected an adaptive update and kept the
+					// previous program running; fall back in lockstep and
+					// clamp the policy so the rung is not retried.
+					m.rollbackAdaptation(id, st, as)
+					st.acked = true
+					continue
+				}
 				st.acked = true
 				st.err = fmt.Errorf("manager: hub rejected condition %d: %s", id, msg)
 			}

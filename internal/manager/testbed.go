@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"sidewinder/internal/adapt"
 	"sidewinder/internal/core"
 	"sidewinder/internal/hub"
 	"sidewinder/internal/link"
@@ -208,9 +209,24 @@ func (t *Testbed) Remove(id uint16) error {
 }
 
 // Feedback reports a wake-up verdict end to end and applies any resulting
-// threshold adjustment on the hub.
+// threshold adjustment on the hub (or, for a condition under adaptive
+// management, any resulting re-parameterization push).
 func (t *Testbed) Feedback(id uint16, falsePositive bool) error {
 	if err := t.Manager.Feedback(id, falsePositive); err != nil {
+		return err
+	}
+	return t.Pump()
+}
+
+// EnableAdaptive puts a pushed condition under adaptive management.
+func (t *Testbed) EnableAdaptive(id uint16, cfg adapt.Config) error {
+	return t.Manager.EnableAdaptive(id, cfg)
+}
+
+// MissedWake reports a missed event end to end and applies any resulting
+// re-parameterization push.
+func (t *Testbed) MissedWake(id uint16) error {
+	if err := t.Manager.ReportMissedWake(id); err != nil {
 		return err
 	}
 	return t.Pump()

@@ -3,6 +3,7 @@ package manager
 import (
 	"math"
 
+	"sidewinder/internal/adapt"
 	"sidewinder/internal/core"
 )
 
@@ -18,6 +19,11 @@ import (
 // stage's threshold is tightened multiplicatively on false-positive
 // reports and drifts back toward the developer's original value on true
 // positives, bounded so recall is never traded away wholesale.
+//
+// The tightening rule itself lives in internal/adapt (adapt.TightenFinal):
+// the adaptive policy engine subsumes this hub-side tuner as its threshold
+// axis, and conditions under adaptive management bypass MsgFeedback
+// entirely so the two loops never tighten the same threshold twice.
 
 // Tuning behavior constants.
 const (
@@ -53,7 +59,8 @@ func (t *tuner) feedback(falsePositive bool) bool {
 
 // adjustedPlan returns the plan with its final admission-control stage
 // tightened by the factor. The returned plan shares all node state except
-// the final node's parameters; factor 1 returns the plan unchanged.
+// the final node's parameters; factor 1 (or an untunable final stage)
+// returns the plan unchanged.
 func adjustedPlan(plan *core.Plan, factor float64) *core.Plan {
 	if factor == 1 {
 		return plan
@@ -65,33 +72,9 @@ func adjustedPlan(plan *core.Plan, factor float64) *core.Plan {
 	}
 	last := &out.Nodes[len(out.Nodes)-1]
 	params := last.Params.Clone()
-	switch last.Kind {
-	case core.KindMinThreshold:
-		params["min"] = core.Number(tighten(params.Float("min"), factor, +1))
-	case core.KindMaxThreshold:
-		params["max"] = core.Number(tighten(params.Float("max"), factor, -1))
-	case core.KindBandThreshold:
-		lo, hi := params.Float("min"), params.Float("max")
-		width := hi - lo
-		shrink := width * (factor - 1) / 2 * 0.5 // shrink at half the rate: bands are fragile
-		if lo+shrink <= hi-shrink {
-			params["min"] = core.Number(lo + shrink)
-			params["max"] = core.Number(hi - shrink)
-		}
-	default:
-		// Aggregator or parameter-free final stage: nothing to tune.
+	if !adapt.TightenFinal(last.Kind, params, factor) {
 		return plan
 	}
 	last.Params = params
 	return out
-}
-
-// tighten moves a threshold in the stricter direction (dir +1 raises a
-// minimum, -1 lowers a maximum) proportionally to its magnitude. A zero
-// threshold has no scale reference and is left alone.
-func tighten(v, factor float64, dir float64) float64 {
-	if v == 0 {
-		return 0
-	}
-	return v + dir*math.Abs(v)*(factor-1)
 }

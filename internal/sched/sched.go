@@ -160,6 +160,25 @@ func (s *Scheduler) Add(id uint16, plan *core.Plan, priority int) (Delta, error)
 	return s.recompute(id), nil
 }
 
+// Update swaps a registered condition's plan in place — keeping its
+// priority and insertion order, so determinism is unaffected — and
+// recomputes placements. This is the adaptive-sensing re-admission hook:
+// a re-parameterized pipeline must clear the same cycle/RAM budget as a
+// fresh push before the hub may run it. The updated condition's own
+// placement transition is excluded from the delta, like Add's; query it
+// with Placement. Updating an unknown ID is an error.
+func (s *Scheduler) Update(id uint16, plan *core.Plan) (Delta, error) {
+	if plan == nil {
+		return Delta{}, fmt.Errorf("sched: condition %d has no plan", id)
+	}
+	c, ok := s.conds[id]
+	if !ok {
+		return Delta{}, fmt.Errorf("sched: unknown condition %d", id)
+	}
+	c.plan = plan
+	return s.recompute(id), nil
+}
+
 // Remove unregisters a condition and recomputes placements; freed
 // capacity can promote degraded conditions back to the hub. Removing an
 // unknown ID is an error.

@@ -366,3 +366,57 @@ func TestPropertyNaiveBillingNeverCheaper(t *testing.T) {
 		}
 	}
 }
+
+func TestUpdateSwapsPlanInPlace(t *testing.T) {
+	s := New(hub.MSP430())
+	if _, err := s.Add(1, motionPlan(t, 15), 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Add(2, motionPlan(t, 20), 1); err != nil {
+		t.Fatal(err)
+	}
+	// A same-cost swap changes nothing for anyone.
+	d, err := s.Update(1, motionPlan(t, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Promoted) != 0 || len(d.Demoted) != 0 {
+		t.Fatalf("cheap update produced delta %+v", d)
+	}
+	if p, _ := s.Placement(1); p != PlacedHub {
+		t.Fatalf("updated condition left the hub: %v", p)
+	}
+	// Updating to an infeasible plan degrades the condition itself (its
+	// own transition is not part of the delta) without touching others.
+	d, err = s.Update(1, sirenPlan(t, 750))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, _ := s.Placement(1); p != PlacedFallback {
+		t.Fatalf("infeasible update kept the hub: %v", p)
+	}
+	if p, _ := s.Placement(2); p != PlacedHub {
+		t.Fatal("unrelated condition displaced by update")
+	}
+	// Updating back restores hub placement; priority and insertion order
+	// survived the round trip.
+	if _, err = s.Update(1, motionPlan(t, 15)); err != nil {
+		t.Fatal(err)
+	}
+	if p, _ := s.Placement(1); p != PlacedHub {
+		t.Fatal("restoring update did not re-admit")
+	}
+}
+
+func TestUpdateErrors(t *testing.T) {
+	s := New(hub.MSP430())
+	if _, err := s.Update(9, motionPlan(t, 1)); err == nil {
+		t.Fatal("updating an unregistered condition succeeded")
+	}
+	if _, err := s.Add(1, motionPlan(t, 1), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Update(1, nil); err == nil {
+		t.Fatal("nil plan accepted")
+	}
+}

@@ -1,0 +1,392 @@
+package sim
+
+import (
+	"fmt"
+
+	"sidewinder/internal/adapt"
+	"sidewinder/internal/apps"
+	"sidewinder/internal/core"
+	"sidewinder/internal/hub"
+	"sidewinder/internal/interp"
+	"sidewinder/internal/ir"
+	"sidewinder/internal/power"
+	"sidewinder/internal/sched"
+	"sidewinder/internal/sensor"
+	"sidewinder/internal/telemetry"
+)
+
+// AdaptStats summarizes what the policy engine did over one run and what
+// it was worth. StaticMJ is the counterfactual hub energy had the pushed
+// configuration run unchanged, under the same load-proportional power
+// model, so AdaptedMJ + SavingsMJ == StaticMJ exactly (the conservation
+// invariant the property tests pin at 1e-9).
+type AdaptStats struct {
+	adapt.Stats
+	// FinalKnobs is the configuration resident when the trace ended.
+	FinalKnobs adapt.Knobs
+	// Adoptions counts hub program rebuilds actually performed (a subset
+	// of Stats.Changes: proposals the re-admission check vetoed, and knob
+	// changes arriving faster than block boundaries, coalesce).
+	Adoptions int
+	// StaticMJ / AdaptedMJ / SavingsMJ decompose hub energy.
+	StaticMJ, AdaptedMJ, SavingsMJ float64
+	// MissedRate is the observed missed-wake fraction.
+	MissedRate float64
+}
+
+// AdaptiveSidewinder is Sidewinder with the feedback loop closed: the
+// application layer's per-wake verdicts (true wake / false wake) and
+// missed-event reports feed the adapt.Engine, whose bounded
+// re-parameterizations — threshold strictness, Q15 demotion, decimation
+// with window stretch — are re-admitted against the hub's cycle/RAM
+// budget and swapped in at block boundaries. Hub energy is billed
+// load-proportionally (hub.Device.LoadPowerMW), so shedding work shows
+// up as measured savings; the static counterfactual under the same model
+// is tracked alongside and the difference deposited to the ledger's
+// adapt.savings component.
+type AdaptiveSidewinder struct {
+	// Catalog defaults to core.DefaultCatalog().
+	Catalog *core.Catalog
+	// Devices defaults to hub.Devices().
+	Devices []hub.Device
+	// Config bounds the policy; the zero value takes adapt.DefaultConfig.
+	Config adapt.Config
+	// Frozen disables adaptation: the engine observes nothing and the
+	// pushed configuration runs unchanged. This is the static control arm
+	// of the experiment — identical power model, identical wake semantics,
+	// zero savings by construction.
+	Frozen bool
+
+	// Telemetry and TraceLabel behave exactly as on Sidewinder.
+	Telemetry  telemetry.Set
+	TraceLabel string
+}
+
+// Name implements Strategy.
+func (s AdaptiveSidewinder) Name() string {
+	if s.Frozen {
+		return "sidewinder-static"
+	}
+	return "sidewinder-adaptive"
+}
+
+// truthTracker scores wakes against ground truth online, in trace order:
+// each phone wake-up is classified true/false by window overlap, and a
+// truth event whose tolerance window expires with neither a wake nor an
+// open awake interval is a miss. All state advances monotonically with
+// the sample index, so the verdict sequence is a pure function of the
+// trace — the determinism the worker-invariance tests rely on.
+type truthTracker struct {
+	truth []sensor.Event
+	woken []bool
+	order []int // event indices sorted by deadline (End+tol)
+	tol   int
+	next  int // first order entry whose deadline has not expired
+}
+
+func newTruthTracker(truth []sensor.Event, tol int) *truthTracker {
+	t := &truthTracker{
+		truth: truth,
+		woken: make([]bool, len(truth)),
+		order: make([]int, len(truth)),
+		tol:   tol,
+	}
+	for i := range t.order {
+		t.order[i] = i
+	}
+	// Insertion sort by End: truth events arrive sorted by Start and
+	// rarely overlap, so this is near-linear and avoids importing sort.
+	for i := 1; i < len(t.order); i++ {
+		for j := i; j > 0 && truth[t.order[j]].End < truth[t.order[j-1]].End; j-- {
+			t.order[j], t.order[j-1] = t.order[j-1], t.order[j]
+		}
+	}
+	return t
+}
+
+// markFired records that the hub condition fired at sample i and reports
+// whether the firing overlapped any truth event's tolerance window.
+func (t *truthTracker) markFired(i int) bool {
+	hit := false
+	for j, e := range t.truth {
+		if i >= e.Start-t.tol && i <= e.End+t.tol {
+			t.woken[j] = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+// expire returns how many truth events were missed by sample i: their
+// tolerance window closed with no firing, while the phone was asleep
+// (an open awake interval means the application had the data anyway).
+func (t *truthTracker) expire(i int, phoneOpen bool) int {
+	missed := 0
+	for t.next < len(t.order) {
+		ei := t.order[t.next]
+		if t.truth[ei].End+t.tol >= i {
+			break
+		}
+		if !t.woken[ei] && !phoneOpen {
+			missed++
+		}
+		t.next++
+	}
+	return missed
+}
+
+// adaptiveProgram is one compiled, admitted hub configuration.
+type adaptiveProgram struct {
+	machine  *interp.Machine
+	channels [][]float64
+	chNames  []core.SensorChannel
+	powerMW  float64
+}
+
+// Run implements Strategy.
+func (s AdaptiveSidewinder) Run(tr *sensor.Trace, app *apps.App) (*Result, error) {
+	cat := s.Catalog
+	if cat == nil {
+		cat = core.DefaultCatalog()
+	}
+	devices := s.Devices
+	if devices == nil {
+		devices = hub.Devices()
+	}
+	cfg := s.Config
+	if cfg == (adapt.Config{}) {
+		cfg = adapt.DefaultConfig()
+	}
+	base, err := app.Wake.Validate(cat)
+	if err != nil {
+		return nil, fmt.Errorf("sim: validating %s wake condition: %w", app.Name, err)
+	}
+	dev, err := hub.SelectDevice(devices, base)
+	if err != nil {
+		return nil, fmt.Errorf("sim: placing %s wake condition: %w", app.Name, err)
+	}
+	budget := sched.BudgetFor(dev)
+	// The static counterfactual: the pushed program at the developer's
+	// precision, billed load-proportionally. Adaptation is only allowed
+	// to move demand DOWN from here, so savings are non-negative and
+	// AdaptedMJ + SavingsMJ == StaticMJ is exact.
+	baseF, baseI, _ := adapt.Demand(base, interp.Float64)
+	baseCycles := budget.Cycles(baseF, baseI)
+	staticMW := dev.LoadPowerMW(baseF, baseI)
+
+	engine := adapt.NewEngine(cfg)
+
+	var profile *telemetry.InterpProfile
+	if s.Telemetry.Enabled() {
+		profile = telemetry.NewInterpProfile()
+	}
+
+	build := func(k adapt.Knobs) (*adaptiveProgram, error) {
+		plan, err := adapt.Reparameterize(cat, base, k)
+		if err != nil {
+			return nil, err
+		}
+		f, i, mem := adapt.Demand(plan, k.Precision)
+		if !budget.Fits(f, i, mem) || budget.Cycles(f, i) > baseCycles {
+			return nil, fmt.Errorf("sim: knobs %+v exceed the admitted demand", k)
+		}
+		exec, _, err := ir.CompilePlan(cat, ir.CompileOptions{}, plan)
+		if err != nil {
+			return nil, err
+		}
+		m, err := interp.NewPrecision(exec, k.Precision)
+		if err != nil {
+			return nil, err
+		}
+		p := &adaptiveProgram{machine: m, powerMW: dev.LoadPowerMW(f, i)}
+		if profile != nil {
+			m.SetProfile(profile)
+		}
+		for _, ch := range exec.Channels {
+			samples, ok := tr.Channels[ch]
+			if !ok {
+				return nil, fmt.Errorf("sim: trace %q lacks channel %s required by %s", tr.Name, ch, app.Name)
+			}
+			p.channels = append(p.channels, samples)
+			p.chNames = append(p.chNames, ch)
+		}
+		return p, nil
+	}
+
+	cur, err := build(engine.Knobs())
+	if err != nil {
+		return nil, err
+	}
+	engine.TakeDirty() // the pushed configuration is not an adaptation
+
+	ph := power.NewPhone(power.Nexus4())
+	c := &clock{ph: ph, rate: tr.RateHz, n: tr.Len()}
+	dt := 1 / tr.RateHz
+	preBuffer := int(app.PreBufferSec * tr.RateHz)
+	hold := int(swIdleHoldSec * tr.RateHz)
+	tol := int(app.MatchTolSec * tr.RateHz)
+	tracker := newTruthTracker(tr.EventsLabeled(app.Label), tol)
+
+	var phoneStream, hubStream *telemetry.Stream
+	if s.Telemetry.Enabled() {
+		c.tclk = &telemetry.Clock{}
+		phoneStream = s.Telemetry.Tracer.Stream(s.TraceLabel+"phone", c.tclk)
+		hubStream = s.Telemetry.Tracer.Stream(s.TraceLabel+"hub", c.tclk)
+		tracePhoneTransitions(ph, phoneStream)
+	}
+
+	// pending holds a re-admitted program awaiting the next block boundary;
+	// swapping only there keeps each block's wake offsets internally
+	// consistent and models the hub finishing its buffer before rebuilding.
+	var pending *adaptiveProgram
+	adoptions := 0
+
+	// observe feeds one verdict and, if the proposal moved, re-admits it.
+	// A vetoed rung re-proposes its fallback immediately (Veto marks the
+	// engine dirty), so the loop is bounded by the ladder length.
+	observe := func(sig adapt.Signal) {
+		if s.Frozen {
+			return
+		}
+		engine.Observe(sig)
+		for engine.TakeDirty() {
+			p, err := build(engine.Knobs())
+			if err != nil {
+				engine.Veto()
+				continue
+			}
+			pending = p
+			adoptions++
+			hubStream.Instant2("adapt.adopt", "hub",
+				"rung", float64(engine.Stats().Rung), "mW", p.powerMW)
+			return
+		}
+		pending = nil // proposal settled back to the resident program
+	}
+
+	var intervals []Interval
+	openStart := -1
+	lastFire := -1
+	hubMJ, staticMJ := 0.0, 0.0
+	frozenTally := adapt.Stats{}
+	// lastVerdict rate-limits awake-phase re-confirmations: a wake-up
+	// transition always yields a verdict, and while the phone stays awake
+	// through a long event the application re-confirms at most once per
+	// hold window — without this, continuous conditions (music playing)
+	// would produce one verdict per run and starve the policy.
+	lastVerdict := -(hold + 1)
+
+	fired := make([]bool, simBlock)
+	for blockStart := 0; blockStart < tr.Len(); blockStart += simBlock {
+		if pending != nil {
+			cur, pending = pending, nil
+		}
+		end := blockStart + simBlock
+		if end > tr.Len() {
+			end = tr.Len()
+		}
+		f := fired[:end-blockStart]
+		for k := range f {
+			f[k] = false
+		}
+		for ci, samples := range cur.channels {
+			for _, w := range cur.machine.PushBlock(cur.chNames[ci], samples[blockStart:end]) {
+				f[w.Off] = true
+			}
+		}
+		hubMJ += cur.powerMW * float64(end-blockStart) * dt
+		staticMJ += staticMW * float64(end-blockStart) * dt
+		for k := range f {
+			i := blockStart + k
+			if f[k] {
+				lastFire = i
+				hit := tracker.markFired(i)
+				hubStream.Instant1("wake.sent", "hub", "sample", float64(i))
+				verdict := false
+				if ph.State() == power.Asleep || ph.State() == power.FallingAsleep {
+					ph.RequestWake()
+					openStart = i - preBuffer
+					if openStart < 0 {
+						openStart = 0
+					}
+					verdict = true
+				} else if i-lastVerdict > hold {
+					verdict = true
+				}
+				if verdict {
+					lastVerdict = i
+					if hit {
+						frozenTally.TrueWakes++
+						observe(adapt.TrueWake)
+					} else {
+						frozenTally.FalseWakes++
+						observe(adapt.FalseWake)
+					}
+				}
+			}
+			for n := tracker.expire(i, openStart >= 0); n > 0; n-- {
+				frozenTally.MissedWakes++
+				observe(adapt.MissedWake)
+			}
+			if ph.State() == power.Awake && lastFire >= 0 && i-lastFire > hold {
+				ph.RequestSleep()
+				intervals = append(intervals, Interval{openStart, i})
+				openStart = -1
+			}
+			c.advance(dt)
+		}
+	}
+	if openStart >= 0 {
+		intervals = append(intervals, Interval{openStart, tr.Len()})
+	}
+	// Score (but no longer act on) events whose window ran off the trace.
+	frozenTally.MissedWakes += tracker.expire(tr.Len()+tol+1, openStart >= 0)
+
+	totalSec := ph.TotalSeconds()
+	stats := engine.Stats()
+	if s.Frozen {
+		stats = frozenTally
+	}
+	astats := &AdaptStats{
+		Stats:      stats,
+		FinalKnobs: engine.Knobs(),
+		Adoptions:  adoptions,
+		StaticMJ:   staticMJ,
+		AdaptedMJ:  hubMJ,
+		SavingsMJ:  staticMJ - hubMJ,
+		MissedRate: engine.MissedRate(),
+	}
+	if s.Frozen {
+		// The frozen arm never billed below staticMW, so savings are zero
+		// up to the same accumulation the adaptive arm performs.
+		astats.MissedRate = missedRateOf(frozenTally)
+	}
+
+	if s.Telemetry.Enabled() {
+		led := s.Telemetry.LedgerSink()
+		depositPhoneEnergy(led, ph)
+		led.AddEnergyMJ(telemetry.HubDevice, hubMJ)
+		led.AddEnergyMJ(telemetry.AdaptSavings, staticMJ-hubMJ)
+		profile.DepositCycles(led, dev.CyclesPerFloatOp, dev.CyclesPerIntOp)
+		emitStageSpans(hubStream, profile, dev)
+	}
+
+	hubMW := 0.0
+	if totalSec > 0 {
+		hubMW = hubMJ / totalSec
+	}
+	res := finish(s.Name(), tr, app, ph, hubMW, intervals, nil)
+	res.Device = dev.Name
+	res.HubUtilization = dev.Utilization(base)
+	res.Adapt = astats
+	return res, nil
+}
+
+// missedRateOf computes the missed fraction from raw tallies.
+func missedRateOf(s adapt.Stats) float64 {
+	total := s.MissedWakes + s.TrueWakes
+	if total == 0 {
+		return 0
+	}
+	return float64(s.MissedWakes) / float64(total)
+}

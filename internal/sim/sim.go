@@ -57,6 +57,10 @@ type Result struct {
 	// Deliveries records when data reached the application, for
 	// latency analysis (populated by DutyCycling and Batching).
 	Deliveries []Delivery
+
+	// Adapt reports the policy engine's trajectory and the hub-energy
+	// decomposition (populated by AdaptiveSidewinder).
+	Adapt *AdaptStats
 }
 
 // MeanDetectionLatencySec returns the average delay, in seconds, between a

@@ -35,6 +35,12 @@ const (
 	// and for conditions the admission controller degraded off an
 	// overloaded hub (steady-state overflow, not an outage).
 	PhoneFallback
+	// AdaptSavings is the hub energy the adaptive policy engine saved
+	// versus the static configuration: the counterfactual static draw
+	// minus the adapted draw over the same interval. HubDevice plus
+	// AdaptSavings equals the static hub bill exactly, so adaptive runs
+	// stay conserving against the static baseline.
+	AdaptSavings
 	numComponents int = iota
 )
 
@@ -57,6 +63,8 @@ func (c Component) String() string {
 		return "link.retransmit"
 	case PhoneFallback:
 		return "phone.fallback"
+	case AdaptSavings:
+		return "adapt.savings"
 	default:
 		return fmt.Sprintf("component(%d)", int(c))
 	}
